@@ -1,0 +1,124 @@
+// Command mtshare-bench regenerates the paper's evaluation artefacts
+// (every table and figure of §V plus the repository's ablations) on the
+// synthetic substrate and prints them as ASCII reports.
+//
+// Usage:
+//
+//	mtshare-bench [-scale quick|full] [-experiment all|fig6|tab3|...]
+//
+// The quick scale finishes the full suite in minutes; the full scale
+// approaches the paper's relative densities and takes correspondingly
+// longer. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// the recorded paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
+	expID := flag.String("experiment", "all", "experiment id (fig5..fig21, tab3..tab5, ablate-*) or a comma list or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	replicas := flag.Int("replicas", 0, "override placement-seed replicas per setting (0 = scale default)")
+	seed := flag.Int64("seed", 0, "override world seed (0 = scale default)")
+	outPath := flag.String("o", "", "also write the report to this file")
+	geoPath := flag.String("geojson", "", "write the bipartite partitioning as GeoJSON (the paper's Fig. 3b) to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *replicas > 0 {
+		scale.Replicas = *replicas
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	fmt.Fprintf(out, "building %s-scale world (replicas=%d, seed=%d)...\n", scale.Name, scale.Replicas, scale.Seed)
+	t0 := time.Now()
+	lab, err := experiments.NewLab(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "world ready in %v: %d vertices, %d edges, peak hour %d trips\n\n",
+		time.Since(t0).Round(time.Millisecond),
+		lab.World.G.NumVertices(), lab.World.G.NumEdges(),
+		len(lab.World.Workday.Between(8*time.Hour, 9*time.Hour)))
+
+	if *geoPath != "" {
+		pt, err := lab.World.Partitioning("bipartite", scale.Kappa)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := pt.GeoJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*geoPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "wrote Fig. 3(b) partitioning GeoJSON (%d partitions) to %s\n\n",
+			pt.NumPartitions(), *geoPath)
+	}
+
+	var todo []experiments.Experiment
+	if *expID == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		t0 := time.Now()
+		res, err := e.Run(lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(out, res.Render())
+		fmt.Fprintf(out, "(%s regenerated in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

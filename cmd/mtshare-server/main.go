@@ -1,0 +1,55 @@
+// Command mtshare-server runs mT-Share as a real-time ridesharing
+// dispatch service over HTTP. It builds a synthetic city and its mobility
+// indexes at startup, then accepts taxis and ride requests via a JSON API
+// while a background loop moves taxis along their planned routes at an
+// accelerated clock.
+//
+// Usage:
+//
+//	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
+//
+// Endpoints:
+//
+//	POST /api/taxis     {"lat":..,"lng":..,"capacity":3}        -> {"id":..}
+//	GET  /api/taxis                                             -> fleet status
+//	POST /api/requests  {"pickup":{...},"dropoff":{...},"rho":1.3} -> assignment
+//	GET  /api/requests?id=N                                     -> request status
+//	GET  /api/stats                                             -> engine statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 28, "city grid rows")
+	cols := flag.Int("cols", 28, "city grid cols")
+	taxis := flag.Int("taxis", 50, "initial fleet size")
+	capacity := flag.Int("capacity", 3, "taxi capacity")
+	speedup := flag.Float64("speedup", 20, "simulation clock speedup over wall clock")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		CityRows: *rows, CityCols: *cols,
+		InitialTaxis: *taxis, Capacity: *capacity,
+		Speedup: *speedup, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	log.Printf("mT-Share dispatch service on %s (city %dx%d, %d taxis, %gx clock)",
+		*addr, *rows, *cols, *taxis, *speedup)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

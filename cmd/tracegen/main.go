@@ -1,0 +1,65 @@
+// Command tracegen generates a synthetic taxi-trip dataset in the CSV
+// schema of the GAIA transactions and writes it to stdout or a file.
+//
+// Usage:
+//
+//	tracegen [-day workday|weekend] [-peak 2400] [-seed 1] [-o trips.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+func main() {
+	day := flag.String("day", "workday", "day kind: workday or weekend")
+	peak := flag.Int("peak", 2400, "trips in the busiest hour")
+	seed := flag.Int64("seed", 1, "generator seed")
+	lat := flag.Float64("lat", 30.6587, "city center latitude")
+	lng := flag.Float64("lng", 104.0648, "city center longitude")
+	extent := flag.Float64("extent", 8000, "city extent in meters")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var kind trace.DayKind
+	switch *day {
+	case "workday":
+		kind = trace.Workday
+	case "weekend":
+		kind = trace.Weekend
+	default:
+		fmt.Fprintf(os.Stderr, "unknown day %q\n", *day)
+		os.Exit(2)
+	}
+	ds, err := trace.Generate(kind, trace.GenParams{
+		Center:           geo.Point{Lat: *lat, Lng: *lng},
+		ExtentMeters:     *extent,
+		TripsPerHourPeak: *peak,
+		UniformFrac:      0.15,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trips (%s)\n", len(ds.Trips), kind)
+}

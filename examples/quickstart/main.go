@@ -1,0 +1,73 @@
+// Quickstart: build an mT-Share system over a synthetic city, register a
+// small fleet, submit a few ride requests, and watch the shared rides
+// complete.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mtshare "repro"
+)
+
+func main() {
+	sys, err := mtshare.New(mtshare.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("city ready: %d intersections, %d road segments, %d partitions\n",
+		st.RoadVertices, st.RoadEdges, st.Partitions)
+
+	// Place a small fleet on a diagonal across the city.
+	min, max := sys.Bounds()
+	point := func(fLat, fLng float64) mtshare.Point {
+		return mtshare.Point{
+			Lat: min.Lat + fLat*(max.Lat-min.Lat),
+			Lng: min.Lng + fLng*(max.Lng-min.Lng),
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f := 0.15 + 0.7*float64(i)/4
+		id, err := sys.AddTaxi(point(f, f), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("taxi %d on duty near (%.2f, %.2f)\n", id, f, f)
+	}
+
+	// Two passengers along the same corridor: mT-Share should pool them.
+	a1, ok, err := sys.SubmitRequest(point(0.2, 0.2), point(0.85, 0.85), 1.5)
+	if err != nil || !ok {
+		log.Fatalf("request 1 unserved (ok=%v err=%v)", ok, err)
+	}
+	fmt.Printf("request %d -> taxi %d, pickup in %v, dropoff in %v (examined %d candidates, detour %.0f m)\n",
+		a1.Request, a1.Taxi, a1.PickupETA.Round(time.Second), a1.DropoffETA.Round(time.Second),
+		a1.CandidateTaxis, a1.DetourMeters)
+
+	a2, ok, err := sys.SubmitRequest(point(0.3, 0.3), point(0.7, 0.7), 1.6)
+	if err != nil || !ok {
+		log.Fatalf("request 2 unserved (ok=%v err=%v)", ok, err)
+	}
+	fmt.Printf("request %d -> taxi %d (shared ride: %v)\n", a2.Request, a2.Taxi, a1.Taxi == a2.Taxi)
+
+	// Drive the world until both rides complete.
+	deliveries := 0
+	for tick := 0; tick < 2000 && deliveries < 2; tick++ {
+		for _, ev := range sys.Advance(5 * time.Second) {
+			kind := "delivered"
+			if ev.Pickup {
+				kind = "picked up"
+			}
+			fmt.Printf("t=%-8v taxi %d %s request %d\n", ev.At.Round(time.Second), ev.Taxi, kind, ev.Request)
+			if !ev.Pickup {
+				deliveries++
+			}
+		}
+	}
+	if deliveries < 2 {
+		log.Fatal("rides did not complete")
+	}
+	fmt.Println("all passengers delivered")
+}

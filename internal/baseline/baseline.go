@@ -1,0 +1,165 @@
+// Package baseline implements the comparison schemes of the paper's
+// evaluation (§V-A2):
+//
+//   - NoSharing — the regular taxi service: each request goes to the
+//     geographically nearest vacant taxi within the search range, one
+//     request per taxi at a time.
+//   - TShare — Ma et al.'s T-Share: a grid index over taxi locations, a
+//     dual-side candidate search around the request's origin and
+//     destination, and the *first* valid insertion rather than the best.
+//   - PGreedyDP — Tong et al.'s pGreedyDP: a grid index, origin-side
+//     candidate search, and the minimum-detour insertion per candidate.
+//
+// All three share the simulation-facing surface of the mT-Share engine so
+// the harness can swap schemes freely. Offline requests are served
+// opportunistically per the paper's adjusted setting: when a taxi with
+// spare seats encounters one and a valid insertion exists, it serves it.
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/index"
+	"repro/internal/roadnet"
+)
+
+// Config holds the parameters shared by all baseline schemes.
+type Config struct {
+	// SpeedMps is the constant taxi speed.
+	SpeedMps float64
+	// SearchRangeMeters is the candidate search radius γ.
+	SearchRangeMeters float64
+	// GridCellMeters sizes the location-grid index cells.
+	GridCellMeters float64
+	// RouterCacheTrees bounds the shortest-path cache.
+	RouterCacheTrees int
+}
+
+// DefaultConfig mirrors the paper's defaults (15 km/h, γ = 2.5 km).
+func DefaultConfig() Config {
+	return Config{
+		SpeedMps:          15.0 * 1000 / 3600,
+		SearchRangeMeters: 2500,
+		GridCellMeters:    500,
+		RouterCacheTrees:  512,
+	}
+}
+
+// base carries the state common to every baseline dispatcher.
+type base struct {
+	cfg    Config
+	g      *roadnet.Graph
+	router *roadnet.Router
+	grid   *index.LocationGrid
+
+	mu    sync.RWMutex
+	taxis map[int64]*fleet.Taxi
+}
+
+func newBase(g *roadnet.Graph, cfg Config) *base {
+	min, max := g.Bounds()
+	return &base{
+		cfg:    cfg,
+		g:      g,
+		router: roadnet.NewRouter(g, cfg.RouterCacheTrees),
+		grid:   index.NewLocationGrid(min, max, cfg.GridCellMeters),
+		taxis:  make(map[int64]*fleet.Taxi),
+	}
+}
+
+// AddTaxi registers a taxi with the scheme.
+func (b *base) AddTaxi(t *fleet.Taxi, nowSeconds float64) {
+	b.mu.Lock()
+	b.taxis[t.ID] = t
+	b.mu.Unlock()
+	b.grid.Update(t.ID, t.Point())
+}
+
+// OnTaxiAdvanced refreshes the location index after a movement tick.
+func (b *base) OnTaxiAdvanced(t *fleet.Taxi, nowSeconds float64) {
+	b.grid.Update(t.ID, t.Point())
+}
+
+// OnRequestCompleted is a no-op for the grid-indexed baselines.
+func (b *base) OnRequestCompleted(req *fleet.Request, nowSeconds float64) {}
+
+// PlanIdle is a no-op: baselines do not cruise for offline passengers.
+func (b *base) PlanIdle(t *fleet.Taxi, nowSeconds float64) bool { return false }
+
+// SupportsOfflineDispatch is false for the adjusted baselines: they serve
+// offline requests only when a passing taxi can insert them directly.
+func (b *base) SupportsOfflineDispatch() bool { return false }
+
+// IndexMemoryBytes reports the scheme's index footprint (Table IV).
+func (b *base) IndexMemoryBytes() int64 { return b.grid.MemoryBytes() }
+
+// legCost is the plain shortest-path leg coster every baseline routes
+// with.
+func (b *base) legCost(u, v roadnet.VertexID) (float64, bool) {
+	c := b.router.Cost(u, v)
+	return c, !isInf(c)
+}
+
+func isInf(f float64) bool { return f > 1e17 }
+
+// buildLegs materialises shortest-path legs from start through vertices.
+func (b *base) buildLegs(start roadnet.VertexID, vertices []roadnet.VertexID) ([][]roadnet.VertexID, bool) {
+	legs := make([][]roadnet.VertexID, len(vertices))
+	at := start
+	for i, v := range vertices {
+		p := b.router.Path(at, v)
+		if p == nil {
+			return nil, false
+		}
+		legs[i] = p
+		at = v
+	}
+	return legs, true
+}
+
+// commit installs events onto a taxi and refreshes its index entry.
+func (b *base) commit(t *fleet.Taxi, events []fleet.Event, nowSeconds float64) bool {
+	vertices := make([]roadnet.VertexID, len(events))
+	for i, ev := range events {
+		vertices[i] = ev.Vertex()
+	}
+	legs, ok := b.buildLegs(t.NextVertex(), vertices)
+	if !ok {
+		return false
+	}
+	if err := t.SetPlan(events, legs); err != nil {
+		return false
+	}
+	b.grid.Update(t.ID, t.Point())
+	return true
+}
+
+// taxiByID looks a taxi up under the read lock.
+func (b *base) taxiByID(id int64) (*fleet.Taxi, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.taxis[id]
+	return t, ok
+}
+
+// insertable reports whether req can be feasibly inserted into t's
+// schedule, returning the chosen schedule. firstValid selects T-Share's
+// first-found behaviour over minimum-detour.
+func (b *base) insertable(t *fleet.Taxi, req *fleet.Request, nowSeconds float64, firstValid bool) ([]fleet.Event, fleet.EvalResult, bool) {
+	if t.IdleSeats() < req.Passengers {
+		return nil, fleet.EvalResult{}, false
+	}
+	params := t.EvalParamsAt(nowSeconds, b.cfg.SpeedMps)
+	return fleet.BestInsertion(t.Schedule(), req, b.legCost, params, firstValid)
+}
+
+// TryServeOffline implements the adjusted baseline behaviour for offline
+// encounters: insert when valid, first-fit.
+func (b *base) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool {
+	events, _, ok := b.insertable(t, req, nowSeconds, true)
+	if !ok {
+		return false
+	}
+	return b.commit(t, events, nowSeconds)
+}

@@ -1,0 +1,46 @@
+// Package core names the paper's primary contribution — the mT-Share
+// matching engine — at the canonical location of the repository layout.
+// The implementation lives in the sibling packages it composes:
+//
+//   - repro/internal/match      candidate search, taxi scheduling (Alg. 1),
+//     partition filtering (Alg. 2), basic routing (Alg. 3), probabilistic
+//     routing and cruising (Alg. 4)
+//   - repro/internal/partition  bipartite map partitioning (§IV-B1)
+//   - repro/internal/mobcluster mobility clustering (§IV-B2)
+//   - repro/internal/index      taxi indexes (§IV-B3)
+//   - repro/internal/payment    the payment model (§IV-D)
+//
+// This package re-exports the engine's entry points so code organised
+// around "the core" needs only one import.
+package core
+
+import (
+	"repro/internal/match"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// Engine is mT-Share's matching engine (see repro/internal/match.Engine).
+type Engine = match.Engine
+
+// Config is the engine configuration with the paper's Table II defaults.
+type Config = match.Config
+
+// Scheme adapts the engine to the simulation's dispatcher contract;
+// its Probabilistic flag selects the mT-Share_pro variant.
+type Scheme = match.Scheme
+
+// Assignment is a matching outcome (taxi, schedule, route, detour).
+type Assignment = match.Assignment
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config { return match.DefaultConfig() }
+
+// NewEngine builds an engine over a prepared partitioning and spatial
+// index.
+func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config) (*Engine, error) {
+	return match.NewEngine(pt, spx, cfg)
+}
+
+// NewScheme wraps an engine as a simulation dispatcher.
+func NewScheme(e *Engine, probabilistic bool) *Scheme { return match.NewScheme(e, probabilistic) }

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+func TestCoreAliasesConstructUsableEngine(t *testing.T) {
+	g, err := roadnet.GenerateCity(roadnet.DefaultCityParams(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spx := roadnet.NewSpatialIndex(g, 250)
+	pt, err := partition.BuildGrid(g, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(pt, spx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheme(e, false)
+	if s.Name() != "mT-Share" {
+		t.Fatalf("scheme name %q", s.Name())
+	}
+	if e.NumTaxis() != 0 {
+		t.Fatal("fresh engine has taxis")
+	}
+}

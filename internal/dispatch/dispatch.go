@@ -1,0 +1,44 @@
+// Package dispatch defines the scheme-facing contract between the
+// simulation engine and the ridesharing dispatchers (mT-Share and the
+// baselines), so the evaluation harness can swap schemes freely.
+package dispatch
+
+import "repro/internal/fleet"
+
+// Outcome reports a dispatch attempt.
+type Outcome struct {
+	// Served is true when a taxi was assigned and its plan installed.
+	Served bool
+	// TaxiID is the assigned taxi when Served.
+	TaxiID int64
+	// Candidates is the number of candidate taxis examined (Table III).
+	Candidates int
+}
+
+// Scheme is a ridesharing dispatcher under simulation.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// AddTaxi registers a taxi with the scheme's indexes.
+	AddTaxi(t *fleet.Taxi, nowSeconds float64)
+	// OnRequest attempts to serve an online request released now.
+	OnRequest(req *fleet.Request, nowSeconds float64) Outcome
+	// OnTaxiAdvanced lets the scheme refresh its indexes after the taxi
+	// moved during a simulation tick.
+	OnTaxiAdvanced(t *fleet.Taxi, nowSeconds float64)
+	// OnRequestCompleted tells the scheme a request was delivered.
+	OnRequestCompleted(req *fleet.Request, nowSeconds float64)
+	// TryServeOffline handles a roadside encounter between taxi t and an
+	// offline request; it returns true when the taxi now serves it.
+	TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool
+	// PlanIdle optionally plans a cruise for an idle taxi (probabilistic
+	// seeking of offline passengers); it returns true when a plan was
+	// installed.
+	PlanIdle(t *fleet.Taxi, nowSeconds float64) bool
+	// SupportsOfflineDispatch reports whether a failed roadside insertion
+	// should fall back to a full dispatch (mT-Share's server-side
+	// behaviour; the adjusted baselines only insert on encounter).
+	SupportsOfflineDispatch() bool
+	// IndexMemoryBytes reports the scheme's index footprint (Table IV).
+	IndexMemoryBytes() int64
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// tinyScale keeps unit tests fast; experiment shapes are asserted at
+// QuickScale only in the benchmark harness.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.Name = "tiny"
+	s.CityRows, s.CityCols = 16, 16
+	s.Kappa, s.KTrans = 12, 4
+	s.PeakTripsPerHour = 150
+	s.TaxiSweep = []int{15, 30}
+	s.DefaultTaxis = 20
+	s.GammaMeters = 900
+	s.GammaSweep = []float64{700, 1100}
+	s.RhoSweep = []float64{1.2, 1.4}
+	s.ThetaSweep = []float64{30, 60}
+	s.KappaSweep = []int{8, 16}
+	s.CapSweep = []int{2, 4}
+	return s
+}
+
+var (
+	labOnce sync.Once
+	labInst *Lab
+	labErr  error
+)
+
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		labInst, labErr = NewLab(tinyScale())
+	})
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return labInst
+}
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{QuickScale(), FullScale(), tinyScale()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	bad := QuickScale()
+	bad.Kappa = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestWorldBuild(t *testing.T) {
+	l := testLab(t)
+	w := l.World
+	if w.G.NumVertices() < 100 {
+		t.Fatalf("city too small: %d vertices", w.G.NumVertices())
+	}
+	if len(w.History.Trips) == 0 || len(w.Workday.Trips) == 0 || len(w.Weekend.Trips) == 0 {
+		t.Fatal("traces missing")
+	}
+	pt, err := w.Partitioning("bipartite", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := w.Partitioning("bipartite", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt != pt2 {
+		t.Fatal("partitioning not cached")
+	}
+	if _, err := w.Partitioning("grid", 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Partitioning("voronoi", 12); err == nil {
+		t.Fatal("unknown partitioning accepted")
+	}
+}
+
+func TestRunMemoised(t *testing.T) {
+	l := testLab(t)
+	sc := Scenario{Scheme: NoSharing, Window: "peak", Taxis: 15}
+	a, err := l.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("scenario not memoised")
+	}
+	if a.Requests == 0 {
+		t.Fatal("no requests in scenario")
+	}
+}
+
+func TestAllSchemesRunnable(t *testing.T) {
+	l := testLab(t)
+	for _, s := range []SchemeName{NoSharing, TShare, PGreedyDP, MTShare, MTSharePro} {
+		offline := s == MTSharePro
+		m, err := l.Run(Scenario{Scheme: s, Window: "nonpeak", HasOffline: offline, Taxis: 15})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if m.Requests == 0 {
+			t.Fatalf("%s: empty run", s)
+		}
+	}
+	if _, err := l.Run(Scenario{Scheme: "bogus"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestBaselineCruiseCombination(t *testing.T) {
+	l := testLab(t)
+	m, err := l.Run(Scenario{Scheme: TShare, Window: "nonpeak", HasOffline: true, BaselineCruise: true, Taxis: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.SchemeName, "+prob") {
+		t.Fatalf("combined scheme name %q", m.SchemeName)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 || len(r.Series[0].Y) != 24 {
+		t.Fatalf("fig5 series malformed")
+	}
+	// Workday morning peak must beat 3am.
+	wd := r.Series[0]
+	if wd.Y[8] <= wd.Y[3] {
+		t.Fatal("workday utilisation shape wrong")
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig6SeriesComplete(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("fig6 series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Y) != len(l.World.Scale.TaxiSweep) {
+			t.Fatalf("%s has %d points", s.Label, len(s.Y))
+		}
+		// Served requests must not decrease with fleet size... allow small
+		// non-monotonicity from stochastic placement.
+		if s.Y[len(s.Y)-1] < s.Y[0]*0.8 {
+			t.Fatalf("%s: served drops with more taxis: %v", s.Label, s.Y)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "mT-Share") {
+		t.Fatal("render missing scheme")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	l := testLab(t)
+	for _, fn := range []func() (*Result, error){l.Table3, l.Table4, l.Table5, l.Fig16} {
+		r, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("%s: no rows", r.ID)
+		}
+		if len(r.Header) == 0 {
+			t.Fatalf("%s: no header", r.ID)
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Header) {
+				t.Fatalf("%s: ragged row %v", r.ID, row)
+			}
+		}
+		if !strings.Contains(r.Render(), r.ID) {
+			t.Fatalf("%s: render missing id", r.ID)
+		}
+	}
+}
+
+func TestParameterSweepsRun(t *testing.T) {
+	l := testLab(t)
+	for _, fn := range []func() (*Result, error){l.Fig14a, l.Fig14b, l.Fig17, l.Fig18, l.Fig19, l.Fig20} {
+		r, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Series) == 0 {
+			t.Fatalf("%s: no series", r.ID)
+		}
+		for _, s := range r.Series {
+			if len(s.X) == 0 || len(s.X) != len(s.Y) {
+				t.Fatalf("%s/%s: malformed series", r.ID, s.Label)
+			}
+		}
+	}
+}
+
+func TestAblationPartitionFilter(t *testing.T) {
+	l := testLab(t)
+	r, err := l.AblationPartitionFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatal("ablation rows")
+	}
+}
+
+func TestAllRegistryResolves(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+		if _, err := ByID(e.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"fig5", "fig6", "fig7", "tab3", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "tab4", "fig14a", "fig14b", "tab5",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21"}
+	for _, id := range want {
+		if !ids[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "t", XLabel: "x",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3.5, 4}}},
+		Notes:  []string{"n"},
+	}
+	out := r.Render()
+	for _, want := range []string{"=== x: t ===", "3.5", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment surface is slow")
+	}
+	l := testLab(t)
+	for _, e := range All() {
+		r, err := e.Run(l)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(r.Series) == 0 && len(r.Rows) == 0 {
+			t.Fatalf("%s produced no data", e.ID)
+		}
+		if r.Render() == "" {
+			t.Fatalf("%s rendered empty", e.ID)
+		}
+	}
+}
+
+func TestRunAvgAveragesAcrossReplicas(t *testing.T) {
+	s := tinyScale()
+	s.Replicas = 2
+	l, err := NewLab(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Scheme: NoSharing, Window: "peak", Taxis: 15}
+	avg, err := l.RunAvg(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := l.Run(Scenario{Scheme: NoSharing, Window: "peak", Taxis: 15, Replica: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := l.Run(Scenario{Scheme: NoSharing, Window: "peak", Taxis: 15, Replica: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(r0.Served+r1.Served)/2 + 0.5)
+	if avg.Served != want {
+		t.Fatalf("avg served %d, want %d", avg.Served, want)
+	}
+	if avg.Records != nil {
+		t.Fatal("averaged metrics should not carry per-request records")
+	}
+}
+
+func TestVerifyRendersAllClaims(t *testing.T) {
+	l := testLab(t)
+	r, err := l.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 10 {
+		t.Fatalf("verify rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] != "PASS" && row[2] != "FAIL" {
+			t.Fatalf("bad status %q", row[2])
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/match"
+	"repro/internal/sim"
+)
+
+// Fig14a reproduces the impact of the partition count κ on served
+// requests (peak, mT-Share).
+func (l *Lab) Fig14a() (*Result, error) {
+	r := &Result{
+		ID: "fig14a", Title: "Impact of partition number kappa on served requests (peak, mT-Share)",
+		XLabel: "kappa", YLabel: "served requests",
+		Notes: []string{"paper: served requests rise then fall; the sweet spot sits mid-sweep (kappa=150 of 50-250)"},
+	}
+	s := Series{Label: string(MTShare)}
+	for _, k := range l.World.Scale.KappaSweep {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Kappa: k})
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, float64(m.Served))
+	}
+	r.Series = append(r.Series, s)
+	return r, nil
+}
+
+// Fig14b reproduces the impact of taxi capacity on served requests (peak,
+// mT-Share).
+func (l *Lab) Fig14b() (*Result, error) {
+	r := &Result{
+		ID: "fig14b", Title: "Impact of taxi capacity on served requests (peak, mT-Share)",
+		XLabel: "capacity (seats)", YLabel: "served requests",
+		Notes: []string{"paper: capacity 6 serves ~12% more than capacity 2"},
+	}
+	s := Series{Label: string(MTShare)}
+	for _, c := range l.World.Scale.CapSweep {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Capacity: c})
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(c))
+		s.Y = append(s.Y, float64(m.Served))
+	}
+	r.Series = append(r.Series, s)
+	return r, nil
+}
+
+// Table5 reproduces the map-partitioning ablation: bipartite versus grid
+// partitioning for mT-Share in both scenarios.
+func (l *Lab) Table5() (*Result, error) {
+	r := &Result{
+		ID: "tab5", Title: "Bipartite vs grid map partitioning (mT-Share)",
+		Header: []string{"scenario", "partitioning", "served", "detour (min)"},
+		Notes:  []string{"paper: bipartite partitioning serves >=6% more requests and cuts detour by 3-7% in both scenarios"},
+	}
+	for _, win := range []string{"peak", "nonpeak"} {
+		offline := win == "nonpeak"
+		scheme := MTShare
+		if offline {
+			scheme = MTSharePro
+		}
+		for _, kind := range []string{"bipartite", "grid"} {
+			m, err := l.RunAvg(Scenario{Scheme: scheme, Window: win, HasOffline: offline, Partitioning: kind})
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{win, kind, fi(m.Served), f2(m.MeanDetourMin)})
+		}
+	}
+	return r, nil
+}
+
+// Fig15 reproduces the impact of the search range γ on detour and waiting
+// time (peak).
+func (l *Lab) Fig15() (*Result, error) {
+	r := &Result{
+		ID: "fig15", Title: "Impact of search range gamma on detour and waiting time (peak)",
+		XLabel: "gamma (m)", YLabel: "minutes",
+		Notes: []string{"paper: both detour and waiting grow with gamma; T-Share best service quality, mT-Share better than pGreedyDP"},
+	}
+	for _, scheme := range peakSchemes {
+		det := Series{Label: string(scheme) + " detour"}
+		wai := Series{Label: string(scheme) + " waiting"}
+		for _, g := range l.World.Scale.GammaSweep {
+			m, err := l.RunAvg(Scenario{Scheme: scheme, Window: "peak", Gamma: g})
+			if err != nil {
+				return nil, err
+			}
+			det.X = append(det.X, g)
+			det.Y = append(det.Y, m.MeanDetourMin)
+			wai.X = append(wai.X, g)
+			wai.Y = append(wai.Y, m.MeanWaitingMin)
+		}
+		r.Series = append(r.Series, det, wai)
+	}
+	return r, nil
+}
+
+// Fig16 reproduces the routing-mode study: online/offline served
+// composition for basic versus probabilistic routing combined with
+// T-Share, pGreedyDP, and mT-Share (non-peak).
+func (l *Lab) Fig16() (*Result, error) {
+	r := &Result{
+		ID: "fig16", Title: "Basic vs probabilistic routing: served composition (non-peak)",
+		Header: []string{"scheme", "routing", "online", "offline", "total"},
+		Notes: []string{
+			"paper: probabilistic routing brings +89%/+46%/+34% more offline requests for T-Share/pGreedyDP/mT-Share",
+			"baseline 'probabilistic' = the baseline dispatcher plus probabilistic cruising of idle taxis",
+		},
+	}
+	type combo struct {
+		scheme SchemeName
+		label  string
+		sc     Scenario
+	}
+	combos := []combo{
+		{TShare, "basic", Scenario{Scheme: TShare, Window: "nonpeak", HasOffline: true}},
+		{TShare, "probabilistic", Scenario{Scheme: TShare, Window: "nonpeak", HasOffline: true, BaselineCruise: true}},
+		{PGreedyDP, "basic", Scenario{Scheme: PGreedyDP, Window: "nonpeak", HasOffline: true}},
+		{PGreedyDP, "probabilistic", Scenario{Scheme: PGreedyDP, Window: "nonpeak", HasOffline: true, BaselineCruise: true}},
+		{MTShare, "basic", Scenario{Scheme: MTShare, Window: "nonpeak", HasOffline: true}},
+		{MTShare, "probabilistic", Scenario{Scheme: MTSharePro, Window: "nonpeak", HasOffline: true}},
+	}
+	for _, c := range combos {
+		m, err := l.RunAvg(c.sc)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			string(c.scheme), c.label, fi(m.ServedOnline), fi(m.ServedOffline), fi(m.Served),
+		})
+	}
+	return r, nil
+}
+
+// Fig17 reproduces the impact of the flexible factor ρ on waiting time
+// (peak, ridesharing schemes).
+func (l *Lab) Fig17() (*Result, error) {
+	r := &Result{
+		ID: "fig17", Title: "Impact of flexible factor rho on waiting time (peak)",
+		XLabel: "rho", YLabel: "mean waiting (min)",
+		Notes: []string{"paper: waiting grows with rho; T-Share shortest; mT-Share within 1.2 min of pGreedyDP"},
+	}
+	for _, scheme := range []SchemeName{TShare, PGreedyDP, MTShare} {
+		s := Series{Label: string(scheme)}
+		for _, rho := range l.World.Scale.RhoSweep {
+			m, err := l.RunAvg(Scenario{Scheme: scheme, Window: "peak", Rho: rho})
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, rho)
+			s.Y = append(s.Y, m.MeanWaitingMin)
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// Fig18 reproduces the impact of ρ on detour time and served requests
+// (peak, mT-Share).
+func (l *Lab) Fig18() (*Result, error) {
+	r := &Result{
+		ID: "fig18", Title: "Impact of rho on detour time and served requests (peak, mT-Share)",
+		XLabel: "rho", YLabel: "detour (min) / served",
+		Notes: []string{"paper: both grow with rho; beyond rho=1.3 serving gains flatten while detour keeps climbing (+4% served costs +48% detour at 1.4)"},
+	}
+	det := Series{Label: "detour (min)"}
+	srv := Series{Label: "served requests"}
+	for _, rho := range l.World.Scale.RhoSweep {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Rho: rho})
+		if err != nil {
+			return nil, err
+		}
+		det.X = append(det.X, rho)
+		det.Y = append(det.Y, m.MeanDetourMin)
+		srv.X = append(srv.X, rho)
+		srv.Y = append(srv.Y, float64(m.Served))
+	}
+	r.Series = append(r.Series, det, srv)
+	return r, nil
+}
+
+// Fig19 reproduces the payment-model study: passengers' fare reduction
+// and drivers' profit increase versus ρ (peak). Profit increase compares
+// mT-Share's total driver income to the regular (No-Sharing) service at
+// the same ρ.
+func (l *Lab) Fig19() (*Result, error) {
+	r := &Result{
+		ID: "fig19", Title: "Impact of rho on fare reduction and driver profit increase (peak)",
+		XLabel: "rho", YLabel: "percent",
+		Notes: []string{"paper: at rho=1.3 passengers save 8.6% fare and drivers earn 7.8% more; larger rho saves passengers more but erodes driver profit"},
+	}
+	fare := Series{Label: "passenger fare saving (%)"}
+	prof := Series{Label: "driver profit increase (%)"}
+	for _, rho := range l.World.Scale.RhoSweep {
+		mt, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Rho: rho})
+		if err != nil {
+			return nil, err
+		}
+		no, err := l.RunAvg(Scenario{Scheme: NoSharing, Window: "peak", Rho: rho})
+		if err != nil {
+			return nil, err
+		}
+		fare.X = append(fare.X, rho)
+		fare.Y = append(fare.Y, mt.FareSaving*100)
+		prof.X = append(prof.X, rho)
+		inc := 0.0
+		if no.DriverIncome > 0 {
+			inc = (mt.DriverIncome/no.DriverIncome - 1) * 100
+		}
+		prof.Y = append(prof.Y, inc)
+	}
+	r.Series = append(r.Series, fare, prof)
+	return r, nil
+}
+
+// Fig20 reproduces the impact of the direction threshold θ (λ = cos θ) on
+// served requests and response time (peak, mT-Share).
+func (l *Lab) Fig20() (*Result, error) {
+	r := &Result{
+		ID: "fig20", Title: "Impact of max direction difference theta on served requests and response time (peak, mT-Share)",
+		XLabel: "theta (deg)", YLabel: "served / response (ms)",
+		Notes: []string{"paper: served grows slightly with theta while response time grows steeply; theta=45 balances both"},
+	}
+	srv := Series{Label: "served requests"}
+	rsp := Series{Label: "response (ms)"}
+	for _, th := range l.World.Scale.ThetaSweep {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Lambda: geo.CosOfDegrees(th)})
+		if err != nil {
+			return nil, err
+		}
+		srv.X = append(srv.X, th)
+		srv.Y = append(srv.Y, float64(m.Served))
+		rsp.X = append(rsp.X, th)
+		rsp.Y = append(rsp.Y, m.MeanResponseMs)
+	}
+	r.Series = append(r.Series, srv, rsp)
+	return r, nil
+}
+
+// Fig21 reproduces the scalability study: total execution time and mean
+// response time as the replayed data grows from 1 hour to 13 hours
+// (workday for mT-Share, weekend with offline subset for mT-Share_pro).
+func (l *Lab) Fig21() (*Result, error) {
+	r := &Result{
+		ID: "fig21", Title: "Scalability with used data amounts (7:00 onward)",
+		XLabel: "hours of data", YLabel: "execution (s) / response (ms)",
+		Notes: []string{"paper: execution time grows linearly with data volume; response time stays flat (110 ms workday / 420 ms weekend)"},
+	}
+	hoursSweep := []int{1, 3, 5, 7}
+	type variant struct {
+		scheme  SchemeName
+		window  string
+		offline bool
+		label   string
+	}
+	for _, v := range []variant{
+		{MTShare, "peak", false, "workday mT-Share"},
+		{MTSharePro, "nonpeak", true, "weekend mT-Share-pro"},
+	} {
+		exec := Series{Label: v.label + " exec (s)"}
+		resp := Series{Label: v.label + " resp (ms)"}
+		for _, hours := range hoursSweep {
+			m, err := l.runHours(v.scheme, v.window, v.offline, hours)
+			if err != nil {
+				return nil, err
+			}
+			exec.X = append(exec.X, float64(hours))
+			exec.Y = append(exec.Y, m.ExecutionSecs)
+			resp.X = append(resp.X, float64(hours))
+			resp.Y = append(resp.Y, m.MeanResponseMs)
+		}
+		r.Series = append(r.Series, exec, resp)
+	}
+	return r, nil
+}
+
+// runHours runs a scheme over an extended data window starting at 7:00,
+// outside the scenario memoisation (windows differ per call).
+func (l *Lab) runHours(scheme SchemeName, window string, offline bool, hours int) (*sim.Metrics, error) {
+	sc := l.defaults(Scenario{Scheme: scheme, Window: window, HasOffline: offline})
+	sch, err := l.buildScheme(sc)
+	if err != nil {
+		return nil, err
+	}
+	win := Window{Day: dayOf(window), From: 7 * time.Hour, To: time.Duration(7+hours) * time.Hour}
+	reqs := l.World.Requests(win, sc.Rho, sc.OfflineFrac)
+	eng, err := sim.NewEngine(l.World.G, sch, sim.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	eng.PlaceTaxis(sc.Taxis, sc.Capacity, l.World.Scale.Seed, win.From.Seconds())
+	return eng.Run(reqs, win.From.Seconds()), nil
+}
+
+// AblationReorder quantifies the scheduling choice §IV-C2 makes: how much
+// the insertion-only heuristic loses against exhaustive schedule
+// rearrangement (the theoretical optimum the paper rules out as
+// computationally prohibitive).
+func (l *Lab) AblationReorder() (*Result, error) {
+	r := &Result{
+		ID: "ablate-reorder", Title: "Insertion-only scheduling vs exhaustive rearrangement (peak, mT-Share)",
+		Header: []string{"scheduler", "served", "detour (min)", "response (ms)"},
+		Notes: []string{
+			"the paper adopts insertion-only scheduling; rearrangement is the theoretical upper bound at factorial cost",
+		},
+	}
+	for _, row := range []struct {
+		label   string
+		reorder bool
+	}{
+		{"insertion-only", false},
+		{"exhaustive-reorder", true},
+	} {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Reorder: row.reorder})
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{row.label, fi(m.Served), f2(m.MeanDetourMin), f2(m.MeanResponseMs)})
+	}
+	return r, nil
+}
+
+// AblationProbTradeoff explores the probability-versus-detour trade-off
+// the paper defers to future work: bounding each probabilistic leg's
+// detour at a multiple of its shortest path trades offline encounters for
+// detour time.
+func (l *Lab) AblationProbTradeoff() (*Result, error) {
+	r := &Result{
+		ID: "ablate-probtradeoff", Title: "Probabilistic-leg detour cap vs offline serving (non-peak, mT-Share-pro)",
+		Header: []string{"max leg inflation", "served total", "served offline", "detour (min)"},
+		Notes: []string{
+			"paper §IV-C2: 'how to balance the trade-off between this probability and the total detour costs will be explored in our future work'",
+		},
+	}
+	for _, inflation := range []float64{1.05, 1.2, 1.5, 2.0, 0} {
+		m, err := l.RunAvg(Scenario{Scheme: MTSharePro, Window: "nonpeak", HasOffline: true, ProbInflation: inflation})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%.2fx", inflation)
+		if inflation == 0 {
+			label = "unbounded"
+		}
+		r.Rows = append(r.Rows, []string{label, fi(m.Served), fi(m.ServedOffline), f2(m.MeanDetourMin)})
+	}
+	return r, nil
+}
+
+// AblationPartitionFilter compares basic-routing legs (cached shortest
+// paths, the paper's evaluation setup) against the partition-filtered
+// Dijkstra production path: routing cost inflation and query counts. It
+// is the DESIGN.md ablation for the Alg. 2/3 design choice.
+func (l *Lab) AblationPartitionFilter() (*Result, error) {
+	r := &Result{
+		ID: "ablate-filter", Title: "Partition-filtered routing vs cached shortest paths",
+		Header: []string{"pairs", "mean inflation", "max inflation", "filtered kept (mean partitions)"},
+		Notes: []string{
+			"the filter prunes the search space at a bounded route-quality cost; the paper's evaluation bypasses it via the all-pairs cache",
+		},
+	}
+	pt, err := l.World.Partitioning("bipartite", l.World.Scale.Kappa)
+	if err != nil {
+		return nil, err
+	}
+	cfg := match.DefaultConfig()
+	cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+	eng, err := match.NewEngine(pt, l.World.Spx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	reqs := l.World.Requests(PeakWindow(), l.World.Scale.Rho, 0)
+	var (
+		n        int
+		sumInfl  float64
+		maxInfl  float64
+		sumParts int
+	)
+	for i, req := range reqs {
+		if i >= 200 {
+			break
+		}
+		fc, ok := eng.FilteredLegCost(req.Origin, req.Dest)
+		if !ok {
+			continue
+		}
+		bc, ok := eng.BasicLegCost(req.Origin, req.Dest)
+		if !ok || bc <= 0 {
+			continue
+		}
+		infl := fc / bc
+		sumInfl += infl
+		if infl > maxInfl {
+			maxInfl = infl
+		}
+		sumParts += len(eng.PartitionFilter(req.Origin, req.Dest))
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: no routable pairs for ablation")
+	}
+	r.Rows = append(r.Rows, []string{
+		fi(n), f2(sumInfl / float64(n)), f2(maxInfl), f1(float64(sumParts) / float64(n)),
+	})
+	return r, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// Series holds figure data; Header/Rows hold tabular data. An
+	// experiment may fill either or both.
+	Series []Series
+	Header []string
+	Rows   [][]string
+	// Notes records the paper's claim for the artefact and any
+	// scale-related caveats.
+	Notes []string
+}
+
+// Render formats the result as an ASCII report.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if len(r.Series) > 0 {
+		// Figure: one column per X, one row per series.
+		fmt.Fprintf(&b, "%-22s", r.XLabel)
+		for _, x := range r.Series[0].X {
+			fmt.Fprintf(&b, "%12s", trimFloat(x))
+		}
+		b.WriteByte('\n')
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%-22s", s.Label)
+			for _, y := range s.Y {
+				fmt.Fprintf(&b, "%12s", trimFloat(y))
+			}
+			b.WriteByte('\n')
+		}
+		if r.YLabel != "" {
+			fmt.Fprintf(&b, "(y: %s)\n", r.YLabel)
+		}
+	}
+	if len(r.Rows) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Header)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func fi(x int) string     { return fmt.Sprintf("%d", x) }

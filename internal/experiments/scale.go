@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the synthetic substrate: it builds the standard
+// experiment world (city, historical trace, partitionings), runs the
+// dispatch schemes through the simulator with memoised results, and
+// renders the same rows and series the paper reports.
+//
+// Absolute numbers differ from the paper — the substrate is a synthetic
+// city at reduced scale, not Chengdu with 7M Didi trips on the authors'
+// server — but each experiment's *shape* (who wins, roughly by how much,
+// where the knees fall) is the reproduction target; EXPERIMENTS.md records
+// paper-versus-measured for every artefact.
+package experiments
+
+import "fmt"
+
+// Scale sizes the experiment world. The quick preset keeps the full suite
+// within minutes for `go test -bench=.`; the full preset approaches the
+// paper's relative densities and is meant for the cmd/mtshare-bench CLI.
+type Scale struct {
+	Name string
+
+	// City geometry.
+	CityRows, CityCols int
+	BlockMeters        float64
+
+	// Partitioning.
+	Kappa  int
+	KTrans int
+
+	// Demand: trips in the busiest hour (the paper's peak hour has
+	// 29,534); the weekday/weekend profiles derive the rest.
+	PeakTripsPerHour int
+
+	// Fleet sweep (the paper uses 500–3000 step 500) and default size.
+	TaxiSweep    []int
+	DefaultTaxis int
+	Capacity     int
+
+	// Matching parameters (paper Table II defaults, distance values
+	// scaled to the city size).
+	GammaMeters float64
+	GammaSweep  []float64
+	Rho         float64
+	RhoSweep    []float64
+	ThetaSweep  []float64 // degrees, for the λ study
+	KappaSweep  []int
+	CapSweep    []int
+
+	// Non-peak offline fraction (the paper hides 5000 of 15,480 ≈ 0.32).
+	OfflineFrac float64
+
+	// Replicas is how many taxi-placement seeds each scenario is averaged
+	// over (the paper repeats each setting ten times).
+	Replicas int
+
+	Seed int64
+}
+
+// QuickScale is the CI/bench preset: a ~4 km synthetic city with hundreds
+// of requests per hour.
+func QuickScale() Scale {
+	return Scale{
+		Name:             "quick",
+		CityRows:         28,
+		CityCols:         28,
+		BlockMeters:      150,
+		Kappa:            30,
+		KTrans:           8,
+		PeakTripsPerHour: 900,
+		TaxiSweep:        []int{20, 40, 60, 80, 100, 120},
+		DefaultTaxis:     40,
+		Capacity:         3,
+		GammaMeters:      1200,
+		GammaSweep:       []float64{800, 1000, 1200, 1400, 1600, 1800},
+		Rho:              1.3,
+		RhoSweep:         []float64{1.1, 1.2, 1.3, 1.4, 1.5},
+		ThetaSweep:       []float64{30, 45, 60, 75},
+		KappaSweep:       []int{10, 20, 30, 45, 60},
+		CapSweep:         []int{2, 3, 4, 5, 6},
+		OfflineFrac:      0.32,
+		Replicas:         3,
+		Seed:             1,
+	}
+}
+
+// FullScale approaches the paper's relative densities: a ~7 km city, a
+// few thousand requests in the peak hour, fleets into the hundreds.
+func FullScale() Scale {
+	return Scale{
+		Name:             "full",
+		CityRows:         48,
+		CityCols:         48,
+		BlockMeters:      150,
+		Kappa:            60,
+		KTrans:           15,
+		PeakTripsPerHour: 2400,
+		TaxiSweep:        []int{50, 100, 150, 200, 250, 300},
+		DefaultTaxis:     100,
+		Capacity:         3,
+		GammaMeters:      2000,
+		GammaSweep:       []float64{1200, 1600, 2000, 2400, 2800, 3200},
+		Rho:              1.3,
+		RhoSweep:         []float64{1.1, 1.2, 1.3, 1.4, 1.5},
+		ThetaSweep:       []float64{30, 45, 60, 75},
+		KappaSweep:       []int{20, 40, 60, 90, 120},
+		CapSweep:         []int{2, 3, 4, 5, 6},
+		OfflineFrac:      0.32,
+		Replicas:         3,
+		Seed:             1,
+	}
+}
+
+// Validate reports whether the scale is usable.
+func (s Scale) Validate() error {
+	switch {
+	case s.CityRows < 4 || s.CityCols < 4:
+		return fmt.Errorf("experiments: city %dx%d too small", s.CityRows, s.CityCols)
+	case s.Kappa < 2 || s.KTrans < 1 || s.KTrans >= s.Kappa:
+		return fmt.Errorf("experiments: bad partitioning scale kappa=%d kt=%d", s.Kappa, s.KTrans)
+	case s.PeakTripsPerHour < 1:
+		return fmt.Errorf("experiments: PeakTripsPerHour %d", s.PeakTripsPerHour)
+	case len(s.TaxiSweep) == 0 || s.DefaultTaxis < 1:
+		return fmt.Errorf("experiments: empty taxi sweep")
+	case s.GammaMeters <= 0 || s.Rho <= 1:
+		return fmt.Errorf("experiments: gamma %v rho %v", s.GammaMeters, s.Rho)
+	case s.OfflineFrac < 0 || s.OfflineFrac > 1:
+		return fmt.Errorf("experiments: OfflineFrac %v", s.OfflineFrac)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// World is the shared experiment substrate: the synthetic city, the
+// historical trace (for partitioning) and the evaluation traces, plus
+// cached partitionings. It is built once per Lab and reused by every
+// experiment.
+type World struct {
+	Scale Scale
+
+	G   *roadnet.Graph
+	Spx *roadnet.SpatialIndex
+
+	// History is a full synthetic workday used only for mining transition
+	// patterns; Workday and Weekend are the evaluation traces.
+	History *trace.Dataset
+	Workday *trace.Dataset
+	Weekend *trace.Dataset
+
+	snapped []partition.OD
+
+	mu    sync.Mutex
+	parts map[string]*partition.Partitioning
+}
+
+// BuildWorld constructs the experiment substrate for a scale.
+func BuildWorld(s Scale) (*World, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cp := roadnet.DefaultCityParams(s.CityRows, s.CityCols)
+	cp.BlockMeters = s.BlockMeters
+	cp.Seed = s.Seed
+	g, err := roadnet.GenerateCity(cp)
+	if err != nil {
+		return nil, err
+	}
+	spx := roadnet.NewSpatialIndex(g, 250)
+	min, max := g.Bounds()
+	gp := trace.GenParams{
+		Center:           geo.Midpoint(min, max),
+		ExtentMeters:     geo.Equirect(geo.Point{Lat: min.Lat, Lng: min.Lng}, geo.Point{Lat: min.Lat, Lng: max.Lng}),
+		TripsPerHourPeak: s.PeakTripsPerHour,
+		UniformFrac:      0.15,
+		MinTripMeters:    s.BlockMeters * 2,
+	}
+	gen := func(day trace.DayKind, seed int64) (*trace.Dataset, error) {
+		p := gp
+		p.Seed = seed
+		return trace.Generate(day, p)
+	}
+	history, err := gen(trace.Workday, s.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	workday, err := gen(trace.Workday, s.Seed+200)
+	if err != nil {
+		return nil, err
+	}
+	weekend, err := gen(trace.Weekend, s.Seed+300)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Scale:   s,
+		G:       g,
+		Spx:     spx,
+		History: history,
+		Workday: workday,
+		Weekend: weekend,
+		parts:   make(map[string]*partition.Partitioning),
+	}
+	pairs := make([]struct{ Origin, Dest geo.Point }, len(history.Trips))
+	for i, tr := range history.Trips {
+		pairs[i] = struct{ Origin, Dest geo.Point }{tr.Origin, tr.Dest}
+	}
+	w.snapped = partition.SnapTrips(spx, pairs)
+	return w, nil
+}
+
+// Partitioning returns (building and caching on first use) a partitioning
+// of the given kind ("bipartite" or "grid") with the given κ.
+func (w *World) Partitioning(kind string, kappa int) (*partition.Partitioning, error) {
+	key := fmt.Sprintf("%s/%d", kind, kappa)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if pt, ok := w.parts[key]; ok {
+		return pt, nil
+	}
+	var (
+		pt  *partition.Partitioning
+		err error
+	)
+	switch kind {
+	case "bipartite":
+		p := partition.DefaultParams(kappa)
+		p.KTrans = w.Scale.KTrans
+		if p.KTrans >= kappa {
+			p.KTrans = kappa / 2
+			if p.KTrans < 1 {
+				p.KTrans = 1
+			}
+		}
+		p.Seed = w.Scale.Seed
+		pt, err = partition.BuildBipartite(w.G, w.snapped, p)
+	case "grid":
+		pt, err = partition.BuildGrid(w.G, w.snapped, kappa)
+	default:
+		return nil, fmt.Errorf("experiments: unknown partitioning kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.parts[key] = pt
+	return pt, nil
+}
+
+// Window identifies an evaluation slice of a trace.
+type Window struct {
+	Day  trace.DayKind
+	From time.Duration
+	To   time.Duration
+}
+
+// PeakWindow is the paper's peak scenario: workday 8:00–9:00.
+func PeakWindow() Window {
+	return Window{Day: trace.Workday, From: 8 * time.Hour, To: 9 * time.Hour}
+}
+
+// NonPeakWindow is the paper's non-peak scenario: weekend 10:00–11:00.
+func NonPeakWindow() Window {
+	return Window{Day: trace.Weekend, From: 10 * time.Hour, To: 11 * time.Hour}
+}
+
+// Requests prepares the requests of a trace window.
+func (w *World) Requests(win Window, rho, offlineFrac float64) []*fleet.Request {
+	ds := w.Workday
+	if win.Day == trace.Weekend {
+		ds = w.Weekend
+	}
+	trips := ds.Between(win.From, win.To)
+	return sim.PrepareRequests(w.G, w.Spx, trips, sim.PrepareOptions{
+		SpeedMps:    15.0 * 1000 / 3600,
+		Rho:         rho,
+		OfflineFrac: offlineFrac,
+		Seed:        w.Scale.Seed + 7,
+	})
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/roadnet"
+)
+
+// TestQuickInsertionCandidatesAlwaysValid: for random schedules, every
+// insertion candidate preserves precedence and contains exactly the old
+// events plus the new pair.
+func TestQuickInsertionCandidatesAlwaysValid(t *testing.T) {
+	g := testGraph()
+	f := func(seed int64, nReq uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nReq%3) + 1
+		var sched []Event
+		for i := 0; i < n; i++ {
+			o := roadnet.VertexID(rng.Intn(5))
+			d := roadnet.VertexID((int(o) + 1 + rng.Intn(4)) % 6)
+			if o == d {
+				d = (d + 1) % 6
+			}
+			r := testRequest(g, int64(i), o, d, 0, time.Hour)
+			sched = append(sched, Event{r, Pickup}, Event{r, Dropoff})
+		}
+		req := testRequest(g, 99, 0, 5, 0, time.Hour)
+		for _, cand := range InsertionCandidates(sched, req) {
+			if len(cand) != len(sched)+2 {
+				return false
+			}
+			if !ValidSequence(cand) {
+				return false
+			}
+			// Multiset equality with the original plus the pair.
+			count := map[Event]int{}
+			for _, e := range cand {
+				count[e]++
+			}
+			for _, e := range sched {
+				count[e]--
+			}
+			count[Event{req, Pickup}]--
+			count[Event{req, Dropoff}]--
+			for _, c := range count {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvaluateMonotoneInDeadlines: loosening every deadline never
+// turns a feasible schedule infeasible.
+func TestQuickEvaluateMonotoneInDeadlines(t *testing.T) {
+	g := testGraph()
+	lc := legCoster(g)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := testRequest(g, 1, roadnet.VertexID(rng.Intn(3)), roadnet.VertexID(3+rng.Intn(3)), 0,
+			time.Duration(300+rng.Intn(600))*time.Second)
+		r2 := testRequest(g, 2, roadnet.VertexID(rng.Intn(3)), roadnet.VertexID(3+rng.Intn(3)), 0,
+			time.Duration(300+rng.Intn(600))*time.Second)
+		if r1.Origin == r1.Dest || r2.Origin == r2.Dest {
+			return true
+		}
+		events := []Event{{r1, Pickup}, {r2, Pickup}, {r1, Dropoff}, {r2, Dropoff}}
+		p := EvalParams{SpeedMps: 10, Start: 0, Capacity: 4}
+		before := EvaluateSchedule(events, lc, p)
+		// Loosen deadlines by an hour.
+		l1, l2 := *r1, *r2
+		l1.Deadline += time.Hour
+		l2.Deadline += time.Hour
+		loose := []Event{{&l1, Pickup}, {&l2, Pickup}, {&l1, Dropoff}, {&l2, Dropoff}}
+		after := EvaluateSchedule(loose, lc, p)
+		if before.Feasible && !after.Feasible {
+			return false
+		}
+		if before.Feasible && after.Feasible {
+			// Travel cost is deadline-independent.
+			return before.TotalMeters == after.TotalMeters
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAdvanceConservesDistance: however the tick sizes are chosen,
+// the odometer after completing a fixed plan equals the plan length.
+func TestQuickAdvanceConservesDistance(t *testing.T) {
+	g := testGraph()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taxi := NewTaxi(g, 1, 3, 0)
+		r := testRequest(g, 1, 1, 4, 0, time.Hour)
+		legs := [][]roadnet.VertexID{{0, 1}, {1, 2, 3, 4}}
+		if err := taxi.SetPlan([]Event{{r, Pickup}, {r, Dropoff}}, legs); err != nil {
+			return false
+		}
+		plan := taxi.RemainingMeters()
+		for i := 0; i < 10000 && !taxi.Empty(); i++ {
+			taxi.Advance(1 + rng.Float64()*200)
+		}
+		if !taxi.Empty() {
+			return false
+		}
+		diff := taxi.Odometer() - plan
+		return diff > -1e-6 && diff < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeatAccountingNeverNegative: random event application keeps
+// occupancy within [0, capacity] for feasible plans.
+func TestQuickSeatAccountingNeverNegative(t *testing.T) {
+	g := testGraph()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taxi := NewTaxi(g, 1, 4, 0)
+		r1 := testRequest(g, 1, 1, 4, 0, time.Hour)
+		r2 := testRequest(g, 2, 2, 5, 0, time.Hour)
+		events := []Event{{r1, Pickup}, {r2, Pickup}, {r1, Dropoff}, {r2, Dropoff}}
+		legs := [][]roadnet.VertexID{
+			{0, 1}, {1, 2}, {2, 3, 4}, {4, 5},
+		}
+		if err := taxi.SetPlan(events, legs); err != nil {
+			return false
+		}
+		for i := 0; i < 5000 && !taxi.Empty(); i++ {
+			taxi.Advance(rng.Float64() * 150)
+			if taxi.OccupiedSeats() < 0 || taxi.OccupiedSeats() > taxi.Capacity {
+				return false
+			}
+		}
+		return taxi.Empty() && taxi.OccupiedSeats() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package fleet
+
+// The paper notes (§IV-C2) that in theory a new request should trigger a
+// full rearrangement of the taxi's schedule, but adopts insertion-only
+// scheduling because rearrangement is computationally prohibitive at
+// scale. This file implements the theoretical variant — exhaustive
+// enumeration of every precedence-valid event ordering — as an optional
+// extension, bounded by an enumeration budget. The ablation benches use
+// it to quantify how much detour insertion-only scheduling leaves on the
+// table.
+
+// reorderEnumerator generates all orderings of events subject to
+// pickup-before-dropoff precedence, up to a cap.
+type reorderEnumerator struct {
+	events []Event
+	cap    int
+	out    [][]Event
+	cur    []Event
+	used   []bool
+}
+
+// ReorderCandidates enumerates valid orderings of the given events (each
+// request's pickup before its dropoff; dropoff-only events — passengers
+// already on board — are unconstrained) up to maxCandidates orderings.
+// The input order is emitted first so the insertion-only solution is
+// always among the candidates.
+func ReorderCandidates(events []Event, maxCandidates int) [][]Event {
+	if maxCandidates < 1 {
+		maxCandidates = 1
+	}
+	e := &reorderEnumerator{
+		events: events,
+		cap:    maxCandidates,
+		cur:    make([]Event, 0, len(events)),
+		used:   make([]bool, len(events)),
+	}
+	// Seed with the given order for determinism and as the fallback.
+	seed := make([]Event, len(events))
+	copy(seed, events)
+	e.out = append(e.out, seed)
+	e.dfs()
+	return e.out
+}
+
+func (e *reorderEnumerator) dfs() {
+	if len(e.out) >= e.cap {
+		return
+	}
+	if len(e.cur) == len(e.events) {
+		if !sameOrder(e.cur, e.events) {
+			cand := make([]Event, len(e.cur))
+			copy(cand, e.cur)
+			e.out = append(e.out, cand)
+		}
+		return
+	}
+	for i, ev := range e.events {
+		if e.used[i] {
+			continue
+		}
+		if ev.Kind == Dropoff && e.pickupPending(ev.Req.ID) {
+			continue
+		}
+		e.used[i] = true
+		e.cur = append(e.cur, ev)
+		e.dfs()
+		e.cur = e.cur[:len(e.cur)-1]
+		e.used[i] = false
+		if len(e.out) >= e.cap {
+			return
+		}
+	}
+}
+
+// pickupPending reports whether the request has an unused pickup event —
+// i.e. its dropoff may not be scheduled yet.
+func (e *reorderEnumerator) pickupPending(id RequestID) bool {
+	for i, ev := range e.events {
+		if !e.used[i] && ev.Kind == Pickup && ev.Req.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func sameOrder(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BestReorder evaluates every precedence-valid ordering of the existing
+// schedule extended with req's pickup/dropoff pair (up to maxCandidates
+// orderings) and returns the feasible one with the minimum travel cost.
+// It subsumes BestInsertion: the insertion-only solutions are a subset of
+// the orderings considered, so the result is never worse — at
+// factorially higher cost.
+func BestReorder(schedule []Event, req *Request, cost LegCoster, p EvalParams, maxCandidates int) (best []Event, bestEval EvalResult, ok bool) {
+	extended := make([]Event, 0, len(schedule)+2)
+	extended = append(extended, schedule...)
+	extended = append(extended, Event{Req: req, Kind: Pickup}, Event{Req: req, Kind: Dropoff})
+	for _, cand := range ReorderCandidates(extended, maxCandidates) {
+		ev := EvaluateSchedule(cand, cost, p)
+		if !ev.Feasible {
+			continue
+		}
+		if !ok || ev.TotalMeters < bestEval.TotalMeters {
+			best, bestEval, ok = cand, ev, true
+		}
+	}
+	return best, bestEval, ok
+}

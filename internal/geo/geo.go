@@ -1,0 +1,151 @@
+// Package geo provides geographic primitives used throughout mT-Share:
+// points in latitude/longitude, distance metrics, bearings, and the
+// four-dimensional mobility vectors (Definition 9 of the paper) together
+// with the cosine-similarity direction test (Eq. 1).
+package geo
+
+import "math"
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine and
+// equirectangular distance approximations.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a geographic location in degrees.
+type Point struct {
+	Lat float64
+	Lng float64
+}
+
+// Haversine returns the great-circle distance between a and b in meters.
+func Haversine(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dla := (b.Lat - a.Lat) * math.Pi / 180
+	dln := (b.Lng - a.Lng) * math.Pi / 180
+	s1 := math.Sin(dla / 2)
+	s2 := math.Sin(dln / 2)
+	h := s1*s1 + math.Cos(la1)*math.Cos(la2)*s2*s2
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Equirect returns the equirectangular-projection distance between a and b
+// in meters. It is accurate to well under 1% at city scale and roughly 5x
+// cheaper than Haversine, which matters on the routing hot path.
+func Equirect(a, b Point) float64 {
+	mlat := (a.Lat + b.Lat) / 2 * math.Pi / 180
+	x := (b.Lng - a.Lng) * math.Pi / 180 * math.Cos(mlat)
+	y := (b.Lat - a.Lat) * math.Pi / 180
+	return EarthRadiusMeters * math.Sqrt(x*x+y*y)
+}
+
+// Bearing returns the initial bearing from a to b in degrees in [0, 360).
+func Bearing(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dln := (b.Lng - a.Lng) * math.Pi / 180
+	y := math.Sin(dln) * math.Cos(la2)
+	x := math.Cos(la1)*math.Sin(la2) - math.Sin(la1)*math.Cos(la2)*math.Cos(dln)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// Midpoint returns the arithmetic midpoint of a and b. At city scale the
+// arithmetic mean of coordinates is indistinguishable from the geodesic
+// midpoint.
+func Midpoint(a, b Point) Point {
+	return Point{Lat: (a.Lat + b.Lat) / 2, Lng: (a.Lng + b.Lng) / 2}
+}
+
+// Centroid returns the arithmetic centroid of pts. It returns the zero Point
+// when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.Lat += p.Lat
+		c.Lng += p.Lng
+	}
+	c.Lat /= float64(len(pts))
+	c.Lng /= float64(len(pts))
+	return c
+}
+
+// MobilityVector is the paper's Definition 9: a vector pointing from an
+// origin to a destination, represented by the two endpoints.
+type MobilityVector struct {
+	OriginLat float64
+	OriginLng float64
+	DestLat   float64
+	DestLng   float64
+}
+
+// NewMobilityVector builds a mobility vector from an origin and destination.
+func NewMobilityVector(origin, dest Point) MobilityVector {
+	return MobilityVector{
+		OriginLat: origin.Lat,
+		OriginLng: origin.Lng,
+		DestLat:   dest.Lat,
+		DestLng:   dest.Lng,
+	}
+}
+
+// Origin returns the vector's origin endpoint.
+func (v MobilityVector) Origin() Point { return Point{Lat: v.OriginLat, Lng: v.OriginLng} }
+
+// Dest returns the vector's destination endpoint.
+func (v MobilityVector) Dest() Point { return Point{Lat: v.DestLat, Lng: v.DestLng} }
+
+// dxdy returns the displacement of v projected onto a local tangent plane,
+// scaling longitude by cos(latitude) so that east-west and north-south
+// displacements are commensurable.
+func (v MobilityVector) dxdy() (dx, dy float64) {
+	mlat := (v.OriginLat + v.DestLat) / 2 * math.Pi / 180
+	dx = (v.DestLng - v.OriginLng) * math.Cos(mlat)
+	dy = v.DestLat - v.OriginLat
+	return dx, dy
+}
+
+// Length returns the straight-line length of the vector in meters.
+func (v MobilityVector) Length() float64 {
+	return Equirect(v.Origin(), v.Dest())
+}
+
+// IsZero reports whether the vector has (numerically) no displacement and
+// therefore no defined travel direction.
+func (v MobilityVector) IsZero() bool {
+	dx, dy := v.dxdy()
+	return dx*dx+dy*dy < 1e-18
+}
+
+// CosineSimilarity implements Eq. 1 of the paper: the cosine of the angle
+// between the travel directions of a and b. The paper treats mobility
+// vectors as directions, so we compare displacement vectors on the local
+// tangent plane. A zero-displacement vector has undefined direction; the
+// function returns 0 in that case (maximally dissimilar short of opposing).
+func CosineSimilarity(a, b MobilityVector) float64 {
+	ax, ay := a.dxdy()
+	bx, by := b.dxdy()
+	na := math.Sqrt(ax*ax + ay*ay)
+	nb := math.Sqrt(bx*bx + by*by)
+	if na < 1e-9 || nb < 1e-9 {
+		return 0
+	}
+	return (ax*bx + ay*by) / (na * nb)
+}
+
+// DirectionDegrees returns the travel direction of v as a compass-style
+// angle in degrees in [0, 360), measured from north.
+func (v MobilityVector) DirectionDegrees() float64 {
+	return Bearing(v.Origin(), v.Dest())
+}
+
+// CosOfDegrees converts a maximum direction-difference angle θ (degrees)
+// into the λ threshold used by Eq. 1 (λ = cos θ).
+func CosOfDegrees(theta float64) float64 {
+	return math.Cos(theta * math.Pi / 180)
+}

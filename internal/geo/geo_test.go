@@ -1,0 +1,230 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{Lat: 30.66, Lng: 104.06}
+	if d := Haversine(p, p); d != 0 {
+		t.Fatalf("Haversine(p,p) = %v, want 0", d)
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// One degree of latitude is ~111.19 km on a sphere of radius 6371 km.
+	a := Point{Lat: 30.0, Lng: 104.0}
+	b := Point{Lat: 31.0, Lng: 104.0}
+	d := Haversine(a, b)
+	if !almostEqual(d, 111195, 50) {
+		t.Fatalf("Haversine 1 degree lat = %v m, want ~111195 m", d)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	a := Point{Lat: 30.66, Lng: 104.06}
+	b := Point{Lat: 30.70, Lng: 104.10}
+	if d1, d2 := Haversine(a, b), Haversine(b, a); d1 != d2 {
+		t.Fatalf("Haversine not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestEquirectMatchesHaversineAtCityScale(t *testing.T) {
+	// At city scale (a few km) the two metrics should agree to <1%.
+	a := Point{Lat: 30.66, Lng: 104.06}
+	cases := []Point{
+		{Lat: 30.67, Lng: 104.06},
+		{Lat: 30.66, Lng: 104.08},
+		{Lat: 30.70, Lng: 104.10},
+		{Lat: 30.60, Lng: 104.00},
+	}
+	for _, b := range cases {
+		h := Haversine(a, b)
+		e := Equirect(a, b)
+		if h == 0 {
+			continue
+		}
+		if rel := math.Abs(h-e) / h; rel > 0.01 {
+			t.Errorf("Equirect vs Haversine rel error %v for %v", rel, b)
+		}
+	}
+}
+
+func TestEquirectTriangleInequality(t *testing.T) {
+	f := func(la1, ln1, la2, ln2, la3, ln3 float64) bool {
+		norm := func(lat, lng float64) Point {
+			return Point{Lat: 30 + math.Mod(math.Abs(lat), 0.5), Lng: 104 + math.Mod(math.Abs(lng), 0.5)}
+		}
+		a, b, c := norm(la1, ln1), norm(la2, ln2), norm(la3, ln3)
+		return Equirect(a, c) <= Equirect(a, b)+Equirect(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	origin := Point{Lat: 30.0, Lng: 104.0}
+	cases := []struct {
+		dest Point
+		want float64
+	}{
+		{Point{Lat: 30.1, Lng: 104.0}, 0},   // north
+		{Point{Lat: 30.0, Lng: 104.1}, 90},  // east
+		{Point{Lat: 29.9, Lng: 104.0}, 180}, // south
+		{Point{Lat: 30.0, Lng: 103.9}, 270}, // west
+	}
+	for _, c := range cases {
+		got := Bearing(origin, c.dest)
+		if !almostEqual(got, c.want, 0.2) {
+			t.Errorf("Bearing to %v = %v, want %v", c.dest, got, c.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lat: 30, Lng: 104}
+	b := Point{Lat: 31, Lng: 105}
+	m := Midpoint(a, b)
+	if m.Lat != 30.5 || m.Lng != 104.5 {
+		t.Fatalf("Midpoint = %v", m)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if c := Centroid(nil); c != (Point{}) {
+		t.Fatalf("Centroid(nil) = %v, want zero", c)
+	}
+	pts := []Point{{Lat: 30, Lng: 104}, {Lat: 32, Lng: 106}}
+	c := Centroid(pts)
+	if c.Lat != 31 || c.Lng != 105 {
+		t.Fatalf("Centroid = %v", c)
+	}
+}
+
+func TestCosineSimilaritySameDirection(t *testing.T) {
+	a := NewMobilityVector(Point{30, 104}, Point{30.1, 104.1})
+	b := NewMobilityVector(Point{30.5, 104.5}, Point{30.6, 104.6})
+	if s := CosineSimilarity(a, b); !almostEqual(s, 1, 1e-3) {
+		t.Fatalf("parallel vectors similarity = %v, want ~1", s)
+	}
+}
+
+func TestCosineSimilarityOppositeDirection(t *testing.T) {
+	a := NewMobilityVector(Point{30, 104}, Point{30.1, 104})
+	b := NewMobilityVector(Point{30.1, 104}, Point{30, 104})
+	if s := CosineSimilarity(a, b); !almostEqual(s, -1, 1e-9) {
+		t.Fatalf("opposite vectors similarity = %v, want -1", s)
+	}
+}
+
+func TestCosineSimilarityOrthogonal(t *testing.T) {
+	a := NewMobilityVector(Point{30, 104}, Point{30.1, 104}) // north
+	b := NewMobilityVector(Point{30, 104}, Point{30, 104.1}) // east
+	if s := CosineSimilarity(a, b); !almostEqual(s, 0, 1e-6) {
+		t.Fatalf("orthogonal vectors similarity = %v, want 0", s)
+	}
+}
+
+func TestCosineSimilarityZeroVector(t *testing.T) {
+	z := NewMobilityVector(Point{30, 104}, Point{30, 104})
+	a := NewMobilityVector(Point{30, 104}, Point{30.1, 104})
+	if s := CosineSimilarity(z, a); s != 0 {
+		t.Fatalf("zero-vector similarity = %v, want 0", s)
+	}
+	if !z.IsZero() {
+		t.Fatal("IsZero false for zero displacement")
+	}
+	if a.IsZero() {
+		t.Fatal("IsZero true for nonzero displacement")
+	}
+}
+
+func TestCosineSimilarityBounds(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		clamp := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+		a := MobilityVector{30 + clamp(a1), 104 + clamp(a2), 30 + clamp(a3), 104 + clamp(a4)}
+		b := MobilityVector{30 + clamp(b1), 104 + clamp(b2), 30 + clamp(b3), 104 + clamp(b4)}
+		s := CosineSimilarity(a, b)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilaritySymmetric(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64) bool {
+		clamp := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+		a := MobilityVector{30, 104, 30 + clamp(a1), 104 + clamp(a2)}
+		b := MobilityVector{30.2, 104.2, 30 + clamp(b1), 104 + clamp(b2)}
+		return CosineSimilarity(a, b) == CosineSimilarity(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMobilityVectorLength(t *testing.T) {
+	v := NewMobilityVector(Point{30, 104}, Point{30.01, 104})
+	want := Equirect(Point{30, 104}, Point{30.01, 104})
+	if v.Length() != want {
+		t.Fatalf("Length = %v, want %v", v.Length(), want)
+	}
+}
+
+func TestDirectionDegrees(t *testing.T) {
+	v := NewMobilityVector(Point{30, 104}, Point{30.1, 104})
+	if d := v.DirectionDegrees(); !almostEqual(d, 0, 0.2) {
+		t.Fatalf("northward DirectionDegrees = %v, want ~0", d)
+	}
+}
+
+func TestCosOfDegrees(t *testing.T) {
+	if l := CosOfDegrees(45); !almostEqual(l, math.Sqrt2/2, 1e-12) {
+		t.Fatalf("CosOfDegrees(45) = %v", l)
+	}
+	if l := CosOfDegrees(0); !almostEqual(l, 1, 1e-12) {
+		t.Fatalf("CosOfDegrees(0) = %v", l)
+	}
+}
+
+func TestLambdaMonotoneInTheta(t *testing.T) {
+	// Larger allowed angle must translate to a smaller lambda threshold.
+	prev := math.Inf(1)
+	for theta := 10.0; theta <= 90; theta += 5 {
+		l := CosOfDegrees(theta)
+		if l >= prev {
+			t.Fatalf("lambda not strictly decreasing at theta=%v", theta)
+		}
+		prev = l
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	p := Point{Lat: 30.66, Lng: 104.06}
+	q := Point{Lat: 30.70, Lng: 104.10}
+	for i := 0; i < b.N; i++ {
+		_ = Haversine(p, q)
+	}
+}
+
+func BenchmarkEquirect(b *testing.B) {
+	p := Point{Lat: 30.66, Lng: 104.06}
+	q := Point{Lat: 30.70, Lng: 104.10}
+	for i := 0; i < b.N; i++ {
+		_ = Equirect(p, q)
+	}
+}
+
+func BenchmarkCosineSimilarity(b *testing.B) {
+	u := NewMobilityVector(Point{30, 104}, Point{30.1, 104.1})
+	v := NewMobilityVector(Point{30.5, 104.5}, Point{30.6, 104.7})
+	for i := 0; i < b.N; i++ {
+		_ = CosineSimilarity(u, v)
+	}
+}

@@ -1,0 +1,303 @@
+// Package index provides the taxi index structures of §IV-B3: the
+// map-partition index, which records for each partition the taxis that are
+// in it or will arrive within a time horizon T_mp sorted by arrival time,
+// and a plain location grid over taxi positions, which is the indexing
+// used by the T-Share and pGreedyDP baselines.
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// Entry is one taxi's presence in a partition list: the taxi and its
+// arrival time at that partition (the current time for taxis already
+// inside).
+type Entry struct {
+	TaxiID         int64
+	ArrivalSeconds float64
+}
+
+// PartitionIndex maintains, per partition, the taxis now in or arriving
+// within the horizon, with arrival times derived from each taxi's planned
+// route. It is safe for concurrent use.
+type PartitionIndex struct {
+	pt      *partition.Partitioning
+	horizon float64 // seconds
+
+	mu      sync.RWMutex
+	byPart  []map[int64]float64 // partition -> taxi -> arrival seconds
+	byTaxi  map[int64][]partition.ID
+	entries int
+}
+
+// NewPartitionIndex creates an index over the given partitioning with the
+// horizon T_mp (the paper uses 1 h).
+func NewPartitionIndex(pt *partition.Partitioning, horizonSeconds float64) *PartitionIndex {
+	byPart := make([]map[int64]float64, pt.NumPartitions())
+	for i := range byPart {
+		byPart[i] = make(map[int64]float64)
+	}
+	return &PartitionIndex{
+		pt:      pt,
+		horizon: horizonSeconds,
+		byPart:  byPart,
+		byTaxi:  make(map[int64][]partition.ID),
+	}
+}
+
+// Horizon returns the index horizon in seconds.
+func (ix *PartitionIndex) Horizon() float64 { return ix.horizon }
+
+// Update re-indexes one taxi from its remaining planned route. route is
+// the polyline starting at the taxi's current position (may be nil for an
+// idle taxi, which is indexed in its current partition only); nowSeconds
+// is the current time and speedMps converts route meters to arrival times.
+// Arrivals beyond the horizon are not indexed.
+func (ix *PartitionIndex) Update(taxiID int64, at roadnet.VertexID, route []roadnet.VertexID, nowSeconds, speedMps float64) {
+	arrivals := map[partition.ID]float64{ix.pt.PartitionOf(at): nowSeconds}
+	if speedMps > 0 {
+		g := ix.pt.Graph()
+		meters := 0.0
+		for i := 0; i+1 < len(route); i++ {
+			c, ok := g.EdgeCost(route[i], route[i+1])
+			if !ok {
+				break
+			}
+			meters += c
+			t := nowSeconds + meters/speedMps
+			if t > nowSeconds+ix.horizon {
+				break
+			}
+			p := ix.pt.PartitionOf(route[i+1])
+			if _, seen := arrivals[p]; !seen {
+				arrivals[p] = t
+			}
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(taxiID)
+	parts := make([]partition.ID, 0, len(arrivals))
+	for p, t := range arrivals {
+		ix.byPart[p][taxiID] = t
+		parts = append(parts, p)
+	}
+	ix.byTaxi[taxiID] = parts
+	ix.entries += len(parts)
+}
+
+// Remove drops a taxi from all partition lists.
+func (ix *PartitionIndex) Remove(taxiID int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(taxiID)
+}
+
+func (ix *PartitionIndex) removeLocked(taxiID int64) {
+	parts, ok := ix.byTaxi[taxiID]
+	if !ok {
+		return
+	}
+	for _, p := range parts {
+		delete(ix.byPart[p], taxiID)
+	}
+	delete(ix.byTaxi, taxiID)
+	ix.entries -= len(parts)
+}
+
+// Taxis returns the partition's list P_z.L_t sorted ascending by arrival
+// time (the paper's ordering), breaking ties by taxi ID for determinism.
+func (ix *PartitionIndex) Taxis(p partition.ID) []Entry {
+	ix.mu.RLock()
+	m := ix.byPart[p]
+	out := make([]Entry, 0, len(m))
+	for id, t := range m {
+		out = append(out, Entry{TaxiID: id, ArrivalSeconds: t})
+	}
+	ix.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ArrivalSeconds != out[j].ArrivalSeconds {
+			return out[i].ArrivalSeconds < out[j].ArrivalSeconds
+		}
+		return out[i].TaxiID < out[j].TaxiID
+	})
+	return out
+}
+
+// ArrivalAt returns the indexed arrival time of a taxi at a partition; ok
+// is false when the taxi is not expected there within the horizon. The
+// candidate-search refinement uses it to discard taxis that cannot reach
+// the request's partition before the pickup deadline.
+func (ix *PartitionIndex) ArrivalAt(taxiID int64, p partition.ID) (float64, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	t, ok := ix.byPart[p][taxiID]
+	return t, ok
+}
+
+// Stats summarises index size for the Table IV memory comparison.
+type Stats struct {
+	Taxis       int
+	Entries     int
+	MemoryBytes int64
+}
+
+// Stats returns a snapshot of index size.
+func (ix *PartitionIndex) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Stats{
+		Taxis:   len(ix.byTaxi),
+		Entries: ix.entries,
+		// Map entry ≈ key+value+bucket overhead; byTaxi slices add 8/entry.
+		MemoryBytes: int64(ix.entries)*48 + int64(len(ix.byTaxi))*40 + int64(len(ix.byPart))*48,
+	}
+}
+
+// LocationGrid is a uniform geographic grid over taxi positions — the
+// index structure of the grid-based baselines. It is safe for concurrent
+// use.
+type LocationGrid struct {
+	minLat, minLng   float64
+	cellLat, cellLng float64
+	rows, cols       int
+
+	mu     sync.RWMutex
+	cells  []map[int64]geo.Point
+	byTaxi map[int64]int // taxi -> cell
+}
+
+// NewLocationGrid builds a grid over the given bounds with roughly
+// cellMeters cells.
+func NewLocationGrid(min, max geo.Point, cellMeters float64) *LocationGrid {
+	midLat := (min.Lat + max.Lat) / 2
+	mLat := geo.EarthRadiusMeters * math.Pi / 180
+	mLng := mLat * math.Cos(midLat*math.Pi/180)
+	lg := &LocationGrid{
+		minLat:  min.Lat,
+		minLng:  min.Lng,
+		cellLat: cellMeters / mLat,
+		cellLng: cellMeters / mLng,
+		byTaxi:  make(map[int64]int),
+	}
+	lg.rows = int((max.Lat-min.Lat)/lg.cellLat) + 1
+	lg.cols = int((max.Lng-min.Lng)/lg.cellLng) + 1
+	if lg.rows < 1 {
+		lg.rows = 1
+	}
+	if lg.cols < 1 {
+		lg.cols = 1
+	}
+	lg.cells = make([]map[int64]geo.Point, lg.rows*lg.cols)
+	return lg
+}
+
+func (lg *LocationGrid) cellOf(p geo.Point) int {
+	r := int((p.Lat - lg.minLat) / lg.cellLat)
+	c := int((p.Lng - lg.minLng) / lg.cellLng)
+	if r < 0 {
+		r = 0
+	}
+	if r >= lg.rows {
+		r = lg.rows - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c >= lg.cols {
+		c = lg.cols - 1
+	}
+	return r*lg.cols + c
+}
+
+// Update sets a taxi's position.
+func (lg *LocationGrid) Update(taxiID int64, p geo.Point) {
+	cell := lg.cellOf(p)
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if old, ok := lg.byTaxi[taxiID]; ok && old != cell {
+		delete(lg.cells[old], taxiID)
+	}
+	if lg.cells[cell] == nil {
+		lg.cells[cell] = make(map[int64]geo.Point)
+	}
+	lg.cells[cell][taxiID] = p
+	lg.byTaxi[taxiID] = cell
+}
+
+// Remove drops a taxi.
+func (lg *LocationGrid) Remove(taxiID int64) {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if cell, ok := lg.byTaxi[taxiID]; ok {
+		delete(lg.cells[cell], taxiID)
+		delete(lg.byTaxi, taxiID)
+	}
+}
+
+// Near returns the taxis within radiusMeters of p, sorted ascending by
+// distance.
+func (lg *LocationGrid) Near(p geo.Point, radiusMeters float64) []int64 {
+	if radiusMeters <= 0 {
+		return nil
+	}
+	mLat := geo.EarthRadiusMeters * math.Pi / 180
+	dr := int(radiusMeters/(lg.cellLat*mLat)) + 1
+	mLng := mLat * math.Cos(p.Lat*math.Pi/180)
+	dc := int(radiusMeters/(lg.cellLng*mLng)) + 1
+	pr := int((p.Lat - lg.minLat) / lg.cellLat)
+	pc := int((p.Lng - lg.minLng) / lg.cellLng)
+	type cand struct {
+		id int64
+		d  float64
+	}
+	var found []cand
+	lg.mu.RLock()
+	for r := pr - dr; r <= pr+dr; r++ {
+		if r < 0 || r >= lg.rows {
+			continue
+		}
+		for c := pc - dc; c <= pc+dc; c++ {
+			if c < 0 || c >= lg.cols {
+				continue
+			}
+			for id, pos := range lg.cells[r*lg.cols+c] {
+				if d := geo.Equirect(p, pos); d <= radiusMeters {
+					found = append(found, cand{id, d})
+				}
+			}
+		}
+	}
+	lg.mu.RUnlock()
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].d != found[j].d {
+			return found[i].d < found[j].d
+		}
+		return found[i].id < found[j].id
+	})
+	out := make([]int64, len(found))
+	for i, f := range found {
+		out[i] = f.id
+	}
+	return out
+}
+
+// Size returns the number of indexed taxis.
+func (lg *LocationGrid) Size() int {
+	lg.mu.RLock()
+	defer lg.mu.RUnlock()
+	return len(lg.byTaxi)
+}
+
+// MemoryBytes estimates the grid's heap footprint for Table IV.
+func (lg *LocationGrid) MemoryBytes() int64 {
+	lg.mu.RLock()
+	defer lg.mu.RUnlock()
+	return int64(len(lg.byTaxi))*64 + int64(len(lg.cells))*8
+}

@@ -1,0 +1,314 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+func testPartitioning(t testing.TB) (*roadnet.Graph, *Partitioned) {
+	t.Helper()
+	g, err := roadnet.GenerateCity(roadnet.DefaultCityParams(12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.BuildGrid(g, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &Partitioned{pt: pt}
+}
+
+// Partitioned bundles the partitioning for test readability.
+type Partitioned struct{ pt *partition.Partitioning }
+
+func TestPartitionIndexIdleTaxi(t *testing.T) {
+	_, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	at := w.pt.Vertices(0)[0]
+	ix.Update(7, at, nil, 100, 4.17)
+	entries := ix.Taxis(w.pt.PartitionOf(at))
+	if len(entries) != 1 || entries[0].TaxiID != 7 || entries[0].ArrivalSeconds != 100 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if arr, ok := ix.ArrivalAt(7, w.pt.PartitionOf(at)); !ok || arr != 100 {
+		t.Fatalf("ArrivalAt = %v, %v", arr, ok)
+	}
+}
+
+func TestPartitionIndexRouteArrivals(t *testing.T) {
+	g, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	// Route across the city: the taxi must appear in every partition the
+	// route crosses, with non-decreasing arrival times.
+	src := roadnet.VertexID(0)
+	dst := roadnet.VertexID(g.NumVertices() - 1)
+	_, path, ok := g.ShortestPath(src, dst)
+	if !ok {
+		t.Fatal("no cross-city path")
+	}
+	ix.Update(1, src, path, 0, 4.17)
+	crossed := map[partition.ID]bool{}
+	for _, v := range path {
+		crossed[w.pt.PartitionOf(v)] = true
+	}
+	found := 0
+	var prev float64 = -1
+	for p := range crossed {
+		entries := ix.Taxis(p)
+		if len(entries) == 1 && entries[0].TaxiID == 1 {
+			found++
+			if entries[0].ArrivalSeconds < 0 {
+				t.Fatal("negative arrival")
+			}
+			_ = prev
+		}
+	}
+	if found != len(crossed) {
+		t.Fatalf("taxi indexed in %d of %d crossed partitions", found, len(crossed))
+	}
+	// Arrival at origin partition is now (0); at destination partition it
+	// must be positive.
+	if arr, ok := ix.ArrivalAt(1, w.pt.PartitionOf(dst)); !ok || arr <= 0 {
+		t.Fatalf("dest arrival = %v, %v", arr, ok)
+	}
+}
+
+func TestPartitionIndexHorizonCutsOff(t *testing.T) {
+	g, w := testPartitioning(t)
+	// Tiny horizon: only the current partition (and near neighbours)
+	// should be indexed.
+	ix := NewPartitionIndex(w.pt, 1)
+	src := roadnet.VertexID(0)
+	dst := roadnet.VertexID(g.NumVertices() - 1)
+	_, path, _ := g.ShortestPath(src, dst)
+	ix.Update(1, src, path, 0, 4.17)
+	st := ix.Stats()
+	if st.Entries > 3 {
+		t.Fatalf("horizon ignored: %d entries", st.Entries)
+	}
+	if _, ok := ix.ArrivalAt(1, w.pt.PartitionOf(dst)); ok && w.pt.PartitionOf(dst) != w.pt.PartitionOf(src) {
+		t.Fatal("distant partition indexed despite horizon")
+	}
+}
+
+func TestPartitionIndexUpdateReplaces(t *testing.T) {
+	g, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	src := roadnet.VertexID(0)
+	dst := roadnet.VertexID(g.NumVertices() - 1)
+	_, path, _ := g.ShortestPath(src, dst)
+	ix.Update(1, src, path, 0, 4.17)
+	before := ix.Stats().Entries
+	if before < 2 {
+		t.Fatalf("expected multi-partition route, got %d entries", before)
+	}
+	// Re-index as idle at destination: old entries must vanish.
+	ix.Update(1, dst, nil, 500, 4.17)
+	after := ix.Stats()
+	if after.Entries != 1 {
+		t.Fatalf("stale entries remain: %d", after.Entries)
+	}
+	if _, ok := ix.ArrivalAt(1, w.pt.PartitionOf(src)); ok && w.pt.PartitionOf(src) != w.pt.PartitionOf(dst) {
+		t.Fatal("old partition entry not removed")
+	}
+}
+
+func TestPartitionIndexRemove(t *testing.T) {
+	_, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	at := w.pt.Vertices(0)[0]
+	ix.Update(1, at, nil, 0, 4.17)
+	ix.Remove(1)
+	if st := ix.Stats(); st.Entries != 0 || st.Taxis != 0 {
+		t.Fatalf("after remove: %+v", st)
+	}
+	ix.Remove(1) // idempotent
+}
+
+func TestPartitionIndexSortedByArrival(t *testing.T) {
+	_, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	p := partition.ID(0)
+	at := w.pt.Vertices(p)[0]
+	ix.Update(3, at, nil, 300, 4.17)
+	ix.Update(1, at, nil, 100, 4.17)
+	ix.Update(2, at, nil, 200, 4.17)
+	entries := ix.Taxis(p)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].ArrivalSeconds < entries[i-1].ArrivalSeconds {
+			t.Fatal("not sorted by arrival")
+		}
+	}
+	if entries[0].TaxiID != 1 || entries[2].TaxiID != 3 {
+		t.Fatalf("order = %v", entries)
+	}
+}
+
+func TestPartitionIndexZeroSpeed(t *testing.T) {
+	g, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	_, path, _ := g.ShortestPath(0, roadnet.VertexID(g.NumVertices()-1))
+	ix.Update(1, 0, path, 0, 0) // zero speed: only current partition
+	if st := ix.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+}
+
+func TestPartitionIndexConcurrent(t *testing.T) {
+	g, w := testPartitioning(t)
+	ix := NewPartitionIndex(w.pt, 3600)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(id))
+			for j := 0; j < 100; j++ {
+				v := roadnet.VertexID(rng.Intn(g.NumVertices()))
+				ix.Update(id, v, nil, float64(j), 4.17)
+				ix.Taxis(w.pt.PartitionOf(v))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if st := ix.Stats(); st.Taxis != 8 {
+		t.Fatalf("taxis = %d", st.Taxis)
+	}
+}
+
+func TestLocationGridBasic(t *testing.T) {
+	min := geo.Point{Lat: 30.6, Lng: 104.0}
+	max := geo.Point{Lat: 30.7, Lng: 104.1}
+	lg := NewLocationGrid(min, max, 300)
+	a := geo.Point{Lat: 30.65, Lng: 104.05}
+	b := geo.Point{Lat: 30.651, Lng: 104.051} // ~150 m away
+	far := geo.Point{Lat: 30.69, Lng: 104.09}
+	lg.Update(1, a)
+	lg.Update(2, b)
+	lg.Update(3, far)
+	got := lg.Near(a, 500)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Near = %v", got)
+	}
+	if lg.Size() != 3 {
+		t.Fatalf("Size = %d", lg.Size())
+	}
+}
+
+func TestLocationGridMoveAndRemove(t *testing.T) {
+	min := geo.Point{Lat: 30.6, Lng: 104.0}
+	max := geo.Point{Lat: 30.7, Lng: 104.1}
+	lg := NewLocationGrid(min, max, 300)
+	a := geo.Point{Lat: 30.61, Lng: 104.01}
+	b := geo.Point{Lat: 30.69, Lng: 104.09}
+	lg.Update(1, a)
+	lg.Update(1, b) // move
+	if got := lg.Near(a, 500); len(got) != 0 {
+		t.Fatalf("stale position: %v", got)
+	}
+	if got := lg.Near(b, 500); len(got) != 1 {
+		t.Fatalf("moved taxi missing: %v", got)
+	}
+	lg.Remove(1)
+	if lg.Size() != 0 || len(lg.Near(b, 500)) != 0 {
+		t.Fatal("remove failed")
+	}
+	lg.Remove(1) // idempotent
+}
+
+func TestLocationGridRadiusZero(t *testing.T) {
+	lg := NewLocationGrid(geo.Point{Lat: 30, Lng: 104}, geo.Point{Lat: 31, Lng: 105}, 300)
+	lg.Update(1, geo.Point{Lat: 30.5, Lng: 104.5})
+	if got := lg.Near(geo.Point{Lat: 30.5, Lng: 104.5}, 0); got != nil {
+		t.Fatalf("zero radius returned %v", got)
+	}
+}
+
+func TestLocationGridSortedByDistance(t *testing.T) {
+	lg := NewLocationGrid(geo.Point{Lat: 30, Lng: 104}, geo.Point{Lat: 31, Lng: 105}, 300)
+	center := geo.Point{Lat: 30.5, Lng: 104.5}
+	rng := rand.New(rand.NewSource(1))
+	pos := make(map[int64]geo.Point)
+	for i := int64(0); i < 50; i++ {
+		p := geo.Point{
+			Lat: 30.5 + (rng.Float64()-0.5)*0.02,
+			Lng: 104.5 + (rng.Float64()-0.5)*0.02,
+		}
+		pos[i] = p
+		lg.Update(i, p)
+	}
+	got := lg.Near(center, 3000)
+	if len(got) == 0 {
+		t.Fatal("nothing found")
+	}
+	prev := -1.0
+	for _, id := range got {
+		d := geo.Equirect(center, pos[id])
+		if d < prev {
+			t.Fatal("Near results not sorted by distance")
+		}
+		prev = d
+	}
+	if lg.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}
+
+func TestLocationGridConcurrent(t *testing.T) {
+	lg := NewLocationGrid(geo.Point{Lat: 30, Lng: 104}, geo.Point{Lat: 31, Lng: 105}, 300)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(id))
+			for j := 0; j < 200; j++ {
+				p := geo.Point{Lat: 30 + rng.Float64(), Lng: 104 + rng.Float64()}
+				lg.Update(id, p)
+				lg.Near(p, 1000)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if lg.Size() != 8 {
+		t.Fatalf("Size = %d", lg.Size())
+	}
+}
+
+func BenchmarkPartitionIndexUpdate(b *testing.B) {
+	g, err := roadnet.GenerateCity(roadnet.DefaultCityParams(20, 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := partition.BuildGrid(g, nil, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := NewPartitionIndex(pt, 3600)
+	_, path, _ := g.ShortestPath(0, roadnet.VertexID(g.NumVertices()-1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Update(int64(i%500), 0, path, float64(i), 4.17)
+	}
+}
+
+func BenchmarkLocationGridNear(b *testing.B) {
+	lg := NewLocationGrid(geo.Point{Lat: 30.6, Lng: 104.0}, geo.Point{Lat: 30.7, Lng: 104.1}, 300)
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < 3000; i++ {
+		lg.Update(i, geo.Point{Lat: 30.6 + rng.Float64()*0.1, Lng: 104.0 + rng.Float64()*0.1})
+	}
+	center := geo.Point{Lat: 30.65, Lng: 104.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lg.Near(center, 2500)
+	}
+}

@@ -1,0 +1,47 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// DebugCandidateStages exposes stage counts for diagnosis.
+func (e *Engine) DebugCandidateStages(req *fleet.Request, now float64) (inDisc, cluster, empty, final int) {
+	radius := e.searchRadius(req, now)
+	parts := e.pt.PartitionsNear(e.spx, req.OriginPt, radius)
+	seen := map[int64]bool{}
+	for _, p := range parts {
+		for _, entry := range e.pindex.Taxis(p) {
+			seen[entry.TaxiID] = true
+		}
+	}
+	inDisc = len(seen)
+	if cid, ok := e.clusters.Best(req.MobilityVector()); ok {
+		cluster = len(e.clusters.Taxis(cid))
+	}
+	e.mu.RLock()
+	for id := range seen {
+		if t, ok := e.taxis[id]; ok && t.Empty() {
+			empty++
+		}
+	}
+	e.mu.RUnlock()
+	final = len(e.CandidateTaxis(req, now))
+	return
+}
+
+func TestDebugStages(t *testing.T) {
+	env := newTestEnv(t, nil)
+	now := 0.0
+	// 25 taxis spread around
+	for i := int64(1); i <= 25; i++ {
+		f := 0.1 + 0.8*float64(i%5)/5
+		g := 0.1 + 0.8*float64(i/5)/5
+		env.e.AddTaxi(fleet.NewTaxi(env.g, i, 3, env.vertexNear(t, f, g)), now)
+	}
+	req := env.request(1, env.vertexNear(t, 0.5, 0.5), env.vertexNear(t, 0.9, 0.9), now, 1.3)
+	a, b, c, d := env.e.DebugCandidateStages(req, now)
+	fmt.Println("inDisc:", a, "cluster:", b, "empty:", c, "final:", d)
+}

@@ -1,0 +1,135 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/roadnet"
+)
+
+// Assignment is the outcome of matching one request: the chosen taxi, its
+// updated schedule with materialised route legs, the schedule evaluation,
+// and the detour cost of Eq. 4.
+type Assignment struct {
+	Taxi   *fleet.Taxi
+	Req    *fleet.Request
+	Events []fleet.Event
+	Legs   [][]roadnet.VertexID
+	Eval   fleet.EvalResult
+	// DetourMeters is cost(R'_tj) − cost(R_tj): the increase of the
+	// taxi's remaining travel distance caused by serving the request.
+	DetourMeters float64
+	// Candidates is the size of the candidate taxi set examined
+	// (Table III).
+	Candidates int
+}
+
+// Dispatch implements Alg. 1: search candidate taxis for the request,
+// enumerate every schedule insertion per candidate, route each instance
+// (basic routing, or probabilistic routing for eligible taxis when
+// probabilistic is set), and return the assignment with the minimum
+// detour cost. ok is false when no taxi can feasibly serve the request.
+//
+// Dispatch does not mutate any state; apply the returned assignment with
+// Commit.
+func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic bool) (Assignment, bool) {
+	cands := e.CandidateTaxis(req, nowSeconds)
+	e.counters.dispatches.Add(1)
+	e.counters.candidatesExamined.Add(int64(len(cands)))
+	best := Assignment{Req: req, Candidates: len(cands)}
+	found := false
+	for _, t := range cands {
+		params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
+		if probabilistic && e.ProbEnabled(t) {
+			for _, cand := range fleet.InsertionCandidates(t.Schedule(), req) {
+				legs, eval, ok := e.ProbabilisticPlan(cand, t, nowSeconds)
+				if !ok {
+					continue
+				}
+				detour := eval.TotalMeters - t.RemainingMeters()
+				if !found || detour < best.DetourMeters {
+					best.Taxi, best.Events, best.Legs, best.Eval, best.DetourMeters = t, cand, legs, eval, detour
+					found = true
+				}
+			}
+			continue
+		}
+		var (
+			sched []fleet.Event
+			eval  fleet.EvalResult
+			ok    bool
+		)
+		if e.cfg.ExhaustiveReorder {
+			sched, eval, ok = fleet.BestReorder(t.Schedule(), req, e.BasicLegCost, params, e.cfg.reorderBudget())
+		} else {
+			sched, eval, ok = fleet.BestInsertion(t.Schedule(), req, e.BasicLegCost, params, false)
+		}
+		if !ok {
+			continue
+		}
+		detour := eval.TotalMeters - t.RemainingMeters()
+		if !found || detour < best.DetourMeters {
+			best.Taxi, best.Events, best.Eval, best.DetourMeters = t, sched, eval, detour
+			best.Legs = nil // materialised below
+			found = true
+		}
+	}
+	if !found {
+		return best, false
+	}
+	if best.Legs == nil {
+		vertices := make([]roadnet.VertexID, len(best.Events))
+		for i, ev := range best.Events {
+			vertices[i] = ev.Vertex()
+		}
+		legs, ok := e.BuildBasicLegs(best.Taxi.NextVertex(), vertices)
+		if !ok {
+			return best, false
+		}
+		best.Legs = legs
+	}
+	return best, true
+}
+
+// Commit applies an assignment: installs the plan on the taxi, refreshes
+// its indexes, and registers the request in the mobility clusters.
+func (e *Engine) Commit(a Assignment, nowSeconds float64) error {
+	if a.Taxi == nil {
+		return fmt.Errorf("match: committing empty assignment")
+	}
+	if err := a.Taxi.SetPlan(a.Events, a.Legs); err != nil {
+		return err
+	}
+	e.counters.assignments.Add(1)
+	e.ReindexTaxi(a.Taxi, nowSeconds)
+	e.OnRequestAssigned(a.Req)
+	return nil
+}
+
+// TryServeOffline handles a roadside encounter (§IV-C2 end): taxi t has
+// met offline request req; the server checks whether req can be validly
+// inserted into t's schedule and commits the insertion when possible.
+func (e *Engine) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool {
+	if t.IdleSeats() < req.Passengers {
+		return false
+	}
+	params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
+	sched, eval, ok := fleet.BestInsertion(t.Schedule(), req, e.BasicLegCost, params, false)
+	if !ok {
+		return false
+	}
+	vertices := make([]roadnet.VertexID, len(sched))
+	for i, ev := range sched {
+		vertices[i] = ev.Vertex()
+	}
+	legs, ok := e.BuildBasicLegs(t.NextVertex(), vertices)
+	if !ok {
+		return false
+	}
+	a := Assignment{Taxi: t, Req: req, Events: sched, Legs: legs, Eval: eval}
+	if e.Commit(a, nowSeconds) != nil {
+		return false
+	}
+	e.counters.offlineInsertions.Add(1)
+	return true
+}

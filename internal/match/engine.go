@@ -1,0 +1,312 @@
+// Package match implements mT-Share's passenger–taxi matching (§IV-C of
+// the paper): candidate taxi searching over the partition and mobility-
+// cluster indexes (Eq. 2–3 plus the three refinement rules), taxi
+// scheduling by exhaustive insertion (Alg. 1), partition filtering
+// (Alg. 2), partition-restricted basic routing (Alg. 3), and probabilistic
+// routing toward likely offline requests (Alg. 4).
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/mobcluster"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// Config carries the tunable parameters of the matching engine, with the
+// paper's Table II defaults.
+type Config struct {
+	// SpeedMps is the constant taxi speed (paper: 15 km/h ≈ 4.17 m/s).
+	SpeedMps float64
+	// SearchRangeMeters caps the candidate search radius γ (paper default
+	// 2.5 km ≈ 10 min of driving); the effective radius is
+	// min(speed·slack, SearchRangeMeters) per Eq. 2.
+	SearchRangeMeters float64
+	// Lambda is the direction-similarity threshold λ (cos θ); paper
+	// default cos 45° ≈ 0.707.
+	Lambda float64
+	// Epsilon is the travel-cost detour tolerance ε of the partition
+	// filter; paper default 1.0.
+	Epsilon float64
+	// HorizonSeconds is the partition-index horizon T_mp (paper: 1 h).
+	HorizonSeconds float64
+	// MaxProbAttempts bounds the probabilistic-routing retry loop
+	// (paper: 5).
+	MaxProbAttempts int
+	// ProbSeatThreshold enables probabilistic routing for a taxi when its
+	// idle seats are at least this fraction of capacity (the evaluation
+	// uses 1/2).
+	ProbSeatThreshold float64
+	// RouterCacheTrees bounds the shortest-path cache (trees kept).
+	RouterCacheTrees int
+
+	// ExhaustiveReorder enables full schedule rearrangement instead of
+	// insertion-only scheduling — the theoretically better variant §IV-C2
+	// rules out as prohibitive; exposed for the ablation that quantifies
+	// the gap. ReorderBudget caps the orderings enumerated per candidate
+	// (0 means 720).
+	ExhaustiveReorder bool
+	ReorderBudget     int
+
+	// ProbMaxLegInflation additionally bounds each probabilistic leg to
+	// this factor of its shortest-path cost — the probability-versus-
+	// detour trade-off the paper defers to future work. 0 disables the
+	// bound (legs are limited only by deadlines).
+	ProbMaxLegInflation float64
+}
+
+func (c Config) reorderBudget() int {
+	if c.ReorderBudget <= 0 {
+		return 720
+	}
+	return c.ReorderBudget
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{
+		SpeedMps:          15.0 * 1000 / 3600,
+		SearchRangeMeters: 2500,
+		Lambda:            0.707,
+		Epsilon:           1.0,
+		HorizonSeconds:    3600,
+		MaxProbAttempts:   5,
+		ProbSeatThreshold: 0.5,
+		RouterCacheTrees:  512,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.SpeedMps <= 0:
+		return fmt.Errorf("match: SpeedMps must be positive, got %v", c.SpeedMps)
+	case c.SearchRangeMeters <= 0:
+		return fmt.Errorf("match: SearchRangeMeters must be positive, got %v", c.SearchRangeMeters)
+	case c.Lambda < -1 || c.Lambda > 1:
+		return fmt.Errorf("match: Lambda %v outside [-1,1]", c.Lambda)
+	case c.Epsilon < 0:
+		return fmt.Errorf("match: Epsilon %v negative", c.Epsilon)
+	case c.HorizonSeconds <= 0:
+		return fmt.Errorf("match: HorizonSeconds must be positive, got %v", c.HorizonSeconds)
+	case c.MaxProbAttempts < 1:
+		return fmt.Errorf("match: MaxProbAttempts must be >= 1, got %d", c.MaxProbAttempts)
+	case c.ProbSeatThreshold < 0 || c.ProbSeatThreshold > 1:
+		return fmt.Errorf("match: ProbSeatThreshold %v outside [0,1]", c.ProbSeatThreshold)
+	case c.ReorderBudget < 0:
+		return fmt.Errorf("match: ReorderBudget %d negative", c.ReorderBudget)
+	case c.ProbMaxLegInflation != 0 && c.ProbMaxLegInflation < 1:
+		return fmt.Errorf("match: ProbMaxLegInflation %v below 1", c.ProbMaxLegInflation)
+	}
+	return nil
+}
+
+// Engine is mT-Share's dispatcher: it owns the index structures and
+// answers Dispatch calls for incoming requests. The simulation engine
+// feeds it taxi movement via ReindexTaxi and request lifecycle via
+// OnRequestDone.
+type Engine struct {
+	cfg    Config
+	g      *roadnet.Graph
+	pt     *partition.Partitioning
+	spx    *roadnet.SpatialIndex
+	router *roadnet.Router
+
+	clusters *mobcluster.Clusters
+	pindex   *index.PartitionIndex
+
+	mu    sync.RWMutex
+	taxis map[int64]*fleet.Taxi
+
+	// legCache memoises partition-filtered leg costs; they are a pure
+	// function of the endpoint pair on a static graph. meanEdge is the
+	// lazily computed mean edge cost used to scale probabilistic vertex
+	// weights.
+	legMu    sync.RWMutex
+	legCache map[uint64]float64
+	meanEdge float64
+
+	// filterCache memoises the partition filter per (source partition,
+	// target partition) pair — Alg. 2 depends only on the two landmarks.
+	filterMu    sync.RWMutex
+	filterCache map[uint64][]partition.ID
+
+	// cruiseRng drives demand-proportional cruise-target sampling.
+	rngMu     sync.Mutex
+	cruiseRng *rand.Rand
+
+	counters engineCounters
+}
+
+// NewEngine builds an engine over a prepared partitioning and spatial
+// index. The spatial index must cover the same graph as the partitioning.
+func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := pt.Graph()
+	e := &Engine{
+		cfg:         cfg,
+		g:           g,
+		pt:          pt,
+		spx:         spx,
+		router:      roadnet.NewRouter(g, cfg.RouterCacheTrees),
+		clusters:    mobcluster.New(cfg.Lambda),
+		pindex:      index.NewPartitionIndex(pt, cfg.HorizonSeconds),
+		taxis:       make(map[int64]*fleet.Taxi),
+		legCache:    make(map[uint64]float64),
+		filterCache: make(map[uint64][]partition.ID),
+		cruiseRng:   rand.New(rand.NewSource(1)),
+	}
+	e.router.Warm(pt.Landmarks())
+	return e, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Partitioning returns the map partitioning the engine routes over.
+func (e *Engine) Partitioning() *partition.Partitioning { return e.pt }
+
+// Router exposes the shared shortest-path cache (used by the simulation
+// for request preparation).
+func (e *Engine) Router() *roadnet.Router { return e.router }
+
+// AddTaxi registers a taxi and indexes it at its current position.
+func (e *Engine) AddTaxi(t *fleet.Taxi, nowSeconds float64) {
+	e.mu.Lock()
+	e.taxis[t.ID] = t
+	e.mu.Unlock()
+	e.ReindexTaxi(t, nowSeconds)
+}
+
+// Taxi returns a registered taxi.
+func (e *Engine) Taxi(id int64) (*fleet.Taxi, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.taxis[id]
+	return t, ok
+}
+
+// NumTaxis returns the number of registered taxis.
+func (e *Engine) NumTaxis() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.taxis)
+}
+
+// ReindexTaxi refreshes the partition index and mobility cluster of a taxi
+// after its plan or position changed (the paper updates indexes when
+// requests are received or finished).
+func (e *Engine) ReindexTaxi(t *fleet.Taxi, nowSeconds float64) {
+	e.pindex.Update(t.ID, t.At(), t.Route(), nowSeconds, e.cfg.SpeedMps)
+	if v, ok := t.MobilityVector(); ok {
+		e.clusters.UpdateTaxi(t.ID, v)
+	} else {
+		e.clusters.RemoveTaxi(t.ID)
+	}
+}
+
+// OnRequestAssigned records a request's cluster membership.
+func (e *Engine) OnRequestAssigned(req *fleet.Request) {
+	e.clusters.AddRequest(int64(req.ID), req.MobilityVector())
+}
+
+// OnRequestDone removes a completed (or expired) request from the
+// mobility clusters.
+func (e *Engine) OnRequestDone(req *fleet.Request) {
+	e.clusters.RemoveRequest(int64(req.ID))
+}
+
+// searchRadius returns the candidate search radius γ. Eq. 2 derives γ as
+// speed × waiting-time slack; the evaluation (§V-A4) fixes γ = 2.5 km
+// (≈ 10 min of driving) and sweeps it in Fig. 15, so the configured range
+// governs, and a request whose slack has already run out searches nothing.
+// Occupied candidate taxis need not be inside the disc *now* to make the
+// pickup — the schedule feasibility check re-validates timing — so
+// shrinking the disc below the configured γ only loses candidates.
+func (e *Engine) searchRadius(req *fleet.Request, nowSeconds float64) float64 {
+	if req.PickupDeadline(e.cfg.SpeedMps).Seconds() <= nowSeconds {
+		return 0
+	}
+	return e.cfg.SearchRangeMeters
+}
+
+// CandidateTaxis implements candidate taxi searching (§IV-C1): the union
+// of the partition taxi lists intersecting the search disc, intersected
+// with the best-matching mobility cluster's taxi list, extended with empty
+// taxis in the disc's partitions, minus taxis without spare seats and
+// taxis that cannot reach the request's partition by the pickup deadline.
+func (e *Engine) CandidateTaxis(req *fleet.Request, nowSeconds float64) []*fleet.Taxi {
+	radius := e.searchRadius(req, nowSeconds)
+	if radius <= 0 {
+		return nil
+	}
+	parts := e.pt.PartitionsNear(e.spx, req.OriginPt, radius)
+	inDisc := make(map[int64]float64) // taxi -> arrival at own partition
+	for _, p := range parts {
+		for _, entry := range e.pindex.Taxis(p) {
+			if _, ok := inDisc[entry.TaxiID]; !ok {
+				inDisc[entry.TaxiID] = entry.ArrivalSeconds
+			}
+		}
+	}
+	// Mobility-cluster intersection for occupied taxis: the union of all
+	// direction-compatible clusters' taxi lists.
+	clusterTaxis := make(map[int64]bool)
+	for _, id := range e.clusters.CompatibleTaxis(req.MobilityVector()) {
+		clusterTaxis[id] = true
+	}
+	reqPart := e.pt.PartitionOf(req.Origin)
+	pickupDeadline := req.PickupDeadline(e.cfg.SpeedMps).Seconds()
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*fleet.Taxi
+	for id := range inDisc {
+		t, ok := e.taxis[id]
+		if !ok {
+			continue
+		}
+		// Rule 1: empty taxis in the disc partitions are always included.
+		// Occupied taxis must share the request's travel direction.
+		if !t.Empty() && !clusterTaxis[id] {
+			e.counters.prunedByDirection.Add(1)
+			continue
+		}
+		// Rule 2: spare seats.
+		if t.IdleSeats() < req.Passengers {
+			e.counters.prunedByCapacity.Add(1)
+			continue
+		}
+		// Rule 3: reachability of the request's partition by the pickup
+		// deadline. A taxi whose recorded (planned-route) arrival makes
+		// the deadline certainly qualifies; one whose planned arrival is
+		// late may still divert, so it is kept unless even the
+		// straight-line lower bound rules it out.
+		if arr, ok := e.pindex.ArrivalAt(id, reqPart); !ok || arr > pickupDeadline {
+			lb := nowSeconds + geo.Equirect(t.Point(), req.OriginPt)/e.cfg.SpeedMps
+			if lb > pickupDeadline {
+				e.counters.prunedByReachability.Add(1)
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// IndexMemoryBytes reports the memory footprint of the engine's index
+// structures (Table IV).
+func (e *Engine) IndexMemoryBytes() int64 {
+	return e.pindex.Stats().MemoryBytes + e.clusters.Stats().MemoryBytes + e.pt.MemoryBytes()
+}
+
+// ClusterStats exposes mobility-clustering statistics.
+func (e *Engine) ClusterStats() mobcluster.Stats { return e.clusters.Stats() }

@@ -1,0 +1,126 @@
+package match
+
+import (
+	"sync"
+
+	"repro/internal/dispatch"
+	"repro/internal/fleet"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// Scheme adapts the matching engine to the simulation's dispatcher
+// contract. Probabilistic selects the mT-Share_pro variant: probabilistic
+// routing in Alg. 1 for eligible taxis plus probabilistic cruising of idle
+// taxis toward likely offline demand.
+type Scheme struct {
+	*Engine
+	// Probabilistic enables probabilistic routing and cruising
+	// (mT-Share_pro).
+	Probabilistic bool
+	// CruiseMeters bounds the length of an idle cruise (default 3 km).
+	CruiseMeters float64
+
+	mu          sync.Mutex
+	lastIndexed map[int64]partition.ID
+}
+
+// NewScheme wraps an engine as a simulation dispatcher.
+func NewScheme(e *Engine, probabilistic bool) *Scheme {
+	return &Scheme{
+		Engine:        e,
+		Probabilistic: probabilistic,
+		CruiseMeters:  3000,
+		lastIndexed:   make(map[int64]partition.ID),
+	}
+}
+
+// Name identifies the scheme in reports.
+func (s *Scheme) Name() string {
+	if s.Probabilistic {
+		return "mT-Share-pro"
+	}
+	return "mT-Share"
+}
+
+// AddTaxi registers a taxi with the engine.
+func (s *Scheme) AddTaxi(t *fleet.Taxi, nowSeconds float64) {
+	s.Engine.AddTaxi(t, nowSeconds)
+	s.noteIndexed(t)
+}
+
+func (s *Scheme) noteIndexed(t *fleet.Taxi) {
+	s.mu.Lock()
+	s.lastIndexed[t.ID] = s.pt.PartitionOf(t.At())
+	s.mu.Unlock()
+}
+
+// OnRequest runs Alg. 1 and commits the winning assignment.
+func (s *Scheme) OnRequest(req *fleet.Request, nowSeconds float64) dispatch.Outcome {
+	a, ok := s.Dispatch(req, nowSeconds, s.Probabilistic)
+	out := dispatch.Outcome{Candidates: a.Candidates}
+	if !ok {
+		return out
+	}
+	if err := s.Commit(a, nowSeconds); err != nil {
+		return out
+	}
+	s.noteIndexed(a.Taxi)
+	out.Served = true
+	out.TaxiID = a.Taxi.ID
+	return out
+}
+
+// OnTaxiAdvanced refreshes a taxi's indexes when it crossed a partition
+// border. Entries computed at plan time stay valid while the taxi follows
+// the plan (constant speed, fixed route), so a full reindex per tick is
+// unnecessary; only border crossings leave stale rows behind.
+func (s *Scheme) OnTaxiAdvanced(t *fleet.Taxi, nowSeconds float64) {
+	cur := s.pt.PartitionOf(t.At())
+	s.mu.Lock()
+	last, ok := s.lastIndexed[t.ID]
+	if ok && last == cur {
+		s.mu.Unlock()
+		return
+	}
+	s.lastIndexed[t.ID] = cur
+	s.mu.Unlock()
+	s.ReindexTaxi(t, nowSeconds)
+}
+
+// OnRequestCompleted removes the request from the mobility clusters.
+func (s *Scheme) OnRequestCompleted(req *fleet.Request, nowSeconds float64) {
+	s.OnRequestDone(req)
+}
+
+// TryServeOffline delegates to the engine's insertion check.
+func (s *Scheme) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool {
+	ok := s.Engine.TryServeOffline(t, req, nowSeconds)
+	if ok {
+		s.noteIndexed(t)
+	}
+	return ok
+}
+
+// PlanIdle plans a probabilistic cruise for an idle, parked taxi when the
+// probabilistic variant is active.
+func (s *Scheme) PlanIdle(t *fleet.Taxi, nowSeconds float64) bool {
+	if !s.Probabilistic || !t.Empty() || len(t.Route()) > 1 {
+		return false
+	}
+	path, ok := s.CruisePlan(t, s.CruiseMeters)
+	if !ok {
+		return false
+	}
+	if err := t.SetPlan(nil, [][]roadnet.VertexID{path}); err != nil {
+		return false
+	}
+	s.counters.cruisePlans.Add(1)
+	s.ReindexTaxi(t, nowSeconds)
+	s.noteIndexed(t)
+	return true
+}
+
+// SupportsOfflineDispatch is true: mT-Share's server dispatches another
+// taxi when a roadside insertion fails (§IV-C2).
+func (s *Scheme) SupportsOfflineDispatch() bool { return true }

@@ -1,0 +1,62 @@
+package match
+
+import "sync/atomic"
+
+// EngineStats counts what the matching pipeline did — how many dispatches
+// ran, how the candidate-search refinement rules pruned, and how routing
+// modes were exercised. The counters are cumulative and safe to read
+// concurrently.
+type EngineStats struct {
+	// Dispatches is the number of Dispatch calls.
+	Dispatches int64
+	// Assignments is the number of successful Commit calls.
+	Assignments int64
+	// CandidatesExamined sums candidate-set sizes across dispatches.
+	CandidatesExamined int64
+	// PrunedByDirection counts occupied taxis dropped by the mobility-
+	// cluster intersection.
+	PrunedByDirection int64
+	// PrunedByCapacity counts taxis dropped for lacking spare seats.
+	PrunedByCapacity int64
+	// PrunedByReachability counts taxis dropped by rule 3 (cannot reach
+	// the pickup partition in time).
+	PrunedByReachability int64
+	// ProbabilisticPlans counts probabilistic route plans attempted, and
+	// ProbabilisticFailures those discarded.
+	ProbabilisticPlans    int64
+	ProbabilisticFailures int64
+	// OfflineInsertions counts successful roadside-encounter insertions.
+	OfflineInsertions int64
+	// CruisePlans counts installed idle cruises.
+	CruisePlans int64
+}
+
+// engineCounters is the atomic backing store inside the Engine.
+type engineCounters struct {
+	dispatches            atomic.Int64
+	assignments           atomic.Int64
+	candidatesExamined    atomic.Int64
+	prunedByDirection     atomic.Int64
+	prunedByCapacity      atomic.Int64
+	prunedByReachability  atomic.Int64
+	probabilisticPlans    atomic.Int64
+	probabilisticFailures atomic.Int64
+	offlineInsertions     atomic.Int64
+	cruisePlans           atomic.Int64
+}
+
+// Stats returns a snapshot of the engine's pipeline counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Dispatches:            e.counters.dispatches.Load(),
+		Assignments:           e.counters.assignments.Load(),
+		CandidatesExamined:    e.counters.candidatesExamined.Load(),
+		PrunedByDirection:     e.counters.prunedByDirection.Load(),
+		PrunedByCapacity:      e.counters.prunedByCapacity.Load(),
+		PrunedByReachability:  e.counters.prunedByReachability.Load(),
+		ProbabilisticPlans:    e.counters.probabilisticPlans.Load(),
+		ProbabilisticFailures: e.counters.probabilisticFailures.Load(),
+		OfflineInsertions:     e.counters.offlineInsertions.Load(),
+		CruisePlans:           e.counters.cruisePlans.Load(),
+	}
+}

@@ -1,0 +1,342 @@
+package mobcluster
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// vec builds a mobility vector from a compact origin and delta.
+func vec(olat, olng, dlat, dlng float64) geo.MobilityVector {
+	return geo.MobilityVector{OriginLat: olat, OriginLng: olng, DestLat: olat + dlat, DestLng: olng + dlng}
+}
+
+var (
+	north = vec(30.60, 104.00, 0.05, 0)
+	south = vec(30.70, 104.00, -0.05, 0)
+	east  = vec(30.60, 104.00, 0, 0.05)
+)
+
+func TestFirstRequestFormsCluster(t *testing.T) {
+	cs := New(0.707)
+	cid := cs.AddRequest(1, north)
+	if cs.NumClusters() != 1 {
+		t.Fatalf("clusters = %d, want 1", cs.NumClusters())
+	}
+	got, ok := cs.RequestCluster(1)
+	if !ok || got != cid {
+		t.Fatalf("RequestCluster = %v, %v", got, ok)
+	}
+}
+
+func TestSimilarRequestsShareCluster(t *testing.T) {
+	cs := New(0.707)
+	c1 := cs.AddRequest(1, north)
+	c2 := cs.AddRequest(2, vec(30.61, 104.01, 0.05, 0.004)) // nearly north
+	if c1 != c2 {
+		t.Fatalf("similar requests split: %d vs %d", c1, c2)
+	}
+}
+
+func TestDissimilarRequestsSplit(t *testing.T) {
+	cs := New(0.707)
+	c1 := cs.AddRequest(1, north)
+	c2 := cs.AddRequest(2, south)
+	c3 := cs.AddRequest(3, east)
+	if c1 == c2 || c1 == c3 || c2 == c3 {
+		t.Fatalf("orthogonal/opposite directions merged: %d %d %d", c1, c2, c3)
+	}
+	if cs.NumClusters() != 3 {
+		t.Fatalf("clusters = %d, want 3", cs.NumClusters())
+	}
+}
+
+func TestLambdaControlsMerging(t *testing.T) {
+	// 60-degree separation: merges under lambda=cos(75°), splits under
+	// cos(45°).
+	a := vec(30.6, 104.0, 0.05, 0)
+	b := vec(30.6, 104.0, 0.025, 0.0433) // ~60° east of north
+	loose := New(geo.CosOfDegrees(75))
+	if c1, c2 := loose.AddRequest(1, a), loose.AddRequest(2, b); c1 != c2 {
+		t.Fatal("60° apart should merge under θmax=75°")
+	}
+	strict := New(geo.CosOfDegrees(45))
+	if c1, c2 := strict.AddRequest(1, a), strict.AddRequest(2, b); c1 == c2 {
+		t.Fatal("60° apart should split under θmax=45°")
+	}
+}
+
+func TestGeneralVectorIsMemberAverage(t *testing.T) {
+	cs := New(0.5)
+	c1 := cs.AddRequest(1, vec(30.60, 104.00, 0.05, 0))
+	cs.AddRequest(2, vec(30.62, 104.02, 0.05, 0))
+	g, ok := cs.General(c1)
+	if !ok {
+		t.Fatal("cluster vanished")
+	}
+	if math.Abs(g.OriginLat-30.61) > 1e-9 || math.Abs(g.OriginLng-104.01) > 1e-9 {
+		t.Fatalf("general origin = %v,%v", g.OriginLat, g.OriginLng)
+	}
+	if math.Abs(g.DestLat-30.66) > 1e-9 {
+		t.Fatalf("general dest lat = %v", g.DestLat)
+	}
+}
+
+func TestRemoveRequestUpdatesGeneralAndDeletesEmpty(t *testing.T) {
+	cs := New(0.5)
+	c := cs.AddRequest(1, north)
+	cs.AddRequest(2, vec(30.61, 104.00, 0.05, 0))
+	cs.RemoveRequest(1)
+	g, ok := cs.General(c)
+	if !ok {
+		t.Fatal("cluster deleted while member remains")
+	}
+	if g.OriginLat != 30.61 {
+		t.Fatalf("general not updated after removal: %v", g.OriginLat)
+	}
+	cs.RemoveRequest(2)
+	if cs.NumClusters() != 0 {
+		t.Fatalf("empty cluster survived: %d", cs.NumClusters())
+	}
+	if _, ok := cs.General(c); ok {
+		t.Fatal("General returned dead cluster")
+	}
+	cs.RemoveRequest(99) // unknown: no-op
+}
+
+func TestReAddRequestMoves(t *testing.T) {
+	cs := New(0.707)
+	c1 := cs.AddRequest(1, north)
+	c2 := cs.AddRequest(1, south) // same ID, new direction
+	if c1 == c2 {
+		t.Fatal("re-added request kept old cluster")
+	}
+	if cs.NumClusters() != 1 {
+		t.Fatalf("old cluster not cleaned: %d clusters", cs.NumClusters())
+	}
+	if got, _ := cs.RequestCluster(1); got != c2 {
+		t.Fatalf("RequestCluster = %d, want %d", got, c2)
+	}
+}
+
+func TestTaxiJoinsMatchingCluster(t *testing.T) {
+	cs := New(0.707)
+	c := cs.AddRequest(1, north)
+	tc := cs.UpdateTaxi(7, vec(30.58, 104.00, 0.06, 0.002))
+	if tc != c {
+		t.Fatalf("taxi joined %d, want request cluster %d", tc, c)
+	}
+	taxis := cs.Taxis(c)
+	if len(taxis) != 1 || taxis[0] != 7 {
+		t.Fatalf("Taxis = %v", taxis)
+	}
+}
+
+func TestTaxiFormsOwnClusterWhenNothingMatches(t *testing.T) {
+	cs := New(0.707)
+	cs.AddRequest(1, north)
+	tc := cs.UpdateTaxi(7, east)
+	if got, _ := cs.RequestCluster(1); got == tc {
+		t.Fatal("eastbound taxi joined northbound cluster")
+	}
+	if cs.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", cs.NumClusters())
+	}
+}
+
+func TestUpdateTaxiMovesBetweenClusters(t *testing.T) {
+	cs := New(0.707)
+	cn := cs.AddRequest(1, north)
+	ce := cs.AddRequest(2, east)
+	cs.UpdateTaxi(7, vec(30.58, 104.0, 0.05, 0))
+	if got, _ := cs.TaxiCluster(7); got != cn {
+		t.Fatalf("taxi in %d, want north %d", got, cn)
+	}
+	cs.UpdateTaxi(7, vec(30.58, 104.0, 0, 0.05))
+	if got, _ := cs.TaxiCluster(7); got != ce {
+		t.Fatalf("after turn taxi in %d, want east %d", got, ce)
+	}
+	if ts := cs.Taxis(cn); len(ts) != 0 {
+		t.Fatalf("north cluster still lists taxi: %v", ts)
+	}
+}
+
+func TestRemoveTaxi(t *testing.T) {
+	cs := New(0.707)
+	cs.UpdateTaxi(7, north)
+	if cs.NumClusters() != 1 {
+		t.Fatal("taxi-only cluster missing")
+	}
+	cs.RemoveTaxi(7)
+	if cs.NumClusters() != 0 {
+		t.Fatal("taxi-only cluster survived removal")
+	}
+	cs.RemoveTaxi(7) // idempotent
+	if _, ok := cs.TaxiCluster(7); ok {
+		t.Fatal("TaxiCluster returned removed taxi")
+	}
+}
+
+func TestBest(t *testing.T) {
+	cs := New(0.707)
+	cn := cs.AddRequest(1, north)
+	cs.AddRequest(2, east)
+	got, ok := cs.Best(vec(30.55, 104.0, 0.08, 0.001))
+	if !ok || got != cn {
+		t.Fatalf("Best = %v, %v; want %d", got, ok, cn)
+	}
+	if _, ok := cs.Best(vec(30.55, 104.0, -0.08, -0.06)); ok {
+		t.Fatal("Best matched an incompatible direction")
+	}
+	empty := New(0.707)
+	if _, ok := empty.Best(north); ok {
+		t.Fatal("Best on empty set returned a cluster")
+	}
+}
+
+func TestClusterSurvivesOnTaxisAfterRequestsLeave(t *testing.T) {
+	cs := New(0.707)
+	c := cs.AddRequest(1, north)
+	cs.UpdateTaxi(7, vec(30.5, 104.0, 0.05, 0))
+	cs.RemoveRequest(1)
+	if cs.NumClusters() != 1 {
+		t.Fatal("cluster with taxi was deleted")
+	}
+	g, ok := cs.General(c)
+	if !ok {
+		t.Fatal("General failed for taxi-only cluster")
+	}
+	// General must now come from the taxi member.
+	if g.OriginLat != 30.5 {
+		t.Fatalf("taxi-only general origin lat = %v", g.OriginLat)
+	}
+}
+
+func TestStats(t *testing.T) {
+	cs := New(0.707)
+	cs.AddRequest(1, north)
+	cs.AddRequest(2, east)
+	cs.UpdateTaxi(7, south)
+	s := cs.Stats()
+	if s.Clusters != 3 || s.Requests != 2 || s.Taxis != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.MemoryBytes <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}
+
+func TestNewPanicsOnBadLambda(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1.5)
+}
+
+func TestConcurrentOperations(t *testing.T) {
+	cs := New(0.707)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				id := int64(seed*1000) + int64(i%50)
+				v := vec(30.6, 104.0, rng.Float64()*0.1-0.05, rng.Float64()*0.1-0.05)
+				switch i % 4 {
+				case 0:
+					cs.AddRequest(id, v)
+				case 1:
+					cs.RemoveRequest(id)
+				case 2:
+					cs.UpdateTaxi(id, v)
+				case 3:
+					cs.RemoveTaxi(id)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Invariant: every live membership points at a live cluster.
+	s := cs.Stats()
+	if s.Requests < 0 || s.Taxis < 0 {
+		t.Fatal("negative counts")
+	}
+}
+
+func TestManyRequestsClusterCountBounded(t *testing.T) {
+	// Requests in 8 distinct compass directions under θmax=45° should
+	// produce a bounded number of clusters, far fewer than requests.
+	cs := New(geo.CosOfDegrees(45))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		dir := float64(i%8) * 45 * math.Pi / 180
+		jitter := (rng.Float64() - 0.5) * 0.1
+		dlat := 0.05 * (1 + jitter) * math.Cos(dir)
+		dlng := 0.05 * (1 + jitter) * math.Sin(dir)
+		cs.AddRequest(int64(i), vec(30.6+rng.Float64()*0.05, 104.0+rng.Float64()*0.05, dlat, dlng))
+	}
+	if n := cs.NumClusters(); n > 30 {
+		t.Fatalf("clusters = %d, expected bounded growth", n)
+	}
+}
+
+func BenchmarkAddRequest(b *testing.B) {
+	cs := New(0.707)
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]geo.MobilityVector, 4096)
+	for i := range vs {
+		vs[i] = vec(30.6+rng.Float64()*0.1, 104.0+rng.Float64()*0.1,
+			rng.Float64()*0.1-0.05, rng.Float64()*0.1-0.05)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.AddRequest(int64(i%2048), vs[i%len(vs)])
+	}
+}
+
+func BenchmarkBest(b *testing.B) {
+	cs := New(0.707)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		cs.AddRequest(int64(i), vec(30.6+rng.Float64()*0.1, 104.0+rng.Float64()*0.1,
+			rng.Float64()*0.1-0.05, rng.Float64()*0.1-0.05))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Best(north)
+	}
+}
+
+func TestCompatibleTaxisUnionAcrossClusters(t *testing.T) {
+	cs := New(geo.CosOfDegrees(45))
+	// Two near-north clusters that fragmented, one east cluster.
+	cs.AddRequest(1, vec(30.60, 104.00, 0.05, 0.00))
+	cs.AddRequest(2, vec(30.60, 104.20, 0.035, 0.030)) // ~40 degrees east of north: own cluster
+	cs.AddRequest(3, east)
+	cs.UpdateTaxi(10, vec(30.55, 104.00, 0.06, 0.001)) // north
+	cs.UpdateTaxi(11, vec(30.55, 104.20, 0.04, 0.032)) // NE
+	cs.UpdateTaxi(12, vec(30.55, 104.40, 0.00, 0.06))  // east
+	// A north-ish probe must see both the north and NE taxis but not the
+	// east one.
+	got := cs.CompatibleTaxis(vec(30.50, 104.10, 0.06, 0.012))
+	has := map[int64]bool{}
+	for _, id := range got {
+		has[id] = true
+	}
+	if !has[10] || !has[11] {
+		t.Fatalf("fragmented compatible taxis missing: %v", got)
+	}
+	if has[12] {
+		t.Fatalf("orthogonal taxi included: %v", got)
+	}
+	if out := cs.CompatibleTaxis(vec(30, 104, 0, 0)); out != nil {
+		t.Fatalf("zero vector matched: %v", out)
+	}
+}

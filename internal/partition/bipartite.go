@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/kmeans"
+	"repro/internal/roadnet"
+)
+
+// Params configures the bipartite map partitioner.
+type Params struct {
+	// Kappa is the target number of spatial partitions (κ). The final
+	// count can deviate slightly because step 3 rounds per-transition-
+	// cluster partition counts. The paper's default is 150.
+	Kappa int
+	// KTrans is the number of transition clusters (k_t < κ); the paper
+	// sets 20.
+	KTrans int
+	// MaxRounds caps the outer refinement loop (the paper iterates until
+	// the spatial clusters stop changing; real data converges in a few
+	// rounds). Zero means the default (8).
+	MaxRounds int
+	// Seed drives all k-means seeding.
+	Seed int64
+}
+
+// DefaultParams returns the paper's defaults for the given κ.
+func DefaultParams(kappa int) Params {
+	return Params{Kappa: kappa, KTrans: 20, Seed: 1}
+}
+
+func (p Params) maxRounds() int {
+	if p.MaxRounds <= 0 {
+		return 8
+	}
+	return p.MaxRounds
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Kappa < 2:
+		return fmt.Errorf("partition: Kappa must be >= 2, got %d", p.Kappa)
+	case p.KTrans < 1:
+		return fmt.Errorf("partition: KTrans must be >= 1, got %d", p.KTrans)
+	case p.KTrans >= p.Kappa:
+		return fmt.Errorf("partition: KTrans (%d) must be < Kappa (%d)", p.KTrans, p.Kappa)
+	}
+	return nil
+}
+
+// BuildBipartite runs the paper's bipartite map partitioning (§IV-B1):
+//
+//  0. k-means on vertex coordinates into κ spatial clusters;
+//  1. per-vertex transition-probability vectors over the current spatial
+//     clusters, from historical trips;
+//  2. k-means on transition vectors into k_t transition clusters;
+//  3. within each transition cluster of size n, k-means on coordinates
+//     into round(n·κ/N) spatial clusters;
+//
+// repeating 1–3 until the spatial clusters stabilise or MaxRounds is hit.
+func BuildBipartite(g *roadnet.Graph, trips []OD, p Params) (*Partitioning, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	coords := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		pt := g.Point(roadnet.VertexID(v))
+		// Scale longitude so Euclidean distance in feature space matches
+		// ground distance; Chengdu sits near 30.7°N where cos ≈ 0.86.
+		coords[v] = []float64{pt.Lat, pt.Lng * 0.86}
+	}
+	// Step 0: initial spatial clustering.
+	res, err := kmeans.Cluster(coords, p.Kappa, kmeans.Options{Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]ID, n)
+	for v, c := range res.Assign {
+		assign[v] = ID(c)
+	}
+	numClusters := res.K()
+
+	for round := 0; round < p.maxRounds(); round++ {
+		// Step 1: transition-probability vectors over current clusters.
+		tvec := transitionVectors(n, numClusters, assign, trips)
+		// Step 2: transition clustering.
+		tres, err := kmeans.Cluster(tvec, p.KTrans, kmeans.Options{Seed: p.Seed + int64(round) + 1})
+		if err != nil {
+			return nil, err
+		}
+		// Step 3: geo-clustering within each transition cluster.
+		newAssign := make([]ID, n)
+		next := 0
+		for tc := 0; tc < tres.K(); tc++ {
+			var members []int
+			for v, c := range tres.Assign {
+				if c == tc {
+					members = append(members, v)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			// round(n·κ/N + 1/2) with the paper's ⌊x+1/2⌋ rounding,
+			// clamped to at least one cluster.
+			sub := int(float64(len(members))*float64(p.Kappa)/float64(n) + 0.5)
+			if sub < 1 {
+				sub = 1
+			}
+			if sub > len(members) {
+				sub = len(members)
+			}
+			pts := make([][]float64, len(members))
+			for i, v := range members {
+				pts[i] = coords[v]
+			}
+			gres, err := kmeans.Cluster(pts, sub, kmeans.Options{Seed: p.Seed + int64(round)*1000 + int64(tc)})
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range members {
+				newAssign[v] = ID(next + gres.Assign[i])
+			}
+			next += gres.K()
+		}
+		// Cluster IDs are not stable across rounds, so compare the
+		// co-clustering structure rather than raw labels.
+		converged := numClusters == next && sameClustering(assign, newAssign)
+		copy(assign, newAssign)
+		numClusters = next
+		if converged {
+			break
+		}
+	}
+	return finalize(g, assign, numClusters, trips)
+}
+
+// transitionVectors computes B_i for every vertex: the empirical
+// distribution over clusters of the destinations of trips originating at
+// the vertex; zero vector when the vertex has no outgoing trips.
+func transitionVectors(n, k int, assign []ID, trips []OD) [][]float64 {
+	vecs := make([][]float64, n)
+	for v := range vecs {
+		vecs[v] = make([]float64, k)
+	}
+	totals := make([]float64, n)
+	for _, t := range trips {
+		vecs[t.O][assign[t.D]]++
+		totals[t.O]++
+	}
+	for v := range vecs {
+		if totals[v] == 0 {
+			continue
+		}
+		for c := range vecs[v] {
+			vecs[v][c] /= totals[v]
+		}
+	}
+	return vecs
+}
+
+// sameClustering reports whether two assignments induce the same grouping
+// of vertices, ignoring label permutation.
+func sameClustering(a, b []ID) bool {
+	fwd := make(map[ID]ID)
+	rev := make(map[ID]ID)
+	for v := range a {
+		if m, ok := fwd[a[v]]; ok {
+			if m != b[v] {
+				return false
+			}
+		} else {
+			fwd[a[v]] = b[v]
+		}
+		if m, ok := rev[b[v]]; ok {
+			if m != a[v] {
+				return false
+			}
+		} else {
+			rev[b[v]] = a[v]
+		}
+	}
+	return true
+}

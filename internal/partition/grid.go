@@ -1,0 +1,53 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// BuildGrid partitions the graph with a uniform geographic grid sized to
+// yield approximately kappa non-empty cells. This is the indexing used by
+// T-Share and pGreedyDP and the baseline of the Table V map-partitioning
+// ablation. Transition vectors, landmarks, and the landmark graph are
+// computed exactly as for the bipartite partitioning so the two are
+// interchangeable downstream.
+func BuildGrid(g *roadnet.Graph, trips []OD, kappa int) (*Partitioning, error) {
+	if kappa < 1 {
+		return nil, fmt.Errorf("partition: kappa must be >= 1, got %d", kappa)
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	min, max := g.Bounds()
+	latSpan := max.Lat - min.Lat
+	lngSpan := max.Lng - min.Lng
+	if latSpan <= 0 {
+		latSpan = 1e-9
+	}
+	if lngSpan <= 0 {
+		lngSpan = 1e-9
+	}
+	// Aspect-proportional rows x cols with rows*cols >= kappa; empty cells
+	// are dropped by finalize, so the non-empty count lands near kappa for
+	// dense networks.
+	aspect := latSpan / lngSpan
+	rows := int(math.Max(1, math.Round(math.Sqrt(float64(kappa)*aspect))))
+	cols := (kappa + rows - 1) / rows
+	assign := make([]ID, n)
+	for v := 0; v < n; v++ {
+		p := g.Point(roadnet.VertexID(v))
+		r := int(float64(rows) * (p.Lat - min.Lat) / latSpan)
+		c := int(float64(cols) * (p.Lng - min.Lng) / lngSpan)
+		if r >= rows {
+			r = rows - 1
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		assign[v] = ID(r*cols + c)
+	}
+	return finalize(g, assign, rows*cols, trips)
+}

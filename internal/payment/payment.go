@@ -1,0 +1,161 @@
+// Package payment implements mT-Share's payment model (§IV-D of the
+// paper): the ridesharing benefit B = Σ f^s_ri − F (Eq. 5) is split
+// between the driver, who keeps (1−β)·B on top of the route fare, and the
+// passengers, who share β·B in proportion to their detour rates σ_i
+// (Eqs. 6–8). A passenger never pays more than the regular no-sharing
+// fare, and passengers with larger detours receive larger compensations.
+package payment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fleet"
+)
+
+// Tariff is a distance-based regular taxi tariff: a base (flag-fall) fare
+// covering the first BaseMeters, then PerKm per kilometre beyond.
+type Tariff struct {
+	BaseFare   float64
+	BaseMeters float64
+	PerKm      float64
+}
+
+// DefaultTariff mirrors the Chengdu taxi tariff of the evaluation period:
+// ¥8 flag-fall covering 2 km, then ¥1.9/km.
+func DefaultTariff() Tariff {
+	return Tariff{BaseFare: 8, BaseMeters: 2000, PerKm: 1.9}
+}
+
+// Fare returns the regular taxi fare for travelling the given distance.
+func (t Tariff) Fare(meters float64) float64 {
+	if meters <= 0 {
+		return 0
+	}
+	if meters <= t.BaseMeters {
+		return t.BaseFare
+	}
+	return t.BaseFare + (meters-t.BaseMeters)/1000*t.PerKm
+}
+
+// RideRecord summarises one passenger's trip for settlement.
+type RideRecord struct {
+	ID fleet.RequestID
+	// DirectMeters is the shortest-path length cost(R^s_ri) of the trip.
+	DirectMeters float64
+	// SharedMeters is the distance the passenger actually rode on the
+	// shared route, cost(R_ri) in Eq. 6 (for a completed ride) or the
+	// distance ridden so far (Eq. 7).
+	SharedMeters float64
+	// RemainingDirectMeters is cost(R^s_(d_ri, d_rj)) of Eq. 7: the
+	// shortest-path length from the settling passenger's destination to
+	// this passenger's destination. Zero for completed rides.
+	RemainingDirectMeters float64
+	// Completed reports whether the passenger has been delivered; it
+	// selects between Eq. 6 and Eq. 7.
+	Completed bool
+}
+
+// Model carries the payment-model parameters.
+type Model struct {
+	Tariff Tariff
+	// Beta is the passengers' share of the benefit (β, default 0.80).
+	Beta float64
+	// Eta is the base detour rate η guaranteeing zero-detour passengers
+	// still benefit (default 0.01).
+	Eta float64
+}
+
+// DefaultModel returns the paper's default parameters (β=0.80, η=0.01).
+func DefaultModel() Model {
+	return Model{Tariff: DefaultTariff(), Beta: 0.80, Eta: 0.01}
+}
+
+// Validate reports whether the model parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.Beta < 0 || m.Beta > 1:
+		return fmt.Errorf("payment: beta %v outside [0,1]", m.Beta)
+	case m.Eta < 0:
+		return fmt.Errorf("payment: eta %v negative", m.Eta)
+	case m.Tariff.BaseFare < 0 || m.Tariff.PerKm < 0 || m.Tariff.BaseMeters < 0:
+		return fmt.Errorf("payment: negative tariff component %+v", m.Tariff)
+	}
+	return nil
+}
+
+// DetourRate computes σ_i (Eq. 6 for completed rides, Eq. 7 otherwise).
+// Rides with a non-positive direct distance get the base rate only.
+func (m Model) DetourRate(r RideRecord) float64 {
+	if r.DirectMeters <= 0 {
+		return m.Eta
+	}
+	traveled := r.SharedMeters
+	if !r.Completed {
+		traveled += r.RemainingDirectMeters
+	}
+	detour := (traveled - r.DirectMeters) / r.DirectMeters
+	if detour < 0 {
+		// A shared route can never beat the shortest path; clamp against
+		// numerical noise from snapped endpoints.
+		detour = 0
+	}
+	return m.Eta + detour
+}
+
+// Settlement is the outcome of settling one shared-ride group.
+type Settlement struct {
+	// RouteMeters is the ridesharing route length the group was billed
+	// for.
+	RouteMeters float64
+	// RouteFare is F: the regular fare for RouteMeters.
+	RouteFare float64
+	// RegularTotal is Σ f^s_ri.
+	RegularTotal float64
+	// Benefit is B = max(0, RegularTotal − RouteFare).
+	Benefit float64
+	// DriverIncome is what the driver collects: RouteFare + (1−β)·B.
+	DriverIncome float64
+	// Fares maps each passenger to the discounted fare of Eq. 8.
+	Fares map[fleet.RequestID]float64
+	// Savings maps each passenger to f^s_ri − fare_ri.
+	Savings map[fleet.RequestID]float64
+}
+
+// Settle applies Eqs. 5–8 to a group of rides that shared a route of
+// routeMeters. When the group's regular fares don't cover the shared
+// route (possible with extreme detours), the benefit clamps to zero:
+// passengers pay their regular fares and the driver collects them, so the
+// "no passenger pays more / driver never earns less" guarantees hold.
+func (m Model) Settle(routeMeters float64, rides []RideRecord) Settlement {
+	s := Settlement{
+		RouteMeters: routeMeters,
+		RouteFare:   m.Tariff.Fare(routeMeters),
+		Fares:       make(map[fleet.RequestID]float64, len(rides)),
+		Savings:     make(map[fleet.RequestID]float64, len(rides)),
+	}
+	var sigmaSum float64
+	sigmas := make([]float64, len(rides))
+	for i, r := range rides {
+		s.RegularTotal += m.Tariff.Fare(r.DirectMeters)
+		sigmas[i] = m.DetourRate(r)
+		sigmaSum += sigmas[i]
+	}
+	s.Benefit = math.Max(0, s.RegularTotal-s.RouteFare)
+	if s.Benefit == 0 || sigmaSum <= 0 {
+		for _, r := range rides {
+			s.Fares[r.ID] = m.Tariff.Fare(r.DirectMeters)
+			s.Savings[r.ID] = 0
+		}
+		s.DriverIncome = s.RegularTotal
+		return s
+	}
+	for i, r := range rides {
+		regular := m.Tariff.Fare(r.DirectMeters)
+		discount := m.Beta * s.Benefit * sigmas[i] / sigmaSum
+		s.Fares[r.ID] = regular - discount
+		s.Savings[r.ID] = discount
+	}
+	s.DriverIncome = s.RouteFare + (1-m.Beta)*s.Benefit
+	return s
+}

@@ -1,0 +1,230 @@
+package payment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTariffFare(t *testing.T) {
+	tr := DefaultTariff()
+	if f := tr.Fare(0); f != 0 {
+		t.Fatalf("Fare(0) = %v", f)
+	}
+	if f := tr.Fare(-10); f != 0 {
+		t.Fatalf("Fare(-10) = %v", f)
+	}
+	if f := tr.Fare(1500); f != 8 {
+		t.Fatalf("Fare within flag-fall = %v", f)
+	}
+	if f := tr.Fare(2000); f != 8 {
+		t.Fatalf("Fare at flag-fall boundary = %v", f)
+	}
+	if f := tr.Fare(5000); math.Abs(f-(8+3*1.9)) > 1e-9 {
+		t.Fatalf("Fare(5km) = %v, want %v", f, 8+3*1.9)
+	}
+}
+
+func TestTariffFareMonotone(t *testing.T) {
+	tr := DefaultTariff()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return tr.Fare(a) <= tr.Fare(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{Tariff: DefaultTariff(), Beta: -0.1},
+		{Tariff: DefaultTariff(), Beta: 1.1},
+		{Tariff: DefaultTariff(), Beta: 0.5, Eta: -1},
+		{Tariff: Tariff{BaseFare: -1}, Beta: 0.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDetourRateCompleted(t *testing.T) {
+	m := DefaultModel()
+	// 20% detour: traveled 6000 over a 5000 direct.
+	r := RideRecord{DirectMeters: 5000, SharedMeters: 6000, Completed: true}
+	if got := m.DetourRate(r); math.Abs(got-(0.01+0.2)) > 1e-9 {
+		t.Fatalf("DetourRate = %v", got)
+	}
+	// Zero detour: base rate only.
+	z := RideRecord{DirectMeters: 5000, SharedMeters: 5000, Completed: true}
+	if got := m.DetourRate(z); got != m.Eta {
+		t.Fatalf("zero-detour rate = %v", got)
+	}
+	// Numerical noise below direct clamps to base.
+	n := RideRecord{DirectMeters: 5000, SharedMeters: 4999, Completed: true}
+	if got := m.DetourRate(n); got != m.Eta {
+		t.Fatalf("clamped rate = %v", got)
+	}
+	// Degenerate direct distance.
+	d := RideRecord{DirectMeters: 0, SharedMeters: 100, Completed: true}
+	if got := m.DetourRate(d); got != m.Eta {
+		t.Fatalf("degenerate rate = %v", got)
+	}
+}
+
+func TestDetourRateInFlight(t *testing.T) {
+	m := DefaultModel()
+	// Eq. 7: ridden 3000 so far, 2500 projected remainder, 5000 direct
+	// => (5500-5000)/5000 = 0.1 detour.
+	r := RideRecord{DirectMeters: 5000, SharedMeters: 3000, RemainingDirectMeters: 2500}
+	if got := m.DetourRate(r); math.Abs(got-(0.01+0.1)) > 1e-9 {
+		t.Fatalf("in-flight rate = %v", got)
+	}
+}
+
+func TestSettleTwoPassengerExample(t *testing.T) {
+	m := DefaultModel()
+	rides := []RideRecord{
+		{ID: 1, DirectMeters: 6000, SharedMeters: 7000, Completed: true}, // regular 15.6
+		{ID: 2, DirectMeters: 5000, SharedMeters: 5000, Completed: true}, // regular 13.7
+	}
+	s := m.Settle(9000, rides) // route fare 8 + 7*1.9 = 21.3
+	wantRegular := m.Tariff.Fare(6000) + m.Tariff.Fare(5000)
+	if math.Abs(s.RegularTotal-wantRegular) > 1e-9 {
+		t.Fatalf("RegularTotal = %v", s.RegularTotal)
+	}
+	wantBenefit := wantRegular - m.Tariff.Fare(9000)
+	if math.Abs(s.Benefit-wantBenefit) > 1e-9 {
+		t.Fatalf("Benefit = %v, want %v", s.Benefit, wantBenefit)
+	}
+	// Conservation: fares + driver's benefit share == regular total...
+	// driver income = route fare + (1-β)B; passengers pay Σ regular − βB.
+	paid := s.Fares[1] + s.Fares[2]
+	if math.Abs(paid-(wantRegular-m.Beta*wantBenefit)) > 1e-9 {
+		t.Fatalf("passengers pay %v", paid)
+	}
+	if math.Abs(s.DriverIncome-(m.Tariff.Fare(9000)+0.2*wantBenefit)) > 1e-9 {
+		t.Fatalf("DriverIncome = %v", s.DriverIncome)
+	}
+	// Passenger 1 detoured more, so gets the larger saving.
+	if s.Savings[1] <= s.Savings[2] {
+		t.Fatalf("savings not proportional to detour: %v vs %v", s.Savings[1], s.Savings[2])
+	}
+	// No one pays more than regular; everyone gains something (η > 0).
+	if s.Fares[1] >= m.Tariff.Fare(6000) || s.Fares[2] >= m.Tariff.Fare(5000) {
+		t.Fatal("passenger pays at least the regular fare")
+	}
+}
+
+func TestSettleDriverEarnsMoreThanRouteFare(t *testing.T) {
+	m := DefaultModel()
+	rides := []RideRecord{
+		{ID: 1, DirectMeters: 6000, SharedMeters: 6600, Completed: true},
+		{ID: 2, DirectMeters: 6000, SharedMeters: 6600, Completed: true},
+	}
+	s := m.Settle(7000, rides)
+	if s.DriverIncome <= m.Tariff.Fare(7000) {
+		t.Fatalf("driver income %v not above route fare %v", s.DriverIncome, m.Tariff.Fare(7000))
+	}
+}
+
+func TestSettleNegativeBenefitClamped(t *testing.T) {
+	m := DefaultModel()
+	// One passenger, massive detour: route fare exceeds the regular fare.
+	rides := []RideRecord{{ID: 1, DirectMeters: 3000, SharedMeters: 9000, Completed: true}}
+	s := m.Settle(9000, rides)
+	if s.Benefit != 0 {
+		t.Fatalf("Benefit = %v, want 0", s.Benefit)
+	}
+	if s.Fares[1] != m.Tariff.Fare(3000) {
+		t.Fatalf("fare = %v, want regular %v", s.Fares[1], m.Tariff.Fare(3000))
+	}
+	if s.Savings[1] != 0 {
+		t.Fatalf("savings = %v", s.Savings[1])
+	}
+	if s.DriverIncome != s.RegularTotal {
+		t.Fatalf("driver income %v != regular total %v", s.DriverIncome, s.RegularTotal)
+	}
+}
+
+func TestSettleEmptyGroup(t *testing.T) {
+	s := DefaultModel().Settle(5000, nil)
+	if s.RegularTotal != 0 || len(s.Fares) != 0 {
+		t.Fatalf("empty settle = %+v", s)
+	}
+}
+
+func TestSettleSinglePassengerNeverWorseThanRegular(t *testing.T) {
+	m := DefaultModel()
+	f := func(direct, extra float64) bool {
+		direct = 1000 + math.Mod(math.Abs(direct), 20000)
+		extra = math.Mod(math.Abs(extra), 5000)
+		rides := []RideRecord{{ID: 1, DirectMeters: direct, SharedMeters: direct + extra, Completed: true}}
+		s := m.Settle(direct+extra, rides)
+		return s.Fares[1] <= m.Tariff.Fare(direct)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleConservationProperty(t *testing.T) {
+	// Total passenger payments == driver income whenever benefit > 0:
+	// Σ fares = Σ regular − βB and driver = F + (1−β)B, and
+	// Σ regular = F + B, so both equal F + (1−β)B.
+	m := DefaultModel()
+	f := func(d1, d2, d3, route float64) bool {
+		norm := func(x float64) float64 { return 2000 + math.Mod(math.Abs(x), 10000) }
+		rides := []RideRecord{
+			{ID: 1, DirectMeters: norm(d1), SharedMeters: norm(d1) * 1.2, Completed: true},
+			{ID: 2, DirectMeters: norm(d2), SharedMeters: norm(d2) * 1.1, Completed: true},
+			{ID: 3, DirectMeters: norm(d3), SharedMeters: norm(d3), Completed: true},
+		}
+		s := m.Settle(norm(route), rides)
+		var paid float64
+		for _, f := range s.Fares {
+			paid += f
+		}
+		return math.Abs(paid-s.DriverIncome) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleEtaGivesUniversalBenefit(t *testing.T) {
+	// Even a zero-detour passenger gains when sharing produces benefit.
+	m := DefaultModel()
+	rides := []RideRecord{
+		{ID: 1, DirectMeters: 5000, SharedMeters: 5000, Completed: true},
+		{ID: 2, DirectMeters: 5000, SharedMeters: 5000, Completed: true},
+	}
+	s := m.Settle(5000, rides) // identical OD pair sharing perfectly
+	if s.Savings[1] <= 0 || s.Savings[2] <= 0 {
+		t.Fatalf("zero-detour passengers got no benefit: %+v", s.Savings)
+	}
+	if math.Abs(s.Savings[1]-s.Savings[2]) > 1e-9 {
+		t.Fatal("equal passengers got unequal savings")
+	}
+}
+
+func BenchmarkSettle(b *testing.B) {
+	m := DefaultModel()
+	rides := []RideRecord{
+		{ID: 1, DirectMeters: 6000, SharedMeters: 7000, Completed: true},
+		{ID: 2, DirectMeters: 5000, SharedMeters: 5500, Completed: true},
+		{ID: 3, DirectMeters: 4000, SharedMeters: 4800, RemainingDirectMeters: 1000},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Settle(12000, rides)
+	}
+}

@@ -1,0 +1,206 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// pqItem is a priority-queue entry for Dijkstra/A*.
+type pqItem struct {
+	v    VertexID
+	prio float64
+}
+
+// pq is a min-heap of pqItems. We use lazy deletion (stale entries are
+// skipped on pop), which avoids decrease-key bookkeeping and is faster in
+// practice on sparse road graphs.
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// SSSPResult holds a full single-source shortest-path tree: distances in
+// meters and the parent of each vertex on its shortest path from the source
+// (Invalid for the source itself and unreachable vertices).
+type SSSPResult struct {
+	Source VertexID
+	Dist   []float64
+	Parent []VertexID
+}
+
+// Reachable reports whether v is reachable from the source.
+func (r *SSSPResult) Reachable(v VertexID) bool { return !math.IsInf(r.Dist[v], 1) }
+
+// PathTo reconstructs the shortest path from the source to v, inclusive of
+// both endpoints. It returns nil if v is unreachable.
+func (r *SSSPResult) PathTo(v VertexID) []VertexID {
+	if !r.Reachable(v) {
+		return nil
+	}
+	var rev []VertexID
+	for u := v; u != Invalid; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// MemoryBytes estimates the heap footprint of the result, used by the
+// shortest-path cache for budgeting.
+func (r *SSSPResult) MemoryBytes() int {
+	return 8*len(r.Dist) + 4*len(r.Parent) + 32
+}
+
+// SSSP runs Dijkstra's algorithm from src over the whole graph and returns
+// the full shortest-path tree.
+func (g *Graph) SSSP(src VertexID) *SSSPResult {
+	n := len(g.pts)
+	dist := make([]float64, n)
+	parent := make([]VertexID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = Invalid
+	}
+	dist[src] = 0
+	q := pq{{v: src, prio: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.prio > dist[it.v] {
+			continue // stale entry
+		}
+		for _, a := range g.out[it.v] {
+			if nd := it.prio + a.Cost; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = it.v
+				heap.Push(&q, pqItem{v: a.To, prio: nd})
+			}
+		}
+	}
+	return &SSSPResult{Source: src, Dist: dist, Parent: parent}
+}
+
+// ShortestPath returns the min-cost path from src to dst and its cost using
+// Dijkstra with early termination. ok is false when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst VertexID) (cost float64, path []VertexID, ok bool) {
+	return g.shortestPath(src, dst, nil, nil)
+}
+
+// RestrictedShortestPath is ShortestPath confined to vertices for which
+// allowed returns true. src and dst are always considered allowed, matching
+// the paper's partition-filtered routing where the event endpoints' own
+// partitions are always retained.
+func (g *Graph) RestrictedShortestPath(src, dst VertexID, allowed func(VertexID) bool) (cost float64, path []VertexID, ok bool) {
+	return g.shortestPath(src, dst, allowed, nil)
+}
+
+// WeightedShortestPath runs Dijkstra where relaxing an edge (u,v) costs
+// edgeCost + vertexWeight(v). Probabilistic routing (Alg. 4, step 3) uses
+// vertex weights 1/ψ_c to steer the path through partitions with high
+// probability of meeting suitable offline requests. The returned cost is
+// the combined cost; callers needing the pure travel cost should use
+// Graph.PathCost on the returned path.
+func (g *Graph) WeightedShortestPath(src, dst VertexID, allowed func(VertexID) bool, vertexWeight func(VertexID) float64) (cost float64, path []VertexID, ok bool) {
+	return g.shortestPath(src, dst, allowed, vertexWeight)
+}
+
+// shortestPath is the common point-to-point Dijkstra with optional vertex
+// filtering and additive vertex weights. It allocates per call; hot paths
+// that repeatedly query the same source should use the Router cache.
+func (g *Graph) shortestPath(src, dst VertexID, allowed func(VertexID) bool, vertexWeight func(VertexID) float64) (float64, []VertexID, bool) {
+	if src == dst {
+		return 0, []VertexID{src}, true
+	}
+	n := len(g.pts)
+	dist := make(map[VertexID]float64, 256)
+	parent := make(map[VertexID]VertexID, 256)
+	_ = n
+	dist[src] = 0
+	q := pq{{v: src, prio: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if d, seen := dist[it.v]; seen && it.prio > d {
+			continue
+		}
+		if it.v == dst {
+			return it.prio, reconstruct(parent, src, dst), true
+		}
+		for _, a := range g.out[it.v] {
+			if a.To != dst && a.To != src && allowed != nil && !allowed(a.To) {
+				continue
+			}
+			nd := it.prio + a.Cost
+			if vertexWeight != nil {
+				nd += vertexWeight(a.To)
+			}
+			if d, seen := dist[a.To]; !seen || nd < d {
+				dist[a.To] = nd
+				parent[a.To] = it.v
+				heap.Push(&q, pqItem{v: a.To, prio: nd})
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+func reconstruct(parent map[VertexID]VertexID, src, dst VertexID) []VertexID {
+	var rev []VertexID
+	for u := dst; ; {
+		rev = append(rev, u)
+		if u == src {
+			break
+		}
+		u = parent[u]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AStar returns the min-cost path from src to dst using A* with the
+// straight-line distance as an admissible heuristic (edge costs are at
+// least the straight-line distance in the synthetic generator, and real
+// road distances always are).
+func (g *Graph) AStar(src, dst VertexID) (cost float64, path []VertexID, ok bool) {
+	if src == dst {
+		return 0, []VertexID{src}, true
+	}
+	target := g.pts[dst]
+	h := func(v VertexID) float64 { return geo.Equirect(g.pts[v], target) }
+	dist := make(map[VertexID]float64, 256)
+	parent := make(map[VertexID]VertexID, 256)
+	dist[src] = 0
+	q := pq{{v: src, prio: h(src)}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		d := dist[it.v]
+		if it.prio > d+h(it.v)+1e-9 {
+			continue
+		}
+		if it.v == dst {
+			return d, reconstruct(parent, src, dst), true
+		}
+		for _, a := range g.out[it.v] {
+			nd := d + a.Cost
+			if old, seen := dist[a.To]; !seen || nd < old {
+				dist[a.To] = nd
+				parent[a.To] = it.v
+				heap.Push(&q, pqItem{v: a.To, prio: nd + h(a.To)})
+			}
+		}
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,256 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// gridGraph builds an n x n bidirectional lattice with edge cost 100.
+func gridGraph(n int) *Graph {
+	g := NewGraph(n * n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			g.AddVertex(geo.Point{Lat: 30 + float64(r)*0.001, Lng: 104 + float64(c)*0.001})
+		}
+	}
+	id := func(r, c int) VertexID { return VertexID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				g.AddEdge(id(r, c), id(r, c+1), 100)
+				g.AddEdge(id(r, c+1), id(r, c), 100)
+			}
+			if r+1 < n {
+				g.AddEdge(id(r, c), id(r+1, c), 100)
+				g.AddEdge(id(r+1, c), id(r, c), 100)
+			}
+		}
+	}
+	return g
+}
+
+func TestSSSPLine(t *testing.T) {
+	g := lineGraph(5)
+	res := g.SSSP(0)
+	for i := 0; i < 5; i++ {
+		if res.Dist[i] != float64(i)*100 {
+			t.Fatalf("Dist[%d] = %v", i, res.Dist[i])
+		}
+	}
+	if res.Parent[0] != Invalid {
+		t.Fatal("source parent not Invalid")
+	}
+	path := res.PathTo(4)
+	want := []VertexID{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g := lineGraph(3)
+	res := g.SSSP(2) // no edges out of 2
+	if res.Reachable(0) || res.Reachable(1) {
+		t.Fatal("reported unreachable vertices as reachable")
+	}
+	if res.PathTo(0) != nil {
+		t.Fatal("PathTo returned non-nil for unreachable vertex")
+	}
+}
+
+func TestShortestPathGrid(t *testing.T) {
+	g := gridGraph(5)
+	cost, path, ok := g.ShortestPath(0, VertexID(24)) // corner to corner
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if cost != 800 { // 4 right + 4 down, 100 each
+		t.Fatalf("cost = %v, want 800", cost)
+	}
+	if len(path) != 9 {
+		t.Fatalf("path len = %d, want 9", len(path))
+	}
+	if path[0] != 0 || path[len(path)-1] != 24 {
+		t.Fatalf("path endpoints = %v", path)
+	}
+	// Every hop must be an actual edge.
+	if c, err := g.PathCost(path); err != nil || c != cost {
+		t.Fatalf("PathCost(path) = %v, %v", c, err)
+	}
+}
+
+func TestShortestPathSameVertex(t *testing.T) {
+	g := gridGraph(3)
+	cost, path, ok := g.ShortestPath(4, 4)
+	if !ok || cost != 0 || len(path) != 1 || path[0] != 4 {
+		t.Fatalf("self path = %v %v %v", cost, path, ok)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := lineGraph(3)
+	if _, _, ok := g.ShortestPath(2, 0); ok {
+		t.Fatal("found path against edge direction")
+	}
+}
+
+func TestShortestPathMatchesSSSP(t *testing.T) {
+	g := gridGraph(8)
+	rng := rand.New(rand.NewSource(7))
+	res := g.SSSP(0)
+	for i := 0; i < 30; i++ {
+		dst := VertexID(rng.Intn(g.NumVertices()))
+		cost, _, ok := g.ShortestPath(0, dst)
+		if !ok {
+			t.Fatalf("unreachable %d in connected grid", dst)
+		}
+		if math.Abs(cost-res.Dist[dst]) > 1e-9 {
+			t.Fatalf("ShortestPath=%v SSSP=%v for dst %d", cost, res.Dist[dst], dst)
+		}
+	}
+}
+
+func TestRestrictedShortestPath(t *testing.T) {
+	g := gridGraph(3)
+	// Block the centre vertex (4): 0 -> 8 must route around it.
+	cost, path, ok := g.RestrictedShortestPath(0, 8, func(v VertexID) bool { return v != 4 })
+	if !ok {
+		t.Fatal("no restricted path")
+	}
+	if cost != 400 {
+		t.Fatalf("restricted cost = %v, want 400", cost)
+	}
+	for _, v := range path {
+		if v == 4 {
+			t.Fatal("restricted path used blocked vertex")
+		}
+	}
+}
+
+func TestRestrictedShortestPathEndpointsAlwaysAllowed(t *testing.T) {
+	g := gridGraph(3)
+	// allowed rejects everything; src and dst must still be usable, and a
+	// path exists only if they are adjacent.
+	_, _, ok := g.RestrictedShortestPath(0, 1, func(VertexID) bool { return false })
+	if !ok {
+		t.Fatal("adjacent src->dst should be reachable when everything else is blocked")
+	}
+	if _, _, ok := g.RestrictedShortestPath(0, 8, func(VertexID) bool { return false }); ok {
+		t.Fatal("found path through fully blocked interior")
+	}
+}
+
+func TestWeightedShortestPathSteersAroundWeights(t *testing.T) {
+	// Two parallel 2-hop routes 0->1->3 and 0->2->3 with equal edge costs;
+	// a large vertex weight on 1 must push the path through 2.
+	g := NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.AddVertex(geo.Point{Lat: 30, Lng: 104 + float64(i)*0.001})
+	}
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 3, 100)
+	g.AddEdge(0, 2, 100)
+	g.AddEdge(2, 3, 100)
+	w := func(v VertexID) float64 {
+		if v == 1 {
+			return 1000
+		}
+		return 0
+	}
+	_, path, ok := g.WeightedShortestPath(0, 3, nil, w)
+	if !ok {
+		t.Fatal("no weighted path")
+	}
+	for _, v := range path {
+		if v == 1 {
+			t.Fatal("weighted path went through penalised vertex")
+		}
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(15, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		src := VertexID(rng.Intn(g.NumVertices()))
+		dst := VertexID(rng.Intn(g.NumVertices()))
+		dc, _, dok := g.ShortestPath(src, dst)
+		ac, apath, aok := g.AStar(src, dst)
+		if dok != aok {
+			t.Fatalf("reachability disagreement src=%d dst=%d", src, dst)
+		}
+		if !dok {
+			continue
+		}
+		if math.Abs(dc-ac) > 1e-6 {
+			t.Fatalf("A* cost %v != Dijkstra cost %v (src=%d dst=%d)", ac, dc, src, dst)
+		}
+		if c, err := g.PathCost(apath); err != nil || math.Abs(c-ac) > 1e-6 {
+			t.Fatalf("A* path inconsistent: %v %v", c, err)
+		}
+	}
+}
+
+func TestSSSPTriangleInequalityProperty(t *testing.T) {
+	// For any u, v, w: dist(u,w) <= dist(u,v) + dist(v,w).
+	g := gridGraph(6)
+	n := g.NumVertices()
+	trees := make([]*SSSPResult, n)
+	for v := 0; v < n; v++ {
+		trees[v] = g.SSSP(VertexID(v))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		u, v, w := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if trees[u].Dist[w] > trees[u].Dist[v]+trees[v].Dist[w]+1e-9 {
+			t.Fatalf("triangle inequality violated: d(%d,%d)=%v > %v + %v",
+				u, w, trees[u].Dist[w], trees[u].Dist[v], trees[v].Dist[w])
+		}
+	}
+}
+
+func BenchmarkSSSPCity(b *testing.B) {
+	g, err := GenerateCity(DefaultCityParams(40, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SSSP(VertexID(i % g.NumVertices()))
+	}
+}
+
+func BenchmarkPointToPointDijkstra(b *testing.B) {
+	g, err := GenerateCity(DefaultCityParams(40, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = g.ShortestPath(VertexID(i%n), VertexID((i*7919)%n))
+	}
+}
+
+func BenchmarkAStar(b *testing.B) {
+	g, err := GenerateCity(DefaultCityParams(40, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = g.AStar(VertexID(i%n), VertexID((i*7919)%n))
+	}
+}

@@ -1,0 +1,119 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestGenerateCityBasicShape(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 300 {
+		t.Fatalf("city too small after SCC trim: %d vertices", g.NumVertices())
+	}
+	if g.NumEdges() < g.NumVertices() {
+		t.Fatalf("suspiciously sparse: %d edges for %d vertices", g.NumEdges(), g.NumVertices())
+	}
+}
+
+func TestGenerateCityStronglyConnected(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42} {
+		p := DefaultCityParams(15, 15)
+		p.Seed = seed
+		g, err := GenerateCity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sccs := g.StronglyConnectedComponents(); len(sccs) != 1 {
+			t.Fatalf("seed %d: %d SCCs, want 1", seed, len(sccs))
+		}
+	}
+}
+
+func TestGenerateCityDeterministic(t *testing.T) {
+	p := DefaultCityParams(12, 12)
+	g1, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("nondeterministic generation: %d/%d vs %d/%d",
+			g1.NumVertices(), g1.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+	for v := 0; v < g1.NumVertices(); v++ {
+		if g1.Point(VertexID(v)) != g2.Point(VertexID(v)) {
+			t.Fatalf("vertex %d position differs", v)
+		}
+	}
+}
+
+func TestGenerateCityEdgeCostsAtLeastStraightLine(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Out(VertexID(v)) {
+			straight := geo.Equirect(g.Point(VertexID(v)), g.Point(a.To))
+			// Arterials have factor 0.7; cost may be slightly below the
+			// straight line only for those, never below 0.7x.
+			if a.Cost < straight*0.7-1e-6 {
+				t.Fatalf("edge (%d,%d) cost %v below 0.7x straight %v", v, a.To, a.Cost, straight)
+			}
+		}
+	}
+}
+
+func TestGenerateCityInvalidParams(t *testing.T) {
+	bad := []CityParams{
+		{Rows: 1, Cols: 10, BlockMeters: 100},
+		{Rows: 10, Cols: 10, BlockMeters: 0},
+		{Rows: 10, Cols: 10, BlockMeters: 100, Jitter: 0.6},
+		{Rows: 10, Cols: 10, BlockMeters: 100, OneWayFrac: 1.5},
+		{Rows: 10, Cols: 10, BlockMeters: 100, RemoveFrac: 0.5},
+		{Rows: 10, Cols: 10, BlockMeters: 100, CostNoise: -1},
+	}
+	for i, p := range bad {
+		if _, err := GenerateCity(p); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateCityAllPairsRoutable(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		src := VertexID(rng.Intn(g.NumVertices()))
+		dst := VertexID(rng.Intn(g.NumVertices()))
+		if c, _, ok := g.ShortestPath(src, dst); !ok || math.IsInf(c, 1) {
+			t.Fatalf("no route %d -> %d in strongly connected city", src, dst)
+		}
+	}
+}
+
+func TestGenerateCityCoversRequestedArea(t *testing.T) {
+	p := DefaultCityParams(20, 20)
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := g.Bounds()
+	widthM := geo.Equirect(geo.Point{Lat: min.Lat, Lng: min.Lng}, geo.Point{Lat: min.Lat, Lng: max.Lng})
+	wantM := float64(p.Cols-1) * p.BlockMeters
+	if widthM < wantM*0.7 || widthM > wantM*1.3 {
+		t.Fatalf("city width %v m, want ~%v m", widthM, wantM)
+	}
+}

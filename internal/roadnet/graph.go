@@ -1,0 +1,260 @@
+// Package roadnet models the road network substrate of mT-Share: a directed
+// weighted graph over geographic vertices (Definition 1 of the paper),
+// shortest-path routing (plain, restricted-subgraph, and vertex-weighted
+// Dijkstra plus A*), a uniform spatial grid for nearest-vertex and range
+// queries, a synthetic city generator standing in for the OpenStreetMap
+// extract of Chengdu used by the paper, and a per-source shortest-path cache
+// standing in for the paper's precomputed all-pairs table.
+//
+// Edge costs are travel distances in meters. The paper treats travel time
+// and travel distance interchangeably under a constant taxi speed
+// (15 km/h in the evaluation); higher layers convert with their configured
+// speed.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// VertexID identifies a vertex of a Graph. IDs are dense, starting at 0.
+type VertexID int32
+
+// Invalid is a sentinel VertexID denoting "no vertex".
+const Invalid VertexID = -1
+
+// Arc is a directed edge to a target vertex with a travel cost in meters.
+type Arc struct {
+	To   VertexID
+	Cost float64
+}
+
+// Graph is a directed road network. The zero value is an empty graph ready
+// for use; vertices must be added before edges referencing them.
+//
+// Graph is immutable after construction from the perspective of routing:
+// all query methods are safe for concurrent use as long as no AddVertex or
+// AddEdge call is in flight.
+type Graph struct {
+	pts []geo.Point
+	out [][]Arc
+	in  [][]Arc
+
+	numEdges int
+}
+
+// NewGraph returns an empty graph with capacity hints for n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		pts: make([]geo.Point, 0, n),
+		out: make([][]Arc, 0, n),
+		in:  make([][]Arc, 0, n),
+	}
+}
+
+// AddVertex appends a vertex at p and returns its ID.
+func (g *Graph) AddVertex(p geo.Point) VertexID {
+	id := VertexID(len(g.pts))
+	g.pts = append(g.pts, p)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds a directed edge from u to v with the given cost in meters.
+// It panics if either endpoint is out of range or the cost is negative,
+// which would silently corrupt Dijkstra's invariants.
+func (g *Graph) AddEdge(u, v VertexID, cost float64) {
+	if !g.valid(u) || !g.valid(v) {
+		panic(fmt.Sprintf("roadnet: AddEdge(%d, %d) out of range (n=%d)", u, v, len(g.pts)))
+	}
+	if cost < 0 || math.IsNaN(cost) {
+		panic(fmt.Sprintf("roadnet: AddEdge cost %v invalid", cost))
+	}
+	g.out[u] = append(g.out[u], Arc{To: v, Cost: cost})
+	g.in[v] = append(g.in[v], Arc{To: u, Cost: cost})
+	g.numEdges++
+}
+
+func (g *Graph) valid(v VertexID) bool { return v >= 0 && int(v) < len(g.pts) }
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.pts) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Point returns the location of vertex v.
+func (g *Graph) Point(v VertexID) geo.Point { return g.pts[v] }
+
+// Out returns the outgoing arcs of v. The returned slice must not be
+// modified.
+func (g *Graph) Out(v VertexID) []Arc { return g.out[v] }
+
+// In returns the incoming arcs of v (each Arc.To is the *source* vertex).
+// The returned slice must not be modified.
+func (g *Graph) In(v VertexID) []Arc { return g.in[v] }
+
+// EdgeCost returns the cost of the directed edge (u,v) and whether it
+// exists. Parallel edges report the cheapest.
+func (g *Graph) EdgeCost(u, v VertexID) (float64, bool) {
+	best, ok := math.Inf(1), false
+	for _, a := range g.out[u] {
+		if a.To == v && a.Cost < best {
+			best, ok = a.Cost, true
+		}
+	}
+	return best, ok
+}
+
+// Bounds returns the bounding box of all vertices as (min, max) points.
+// It returns zero points for an empty graph.
+func (g *Graph) Bounds() (min, max geo.Point) {
+	if len(g.pts) == 0 {
+		return geo.Point{}, geo.Point{}
+	}
+	min = g.pts[0]
+	max = g.pts[0]
+	for _, p := range g.pts[1:] {
+		min.Lat = math.Min(min.Lat, p.Lat)
+		min.Lng = math.Min(min.Lng, p.Lng)
+		max.Lat = math.Max(max.Lat, p.Lat)
+		max.Lng = math.Max(max.Lng, p.Lng)
+	}
+	return min, max
+}
+
+// PathCost sums edge costs along a vertex path. It returns an error if the
+// path uses a nonexistent edge.
+func (g *Graph) PathCost(path []VertexID) (float64, error) {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		c, ok := g.EdgeCost(path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("roadnet: path uses missing edge (%d,%d)", path[i-1], path[i])
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// StronglyConnectedComponents returns the SCCs of g, each a slice of vertex
+// IDs, using an iterative Tarjan's algorithm (safe for large graphs).
+func (g *Graph) StronglyConnectedComponents() [][]VertexID {
+	n := len(g.pts)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		sccs    [][]VertexID
+		stack   []VertexID
+		next    int32
+		callVtx []VertexID // explicit DFS call stack: vertex
+		callArc []int      // and the next out-arc index to explore
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callVtx = append(callVtx[:0], VertexID(root))
+		callArc = append(callArc[:0], 0)
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, VertexID(root))
+		onStack[root] = true
+		for len(callVtx) > 0 {
+			v := callVtx[len(callVtx)-1]
+			ai := callArc[len(callVtx)-1]
+			if ai < len(g.out[v]) {
+				callArc[len(callVtx)-1]++
+				w := g.out[v][ai].To
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callVtx = append(callVtx, w)
+					callArc = append(callArc, 0)
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: pop and propagate lowlink.
+			callVtx = callVtx[:len(callVtx)-1]
+			callArc = callArc[:len(callArc)-1]
+			if len(callVtx) > 0 {
+				p := callVtx[len(callVtx)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []VertexID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// LargestSCCSubgraph returns a new graph induced on the largest strongly
+// connected component of g, together with a mapping old→new vertex IDs
+// (Invalid for dropped vertices). The synthetic generator uses it to
+// guarantee that every origin can reach every destination.
+func (g *Graph) LargestSCCSubgraph() (*Graph, []VertexID) {
+	sccs := g.StronglyConnectedComponents()
+	bestIdx := -1
+	for i, s := range sccs {
+		if bestIdx < 0 || len(s) > len(sccs[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	remap := make([]VertexID, len(g.pts))
+	for i := range remap {
+		remap[i] = Invalid
+	}
+	sub := NewGraph(0)
+	if bestIdx < 0 {
+		return sub, remap
+	}
+	keep := sccs[bestIdx]
+	// Preserve relative vertex order for determinism.
+	inKeep := make([]bool, len(g.pts))
+	for _, v := range keep {
+		inKeep[v] = true
+	}
+	for v := 0; v < len(g.pts); v++ {
+		if inKeep[v] {
+			remap[v] = sub.AddVertex(g.pts[v])
+		}
+	}
+	for v := 0; v < len(g.pts); v++ {
+		if !inKeep[v] {
+			continue
+		}
+		for _, a := range g.out[v] {
+			if inKeep[a.To] {
+				sub.AddEdge(remap[v], remap[a.To], a.Cost)
+			}
+		}
+	}
+	return sub, remap
+}

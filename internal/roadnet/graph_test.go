@@ -1,0 +1,175 @@
+package roadnet
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// lineGraph builds 0 -> 1 -> 2 -> ... -> n-1 with unit-ish geo spacing.
+func lineGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(geo.Point{Lat: 30, Lng: 104 + float64(i)*0.001})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(VertexID(i), VertexID(i+1), 100)
+	}
+	return g
+}
+
+// ringGraph builds a directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+func ringGraph(n int) *Graph {
+	g := lineGraph(n)
+	g.AddEdge(VertexID(n-1), 0, 100)
+	return g
+}
+
+func TestAddVertexAndEdgeCounts(t *testing.T) {
+	g := lineGraph(5)
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestAddEdgePanicsOnBadInput(t *testing.T) {
+	g := lineGraph(2)
+	for name, fn := range map[string]func(){
+		"out of range": func() { g.AddEdge(0, 99, 1) },
+		"negative":     func() { g.AddEdge(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEdgeCostParallelEdges(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddVertex(geo.Point{Lat: 30, Lng: 104})
+	b := g.AddVertex(geo.Point{Lat: 30, Lng: 104.001})
+	g.AddEdge(a, b, 200)
+	g.AddEdge(a, b, 150)
+	c, ok := g.EdgeCost(a, b)
+	if !ok || c != 150 {
+		t.Fatalf("EdgeCost = %v, %v; want 150, true", c, ok)
+	}
+	if _, ok := g.EdgeCost(b, a); ok {
+		t.Fatal("EdgeCost reported nonexistent reverse edge")
+	}
+}
+
+func TestInOutAdjacencyConsistent(t *testing.T) {
+	g := ringGraph(4)
+	for v := 0; v < 4; v++ {
+		if len(g.Out(VertexID(v))) != 1 || len(g.In(VertexID(v))) != 1 {
+			t.Fatalf("vertex %d degree out=%d in=%d", v, len(g.Out(VertexID(v))), len(g.In(VertexID(v))))
+		}
+	}
+	if g.In(1)[0].To != 0 {
+		t.Fatalf("In(1) source = %d, want 0", g.In(1)[0].To)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	g := NewGraph(2)
+	g.AddVertex(geo.Point{Lat: 30, Lng: 105})
+	g.AddVertex(geo.Point{Lat: 31, Lng: 104})
+	min, max := g.Bounds()
+	if min.Lat != 30 || min.Lng != 104 || max.Lat != 31 || max.Lng != 105 {
+		t.Fatalf("Bounds = %v, %v", min, max)
+	}
+	e := NewGraph(0)
+	if mn, mx := e.Bounds(); mn != (geo.Point{}) || mx != (geo.Point{}) {
+		t.Fatal("empty graph bounds not zero")
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	g := lineGraph(4)
+	c, err := g.PathCost([]VertexID{0, 1, 2, 3})
+	if err != nil || c != 300 {
+		t.Fatalf("PathCost = %v, %v", c, err)
+	}
+	if _, err := g.PathCost([]VertexID{3, 2}); err == nil {
+		t.Fatal("PathCost accepted missing edge")
+	}
+	if c, err := g.PathCost([]VertexID{2}); err != nil || c != 0 {
+		t.Fatalf("single-vertex PathCost = %v, %v", c, err)
+	}
+}
+
+func TestSCCRing(t *testing.T) {
+	g := ringGraph(5)
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 1 || len(sccs[0]) != 5 {
+		t.Fatalf("ring SCCs = %d components", len(sccs))
+	}
+}
+
+func TestSCCLine(t *testing.T) {
+	g := lineGraph(5)
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 5 {
+		t.Fatalf("line SCCs = %d, want 5 singletons", len(sccs))
+	}
+}
+
+func TestSCCTwoComponents(t *testing.T) {
+	// Two 3-cycles joined by a single directed edge.
+	g := NewGraph(6)
+	for i := 0; i < 6; i++ {
+		g.AddVertex(geo.Point{Lat: 30, Lng: 104 + float64(i)*0.001})
+	}
+	for _, e := range [][2]VertexID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}} {
+		g.AddEdge(e[0], e[1], 1)
+	}
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %d, want 2", len(sccs))
+	}
+	for _, s := range sccs {
+		if len(s) != 3 {
+			t.Fatalf("SCC size = %d, want 3", len(s))
+		}
+	}
+}
+
+func TestLargestSCCSubgraph(t *testing.T) {
+	// 4-cycle plus a dangling tail.
+	g := ringGraph(4)
+	tail := g.AddVertex(geo.Point{Lat: 30, Lng: 104.9})
+	g.AddEdge(3, tail, 50)
+	sub, remap := g.LargestSCCSubgraph()
+	if sub.NumVertices() != 4 {
+		t.Fatalf("largest SCC size = %d, want 4", sub.NumVertices())
+	}
+	if remap[tail] != Invalid {
+		t.Fatal("tail vertex not dropped")
+	}
+	for v := 0; v < 4; v++ {
+		if remap[v] == Invalid {
+			t.Fatalf("cycle vertex %d dropped", v)
+		}
+	}
+	// Subgraph must itself be strongly connected.
+	if sccs := sub.StronglyConnectedComponents(); len(sccs) != 1 {
+		t.Fatalf("subgraph SCCs = %d, want 1", len(sccs))
+	}
+}
+
+func TestLargestSCCSubgraphEmpty(t *testing.T) {
+	g := NewGraph(0)
+	sub, remap := g.LargestSCCSubgraph()
+	if sub.NumVertices() != 0 || len(remap) != 0 {
+		t.Fatal("empty graph SCC subgraph not empty")
+	}
+}

@@ -1,0 +1,179 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestRouterCostMatchesDijkstra(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 64)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		u := VertexID(rng.Intn(g.NumVertices()))
+		v := VertexID(rng.Intn(g.NumVertices()))
+		want, _, ok := g.ShortestPath(u, v)
+		got := r.Cost(u, v)
+		if !ok {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("Cost(%d,%d) = %v for unreachable pair", u, v, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Cost(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestRouterPathValid(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 16)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		u := VertexID(rng.Intn(g.NumVertices()))
+		v := VertexID(rng.Intn(g.NumVertices()))
+		p := r.Path(u, v)
+		if p == nil {
+			t.Fatalf("nil path %d->%d in connected city", u, v)
+		}
+		if p[0] != u || p[len(p)-1] != v {
+			t.Fatalf("path endpoints %v for %d->%d", p, u, v)
+		}
+		c, err := g.PathCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-r.Cost(u, v)) > 1e-9 {
+			t.Fatalf("path cost %v != Cost %v", c, r.Cost(u, v))
+		}
+	}
+}
+
+func TestRouterSelfQueries(t *testing.T) {
+	g := gridGraph(3)
+	r := NewRouter(g, 4)
+	if c := r.Cost(5, 5); c != 0 {
+		t.Fatalf("self cost = %v", c)
+	}
+	if p := r.Path(5, 5); len(p) != 1 || p[0] != 5 {
+		t.Fatalf("self path = %v", p)
+	}
+	st := r.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("self queries should not compute trees; misses=%d", st.Misses)
+	}
+}
+
+func TestRouterLRUEviction(t *testing.T) {
+	g := gridGraph(4)
+	r := NewRouter(g, 2)
+	r.Cost(0, 1)
+	r.Cost(1, 2)
+	r.Cost(2, 3) // evicts tree for source 0
+	st := r.Stats()
+	if st.CachedTrees != 2 {
+		t.Fatalf("cached trees = %d, want 2", st.CachedTrees)
+	}
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", st.Misses)
+	}
+	r.Cost(0, 2) // miss again
+	if st := r.Stats(); st.Misses != 4 {
+		t.Fatalf("misses after re-query = %d, want 4", st.Misses)
+	}
+}
+
+func TestRouterHitAccounting(t *testing.T) {
+	g := gridGraph(4)
+	r := NewRouter(g, 8)
+	for i := 0; i < 10; i++ {
+		r.Cost(0, VertexID(i%g.NumVertices()))
+	}
+	st := r.Stats()
+	// Source 0 tree computed once; self query (0,0) bypasses the cache.
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits < 8 {
+		t.Fatalf("hits = %d, want >= 8", st.Hits)
+	}
+	if st.MemoryBytes <= 0 {
+		t.Fatal("MemoryBytes not reported")
+	}
+}
+
+func TestRouterWarm(t *testing.T) {
+	g := gridGraph(4)
+	r := NewRouter(g, 8)
+	r.Warm([]VertexID{0, 1, 2})
+	st := r.Stats()
+	if st.CachedTrees != 3 || st.Misses != 3 {
+		t.Fatalf("after Warm: trees=%d misses=%d", st.CachedTrees, st.Misses)
+	}
+	r.Cost(0, 5)
+	if st := r.Stats(); st.Hits != 1 {
+		t.Fatalf("warm tree not hit: hits=%d", st.Hits)
+	}
+}
+
+func TestRouterConcurrentUse(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 8)
+	n := g.NumVertices()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				u := VertexID(rng.Intn(n))
+				v := VertexID(rng.Intn(n))
+				c := r.Cost(u, v)
+				if c < 0 {
+					t.Errorf("negative cost %v", c)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestRouterReachable(t *testing.T) {
+	g := lineGraph(3)
+	r := NewRouter(g, 4)
+	if !r.Reachable(0, 2) {
+		t.Fatal("0->2 should be reachable")
+	}
+	if r.Reachable(2, 0) {
+		t.Fatal("2->0 should not be reachable")
+	}
+}
+
+func BenchmarkRouterCostHot(b *testing.B) {
+	g, err := GenerateCity(DefaultCityParams(40, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRouter(g, 128)
+	n := g.NumVertices()
+	// Realistic skew: a handful of hot sources (landmarks, hotspots).
+	sources := []VertexID{0, VertexID(n / 3), VertexID(n / 2), VertexID(2 * n / 3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Cost(sources[i%len(sources)], VertexID((i*7919)%n))
+	}
+}

@@ -1,0 +1,483 @@
+// Package server exposes the mT-Share matching engine as a real-time
+// HTTP dispatch service: taxis register and move along planned routes on
+// an accelerated clock, ride requests are matched on arrival, and the
+// payment model settles fares on delivery. It is the "mobile-cloud"
+// deployment shape the paper's Fig. 2 sketches, on the synthetic city.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/match"
+	"repro/internal/partition"
+	"repro/internal/payment"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// Config sizes the service's synthetic world.
+type Config struct {
+	CityRows, CityCols int
+	InitialTaxis       int
+	Capacity           int
+	// Speedup is how much faster than wall clock the simulated taxis
+	// drive. 0 defaults to 20x.
+	Speedup float64
+	// Kappa is the partition count; 0 derives it from the city size.
+	Kappa int
+	// Probabilistic enables mT-Share_pro behaviour: probabilistic routing
+	// for taxis with spare seats and demand-seeking cruising when idle.
+	Probabilistic bool
+	Seed          int64
+}
+
+// Server is the dispatch service.
+type Server struct {
+	cfg    Config
+	g      *roadnet.Graph
+	spx    *roadnet.SpatialIndex
+	engine *match.Engine
+	scheme *match.Scheme
+	pay    payment.Model
+
+	mu         sync.Mutex
+	nowSeconds float64
+	taxis      map[int64]*fleet.Taxi
+	nextTaxi   int64
+	nextReq    int64
+	requests   map[fleet.RequestID]*reqStatus
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type reqStatus struct {
+	Req       *fleet.Request
+	TaxiID    int64
+	Served    bool
+	PickedUp  bool
+	Delivered bool
+	Fare      float64
+}
+
+// New builds the world and engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 20
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 3
+	}
+	cp := roadnet.DefaultCityParams(cfg.CityRows, cfg.CityCols)
+	cp.Seed = cfg.Seed
+	g, err := roadnet.GenerateCity(cp)
+	if err != nil {
+		return nil, err
+	}
+	spx := roadnet.NewSpatialIndex(g, 250)
+	min, max := g.Bounds()
+	hist, err := trace.Generate(trace.Workday, trace.GenParams{
+		Center:           geo.Midpoint(min, max),
+		ExtentMeters:     geo.Equirect(geo.Point{Lat: min.Lat, Lng: min.Lng}, geo.Point{Lat: min.Lat, Lng: max.Lng}),
+		TripsPerHourPeak: 400,
+		UniformFrac:      0.15,
+		Seed:             cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]struct{ Origin, Dest geo.Point }, len(hist.Trips))
+	for i, tr := range hist.Trips {
+		pairs[i] = struct{ Origin, Dest geo.Point }{tr.Origin, tr.Dest}
+	}
+	kappa := cfg.Kappa
+	if kappa == 0 {
+		kappa = g.NumVertices() / 25
+		if kappa < 8 {
+			kappa = 8
+		}
+	}
+	pp := partition.DefaultParams(kappa)
+	if pp.KTrans >= kappa {
+		pp.KTrans = kappa / 2
+	}
+	pt, err := partition.BuildBipartite(g, partition.SnapTrips(spx, pairs), pp)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := match.NewEngine(pt, spx, match.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		g:        g,
+		spx:      spx,
+		engine:   eng,
+		scheme:   match.NewScheme(eng, cfg.Probabilistic),
+		pay:      payment.DefaultModel(),
+		taxis:    make(map[int64]*fleet.Taxi),
+		requests: make(map[fleet.RequestID]*reqStatus),
+		stop:     make(chan struct{}),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	for i := 0; i < cfg.InitialTaxis; i++ {
+		s.addTaxiLocked(g.Point(roadnet.VertexID(rng.Intn(g.NumVertices()))), cfg.Capacity)
+	}
+	return s, nil
+}
+
+// Start launches the movement loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		const tick = 200 * time.Millisecond
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.advance(tick.Seconds() * s.cfg.Speedup)
+			}
+		}
+	}()
+}
+
+// Stop terminates the movement loop.
+func (s *Server) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// advance moves the world forward by dt simulated seconds.
+func (s *Server) advance(dt float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nowSeconds += dt
+	speed := s.engine.Config().SpeedMps
+	for _, t := range s.taxis {
+		visits := t.Advance(speed * dt)
+		for _, v := range visits {
+			st := s.requests[v.Event.Req.ID]
+			if st == nil {
+				continue
+			}
+			switch v.Event.Kind {
+			case fleet.Pickup:
+				st.PickedUp = true
+			case fleet.Dropoff:
+				st.Delivered = true
+				st.Fare = s.pay.Tariff.Fare(v.Event.Req.DirectMeters)
+				s.engine.OnRequestDone(v.Event.Req)
+			}
+		}
+		s.scheme.OnTaxiAdvanced(t, s.nowSeconds)
+		if s.cfg.Probabilistic {
+			s.scheme.PlanIdle(t, s.nowSeconds)
+		}
+	}
+}
+
+func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
+	s.nextTaxi++
+	v, _ := s.spx.NearestVertex(p)
+	t := fleet.NewTaxi(s.g, s.nextTaxi, capacity, v)
+	s.taxis[t.ID] = t
+	s.engine.AddTaxi(t, s.nowSeconds)
+	return t.ID
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/taxis", s.handleTaxis)
+	mux.HandleFunc("/api/requests", s.handleRequests)
+	mux.HandleFunc("/api/hails", s.handleHails)
+	mux.HandleFunc("/api/stats", s.handleStats)
+	return mux
+}
+
+type pointJSON struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+type taxiJSON struct {
+	ID       int64     `json:"id"`
+	Position pointJSON `json:"position"`
+	Seats    int       `json:"occupied_seats"`
+	Capacity int       `json:"capacity"`
+	Empty    bool      `json:"empty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]taxiJSON, 0, len(s.taxis))
+		for _, t := range s.taxis {
+			p := t.Point()
+			out = append(out, taxiJSON{
+				ID: t.ID, Position: pointJSON{p.Lat, p.Lng},
+				Seats: t.OccupiedSeats(), Capacity: t.Capacity, Empty: t.Empty(),
+			})
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var body struct {
+			Lat      float64 `json:"lat"`
+			Lng      float64 `json:"lng"`
+			Capacity int     `json:"capacity"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if body.Capacity <= 0 {
+			body.Capacity = s.cfg.Capacity
+		}
+		s.mu.Lock()
+		id := s.addTaxiLocked(geo.Point{Lat: body.Lat, Lng: body.Lng}, body.Capacity)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+type requestJSON struct {
+	ID            int64   `json:"id"`
+	Served        bool    `json:"served"`
+	TaxiID        int64   `json:"taxi_id,omitempty"`
+	PickedUp      bool    `json:"picked_up"`
+	Delivered     bool    `json:"delivered"`
+	PickupETASec  float64 `json:"pickup_eta_seconds,omitempty"`
+	DropoffETASec float64 `json:"dropoff_eta_seconds,omitempty"`
+	FareEstimate  float64 `json:"fare_estimate,omitempty"`
+	Candidates    int     `json:"candidates"`
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or bad id"})
+			return
+		}
+		s.mu.Lock()
+		st, ok := s.requests[fleet.RequestID(id)]
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown request"})
+			return
+		}
+		writeJSON(w, http.StatusOK, requestJSON{
+			ID: id, Served: st.Served, TaxiID: st.TaxiID,
+			PickedUp: st.PickedUp, Delivered: st.Delivered, FareEstimate: st.Fare,
+		})
+	case http.MethodPost:
+		var body struct {
+			Pickup  pointJSON `json:"pickup"`
+			Dropoff pointJSON `json:"dropoff"`
+			Rho     float64   `json:"rho"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if body.Rho < 1.05 {
+			body.Rho = 1.3
+		}
+		resp, code := s.dispatch(body.Pickup, body.Dropoff, body.Rho)
+		writeJSON(w, code, resp)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) dispatch(pickup, dropoff pointJSON, rho float64) (requestJSON, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: pickup.Lat, Lng: pickup.Lng})
+	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: dropoff.Lat, Lng: dropoff.Lng})
+	if !ok1 || !ok2 || o == d {
+		return requestJSON{}, http.StatusBadRequest
+	}
+	speed := s.engine.Config().SpeedMps
+	direct := s.engine.Router().Cost(o, d)
+	s.nextReq++
+	req := &fleet.Request{
+		ID:           fleet.RequestID(s.nextReq),
+		ReleaseAt:    time.Duration(s.nowSeconds * float64(time.Second)),
+		Origin:       o,
+		Dest:         d,
+		Deadline:     time.Duration((s.nowSeconds + direct/speed*rho) * float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   1,
+		OriginPt:     s.g.Point(o),
+		DestPt:       s.g.Point(d),
+	}
+	st := &reqStatus{Req: req}
+	s.requests[req.ID] = st
+	a, ok := s.engine.Dispatch(req, s.nowSeconds, s.cfg.Probabilistic)
+	out := requestJSON{ID: int64(req.ID), Candidates: a.Candidates}
+	if !ok {
+		return out, http.StatusOK
+	}
+	if err := s.engine.Commit(a, s.nowSeconds); err != nil {
+		return out, http.StatusOK
+	}
+	st.Served = true
+	st.TaxiID = a.Taxi.ID
+	out.Served = true
+	out.TaxiID = a.Taxi.ID
+	for i, ev := range a.Events {
+		if ev.Req.ID != req.ID {
+			continue
+		}
+		eta := a.Eval.ArrivalSeconds[i] - s.nowSeconds
+		if ev.Kind == fleet.Pickup {
+			out.PickupETASec = eta
+		} else {
+			out.DropoffETASec = eta
+		}
+	}
+	out.FareEstimate = s.pay.Tariff.Fare(direct)
+	return out, http.StatusOK
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	served, delivered := 0, 0
+	for _, st := range s.requests {
+		if st.Served {
+			served++
+		}
+		if st.Delivered {
+			delivered++
+		}
+	}
+	es := s.engine.Stats()
+	stats := map[string]interface{}{
+		"sim_seconds":         s.nowSeconds,
+		"taxis":               len(s.taxis),
+		"requests":            len(s.requests),
+		"served":              served,
+		"delivered":           delivered,
+		"index_memory_bytes":  s.engine.IndexMemoryBytes(),
+		"graph_vertices":      s.g.NumVertices(),
+		"dispatches":          es.Dispatches,
+		"assignments":         es.Assignments,
+		"offline_insertions":  es.OfflineInsertions,
+		"cruise_plans":        es.CruisePlans,
+		"probabilistic_plans": es.ProbabilisticPlans,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// Now returns the current simulated time in seconds (tests use it).
+func (s *Server) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nowSeconds
+}
+
+// String describes the server world.
+func (s *Server) String() string {
+	return fmt.Sprintf("mtshare server: %d vertices, %d taxis", s.g.NumVertices(), len(s.taxis))
+}
+
+// handleHails lets a driver report a roadside (offline) passenger hailing
+// their taxi: the server validates an insertion into that taxi's schedule
+// or dispatches another taxi (§IV-C2's interaction).
+func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		TaxiID  int64     `json:"taxi_id"`
+		Pickup  pointJSON `json:"pickup"`
+		Dropoff pointJSON `json:"dropoff"`
+		Rho     float64   `json:"rho"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if body.Rho < 1.05 {
+		body.Rho = 1.3
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.taxis[body.TaxiID]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown taxi"})
+		return
+	}
+	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: body.Pickup.Lat, Lng: body.Pickup.Lng})
+	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: body.Dropoff.Lat, Lng: body.Dropoff.Lng})
+	if !ok1 || !ok2 || o == d {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad endpoints"})
+		return
+	}
+	speed := s.engine.Config().SpeedMps
+	direct := s.engine.Router().Cost(o, d)
+	s.nextReq++
+	req := &fleet.Request{
+		ID:           fleet.RequestID(s.nextReq),
+		ReleaseAt:    time.Duration(s.nowSeconds * float64(time.Second)),
+		Origin:       o,
+		Dest:         d,
+		Deadline:     time.Duration((s.nowSeconds + direct/speed*body.Rho) * float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   1,
+		Offline:      true,
+		OriginPt:     s.g.Point(o),
+		DestPt:       s.g.Point(d),
+	}
+	st := &reqStatus{Req: req}
+	s.requests[req.ID] = st
+	out := requestJSON{ID: int64(req.ID)}
+	if s.engine.TryServeOffline(t, req, s.nowSeconds) {
+		st.Served = true
+		st.TaxiID = t.ID
+		out.Served = true
+		out.TaxiID = t.ID
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	// The hailing taxi could not fit them: dispatch another.
+	a, ok := s.engine.Dispatch(req, s.nowSeconds, s.cfg.Probabilistic)
+	if ok && s.engine.Commit(a, s.nowSeconds) == nil {
+		st.Served = true
+		st.TaxiID = a.Taxi.ID
+		out.Served = true
+		out.TaxiID = a.Taxi.ID
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 10, Capacity: 3, Speedup: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body interface{}) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out := map[string]json.RawMessage{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+func cityPoint(s *Server, fLat, fLng float64) map[string]float64 {
+	min, max := s.g.Bounds()
+	return map[string]float64{
+		"lat": min.Lat + fLat*(max.Lat-min.Lat),
+		"lng": min.Lng + fLng*(max.Lng-min.Lng),
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	// Fleet listing.
+	rec, _ := do(t, h, http.MethodGet, "/api/taxis", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/taxis = %d", rec.Code)
+	}
+	var taxis []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &taxis); err != nil {
+		t.Fatal(err)
+	}
+	if len(taxis) != 10 {
+		t.Fatalf("fleet = %d", len(taxis))
+	}
+
+	// Register a taxi.
+	rec, out := do(t, h, http.MethodPost, "/api/taxis", map[string]interface{}{
+		"lat": cityPoint(s, 0.5, 0.5)["lat"], "lng": cityPoint(s, 0.5, 0.5)["lng"], "capacity": 4,
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /api/taxis = %d: %s", rec.Code, rec.Body)
+	}
+	if string(out["id"]) == "" {
+		t.Fatal("no taxi id returned")
+	}
+
+	// Submit a request.
+	rec, out = do(t, h, http.MethodPost, "/api/requests", map[string]interface{}{
+		"pickup":  cityPoint(s, 0.45, 0.45),
+		"dropoff": cityPoint(s, 0.9, 0.9),
+		"rho":     1.5,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/requests = %d: %s", rec.Code, rec.Body)
+	}
+	var served bool
+	if err := json.Unmarshal(out["served"], &served); err != nil {
+		t.Fatal(err)
+	}
+	if !served {
+		t.Fatalf("request not served: %s", rec.Body)
+	}
+	var id int64
+	if err := json.Unmarshal(out["id"], &id); err != nil {
+		t.Fatal(err)
+	}
+	var eta float64
+	if err := json.Unmarshal(out["dropoff_eta_seconds"], &eta); err != nil || eta <= 0 {
+		t.Fatalf("dropoff eta = %v, %v", eta, err)
+	}
+
+	// Poll status.
+	rec, out = do(t, h, http.MethodGet, fmt.Sprintf("/api/requests?id=%d", id), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/requests = %d", rec.Code)
+	}
+	if err := json.Unmarshal(out["served"], &served); err != nil || !served {
+		t.Fatal("status lost the assignment")
+	}
+
+	// Stats.
+	rec, out = do(t, h, http.MethodGet, "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/stats = %d", rec.Code)
+	}
+	var nTaxis int
+	if err := json.Unmarshal(out["taxis"], &nTaxis); err != nil || nTaxis != 11 {
+		t.Fatalf("stats taxis = %d", nTaxis)
+	}
+}
+
+func TestServerDeliversOverSimulatedTime(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	rec, out := do(t, h, http.MethodPost, "/api/requests", map[string]interface{}{
+		"pickup":  cityPoint(s, 0.4, 0.4),
+		"dropoff": cityPoint(s, 0.7, 0.7),
+		"rho":     1.6,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST = %d", rec.Code)
+	}
+	var served bool
+	_ = json.Unmarshal(out["served"], &served)
+	if !served {
+		t.Skip("no feasible taxi for this placement")
+	}
+	var id int64
+	_ = json.Unmarshal(out["id"], &id)
+	// Drive the world forward directly (no background loop in tests).
+	for i := 0; i < 2000; i++ {
+		s.advance(5)
+		_, out = do(t, h, http.MethodGet, fmt.Sprintf("/api/requests?id=%d", id), nil)
+		var delivered bool
+		_ = json.Unmarshal(out["delivered"], &delivered)
+		if delivered {
+			var fare float64
+			_ = json.Unmarshal(out["fare_estimate"], &fare)
+			if fare <= 0 {
+				t.Fatal("delivered with no fare")
+			}
+			return
+		}
+	}
+	t.Fatal("request never delivered")
+}
+
+func TestServerBadInputs(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	rec, _ := do(t, h, http.MethodGet, "/api/requests?id=abc", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id = %d", rec.Code)
+	}
+	rec, _ = do(t, h, http.MethodGet, "/api/requests?id=999", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d", rec.Code)
+	}
+	rec, _ = do(t, h, http.MethodDelete, "/api/taxis", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE = %d", rec.Code)
+	}
+	// Same pickup and dropoff.
+	p := cityPoint(s, 0.5, 0.5)
+	rec, _ = do(t, h, http.MethodPost, "/api/requests", map[string]interface{}{
+		"pickup": p, "dropoff": p,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("degenerate request = %d", rec.Code)
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	s := newTestServer(t)
+	s.Start()
+	s.Stop()
+	if s.String() == "" {
+		t.Fatal("empty description")
+	}
+	_ = s.Now()
+}
+
+func TestServerStreetHail(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 8, Capacity: 3, Probabilistic: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	// Find a taxi to hail.
+	rec, _ := do(t, h, http.MethodGet, "/api/taxis", nil)
+	var taxis []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &taxis); err != nil {
+		t.Fatal(err)
+	}
+	id := int64(taxis[0]["id"].(float64))
+	pos := taxis[0]["position"].(map[string]interface{})
+	pickup := map[string]float64{"lat": pos["lat"].(float64), "lng": pos["lng"].(float64)}
+	rec, out := do(t, h, http.MethodPost, "/api/hails", map[string]interface{}{
+		"taxi_id": id,
+		"pickup":  pickup,
+		"dropoff": cityPoint(s, 0.85, 0.85),
+		"rho":     1.6,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /api/hails = %d: %s", rec.Code, rec.Body)
+	}
+	var served bool
+	if err := json.Unmarshal(out["served"], &served); err != nil || !served {
+		t.Fatalf("hail unserved: %s", rec.Body)
+	}
+	// Unknown taxi.
+	rec, _ = do(t, h, http.MethodPost, "/api/hails", map[string]interface{}{
+		"taxi_id": 999, "pickup": pickup, "dropoff": cityPoint(s, 0.8, 0.8),
+	})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown taxi hail = %d", rec.Code)
+	}
+	// Stats expose engine counters.
+	rec, out = do(t, h, http.MethodGet, "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	if _, ok := out["offline_insertions"]; !ok {
+		t.Fatal("engine counters missing from stats")
+	}
+}

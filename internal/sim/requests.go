@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// PrepareOptions configures trip-to-request conversion.
+type PrepareOptions struct {
+	// SpeedMps converts direct distances into the deadline term.
+	SpeedMps float64
+	// Rho is the flexible factor ρ of Eq. 9: e = t + cost(o,d)·ρ.
+	Rho float64
+	// OfflineFrac marks this fraction of requests as offline street
+	// hails, chosen pseudo-randomly with Seed (the non-peak scenario
+	// hides ~1/3 of requests).
+	OfflineFrac float64
+	// PartySizes optionally draws each request's passenger count from
+	// this distribution: PartySizes[i] is the relative weight of a party
+	// of i+1. Nil means every request is a single passenger (the paper's
+	// setting).
+	PartySizes []float64
+	Seed       int64
+}
+
+// drawParty samples a party size from the configured distribution.
+func (o PrepareOptions) drawParty(r *rand.Rand) int {
+	if len(o.PartySizes) == 0 {
+		return 1
+	}
+	var total float64
+	for _, w := range o.PartySizes {
+		total += w
+	}
+	if total <= 0 {
+		return 1
+	}
+	x := r.Float64() * total
+	for i, w := range o.PartySizes {
+		x -= w
+		if x <= 0 {
+			return i + 1
+		}
+	}
+	return len(o.PartySizes)
+}
+
+// PrepareRequests converts trace trips to simulation requests: endpoints
+// snapped to road vertices, direct costs computed on the graph, deadlines
+// set per Eq. 9. Trips whose endpoints snap to the same vertex or that
+// are unroutable are dropped, matching the paper's pre-mapping step.
+func PrepareRequests(g *roadnet.Graph, spx *roadnet.SpatialIndex, trips []trace.Trip, opts PrepareOptions) []*fleet.Request {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]*fleet.Request, 0, len(trips))
+	for _, tr := range trips {
+		o, ok1 := spx.NearestVertex(tr.Origin)
+		d, ok2 := spx.NearestVertex(tr.Dest)
+		if !ok1 || !ok2 || o == d {
+			continue
+		}
+		direct, _, ok := g.AStar(o, d)
+		if !ok {
+			continue
+		}
+		directSec := direct / opts.SpeedMps
+		req := &fleet.Request{
+			ID:           fleet.RequestID(tr.ID),
+			ReleaseAt:    tr.ReleaseAt,
+			Origin:       o,
+			Dest:         d,
+			Deadline:     tr.ReleaseAt + time.Duration(directSec*opts.Rho*float64(time.Second)),
+			DirectMeters: direct,
+			Passengers:   opts.drawParty(rng),
+			Offline:      rng.Float64() < opts.OfflineFrac,
+			OriginPt:     g.Point(o),
+			DestPt:       g.Point(d),
+		}
+		if req.Validate() != nil {
+			continue
+		}
+		out = append(out, req)
+	}
+	return out
+}

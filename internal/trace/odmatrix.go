@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// ODMatrix aggregates trips into an origin-destination matrix over a
+// uniform grid — the aggregate view of travel demand that motivates the
+// paper's transition-pattern mining, and a convenient smoke test for
+// generated datasets.
+type ODMatrix struct {
+	Rows, Cols int
+	minLat     float64
+	minLng     float64
+	cellLat    float64
+	cellLng    float64
+	// Counts[o][d] is the number of trips from origin cell o to
+	// destination cell d; cells are row-major indices.
+	Counts [][]int
+	Total  int
+}
+
+// NewODMatrix builds an OD matrix over the dataset with the given grid
+// resolution. It returns an error for empty datasets or degenerate grids.
+func NewODMatrix(d *Dataset, rows, cols int) (*ODMatrix, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("trace: OD grid %dx%d invalid", rows, cols)
+	}
+	if len(d.Trips) == 0 {
+		return nil, fmt.Errorf("trace: empty dataset")
+	}
+	minLat, minLng := math.Inf(1), math.Inf(1)
+	maxLat, maxLng := math.Inf(-1), math.Inf(-1)
+	for _, t := range d.Trips {
+		for _, p := range []geo.Point{t.Origin, t.Dest} {
+			minLat = math.Min(minLat, p.Lat)
+			minLng = math.Min(minLng, p.Lng)
+			maxLat = math.Max(maxLat, p.Lat)
+			maxLng = math.Max(maxLng, p.Lng)
+		}
+	}
+	m := &ODMatrix{
+		Rows:    rows,
+		Cols:    cols,
+		minLat:  minLat,
+		minLng:  minLng,
+		cellLat: (maxLat - minLat) / float64(rows),
+		cellLng: (maxLng - minLng) / float64(cols),
+	}
+	if m.cellLat <= 0 {
+		m.cellLat = 1e-9
+	}
+	if m.cellLng <= 0 {
+		m.cellLng = 1e-9
+	}
+	n := rows * cols
+	m.Counts = make([][]int, n)
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, n)
+	}
+	for _, t := range d.Trips {
+		m.Counts[m.CellOf(t.Origin)][m.CellOf(t.Dest)]++
+		m.Total++
+	}
+	return m, nil
+}
+
+// CellOf maps a point to its grid cell index.
+func (m *ODMatrix) CellOf(p geo.Point) int {
+	r := int((p.Lat - m.minLat) / m.cellLat)
+	c := int((p.Lng - m.minLng) / m.cellLng)
+	if r >= m.Rows {
+		r = m.Rows - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if c >= m.Cols {
+		c = m.Cols - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return r*m.Cols + c
+}
+
+// OriginCounts returns per-cell origin totals.
+func (m *ODMatrix) OriginCounts() []int {
+	out := make([]int, len(m.Counts))
+	for o, row := range m.Counts {
+		for _, c := range row {
+			out[o] += c
+		}
+	}
+	return out
+}
+
+// DestCounts returns per-cell destination totals.
+func (m *ODMatrix) DestCounts() []int {
+	out := make([]int, len(m.Counts))
+	for _, row := range m.Counts {
+		for d, c := range row {
+			out[d] += c
+		}
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of per-cell origin demand — a scalar
+// measure of hotspot concentration (0 = uniform, →1 = all demand in one
+// cell). The synthetic generator should produce clearly non-uniform
+// demand, like the real trace.
+func (m *ODMatrix) Gini() float64 {
+	counts := m.OriginCounts()
+	n := len(counts)
+	if n == 0 || m.Total == 0 {
+		return 0
+	}
+	// Sort ascending (insertion sort: cell counts are small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	var cum, lorenz float64
+	for _, c := range counts {
+		cum += float64(c)
+		lorenz += cum
+	}
+	// Gini = 1 - 2 * (area under Lorenz curve).
+	return 1 - 2*lorenz/(float64(n)*float64(m.Total)) + 1/float64(n)
+}
+
+// SplitByTime partitions the dataset into two at the given time: trips
+// released before go into the first dataset. The common train/evaluate
+// split for transition mining.
+func (d *Dataset) SplitByTime(at time.Duration) (before, after *Dataset) {
+	before = &Dataset{Day: d.Day}
+	after = &Dataset{Day: d.Day}
+	for _, t := range d.Trips {
+		if t.ReleaseAt < at {
+			before.Trips = append(before.Trips, t)
+		} else {
+			after.Trips = append(after.Trips, t)
+		}
+	}
+	return before, after
+}
+
+// Merge concatenates datasets of the same day kind, re-sorting by release
+// time and renumbering IDs.
+func Merge(day DayKind, parts ...*Dataset) *Dataset {
+	out := &Dataset{Day: day}
+	for _, p := range parts {
+		out.Trips = append(out.Trips, p.Trips...)
+	}
+	sort.SliceStable(out.Trips, func(i, j int) bool {
+		return out.Trips[i].ReleaseAt < out.Trips[j].ReleaseAt
+	})
+	for i := range out.Trips {
+		out.Trips[i].ID = int64(i)
+	}
+	return out
+}
+
+// Sample returns every k-th trip (k >= 1), preserving order — a quick way
+// to thin a dataset for scale studies.
+func (d *Dataset) Sample(k int) *Dataset {
+	if k < 1 {
+		k = 1
+	}
+	out := &Dataset{Day: d.Day}
+	for i := 0; i < len(d.Trips); i += k {
+		out.Trips = append(out.Trips, d.Trips[i])
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package trace provides the taxi-trip dataset substrate standing in for
+// the Didi GAIA Chengdu trace used by the paper (§V-A1): trip records, CSV
+// serialisation, a deterministic hotspot-based synthetic generator with
+// time-of-day demand curves, and the dataset statistics reported in Fig. 5.
+//
+// The paper's algorithms consume only (release time, origin, destination)
+// tuples and aggregate origin→region transition statistics, so a
+// hotspot-structured synthetic stream exercises the identical code paths.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// DayKind distinguishes the two scenario calendars of the evaluation.
+type DayKind int
+
+// Day kinds.
+const (
+	Workday DayKind = iota
+	Weekend
+)
+
+// String implements fmt.Stringer.
+func (d DayKind) String() string {
+	switch d {
+	case Workday:
+		return "workday"
+	case Weekend:
+		return "weekend"
+	default:
+		return fmt.Sprintf("DayKind(%d)", int(d))
+	}
+}
+
+// Trip is one historical taxi transaction: a ride request released at
+// ReleaseAt (offset from the day's midnight) from Origin to Dest.
+type Trip struct {
+	ID        int64
+	ReleaseAt time.Duration
+	Origin    geo.Point
+	Dest      geo.Point
+}
+
+// Hour returns the hour-of-day bucket of the trip's release time.
+func (t Trip) Hour() int { return int(t.ReleaseAt / time.Hour) }
+
+// Dataset is an ordered collection of trips for one day kind. Trips are
+// sorted by release time by the generator and the reader preserves file
+// order.
+type Dataset struct {
+	Day   DayKind
+	Trips []Trip
+}
+
+// Between returns the trips released in [from, to).
+func (d *Dataset) Between(from, to time.Duration) []Trip {
+	var out []Trip
+	for _, t := range d.Trips {
+		if t.ReleaseAt >= from && t.ReleaseAt < to {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HourlyCounts returns the number of trips released in each hour of day.
+func (d *Dataset) HourlyCounts() [24]int {
+	var counts [24]int
+	for _, t := range d.Trips {
+		if h := t.Hour(); h >= 0 && h < 24 {
+			counts[h]++
+		}
+	}
+	return counts
+}
+
+// csvHeader is the column layout used by WriteCSV/ReadCSV, mirroring the
+// schema of the GAIA transactions (transaction id, release time, pick-up
+// lat/lng, drop-off lat/lng).
+var csvHeader = []string{"trip_id", "release_seconds", "pickup_lat", "pickup_lng", "dropoff_lat", "dropoff_lng"}
+
+// WriteCSV serialises the dataset's trips to w with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, t := range d.Trips {
+		rec := []string{
+			strconv.FormatInt(t.ID, 10),
+			strconv.FormatFloat(t.ReleaseAt.Seconds(), 'f', 1, 64),
+			strconv.FormatFloat(t.Origin.Lat, 'f', 6, 64),
+			strconv.FormatFloat(t.Origin.Lng, 'f', 6, 64),
+			strconv.FormatFloat(t.Dest.Lat, 'f', 6, 64),
+			strconv.FormatFloat(t.Dest.Lng, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader, day DayKind) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	ds := &Dataset{Day: day}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		trip, err := parseTrip(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ds.Trips = append(ds.Trips, trip)
+	}
+	return ds, nil
+}
+
+func parseTrip(rec []string) (Trip, error) {
+	id, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return Trip{}, fmt.Errorf("trip_id: %w", err)
+	}
+	fields := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		f, err := strconv.ParseFloat(rec[i+1], 64)
+		if err != nil {
+			return Trip{}, fmt.Errorf("column %s: %w", csvHeader[i+1], err)
+		}
+		fields[i] = f
+	}
+	if fields[0] < 0 {
+		return Trip{}, fmt.Errorf("negative release time %v", fields[0])
+	}
+	return Trip{
+		ID:        id,
+		ReleaseAt: time.Duration(fields[0] * float64(time.Second)),
+		Origin:    geo.Point{Lat: fields[1], Lng: fields[2]},
+		Dest:      geo.Point{Lat: fields[3], Lng: fields[4]},
+	}, nil
+}

@@ -1,0 +1,437 @@
+// Package mtshare is a mobility-aware dynamic taxi-ridesharing library —
+// a from-scratch Go reproduction of mT-Share (Liu, Gong, Li, Wu:
+// "Mobility-Aware Dynamic Taxi Ridesharing", ICDE 2020; extended in IEEE
+// IoT Journal 2022). It matches ride requests to shared taxis using
+// bipartite map partitioning, mobility clustering, partition-filtered
+// routing, and probabilistic routing toward offline (street-hailing)
+// passengers, and settles fares with the paper's benefit-sharing payment
+// model.
+//
+// The package is a thin facade over the internal implementation: build a
+// System over a road network and historical trips, register taxis, submit
+// requests, and advance time. See the examples/ directory for runnable
+// walkthroughs and DESIGN.md for the architecture.
+package mtshare
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/match"
+	"repro/internal/partition"
+	"repro/internal/payment"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// Point is a geographic location in degrees.
+type Point = geo.Point
+
+// TaxiID identifies a registered taxi.
+type TaxiID int64
+
+// RequestID identifies a submitted ride request.
+type RequestID int64
+
+// Trip is one historical taxi trip used to mine mobility patterns.
+type Trip struct {
+	Origin Point
+	Dest   Point
+}
+
+// Options configures a System.
+type Options struct {
+	// SyntheticCity generates the road network when no custom graph is
+	// supplied: a Rows x Cols perturbed street grid.
+	SyntheticCityRows int
+	SyntheticCityCols int
+
+	// Partitions is the target partition count κ (0 derives ~1 per 25
+	// road vertices).
+	Partitions int
+
+	// SpeedKmh is the fleet speed (default 15, the paper's setting).
+	SpeedKmh float64
+	// SearchRangeMeters is the candidate search radius γ (default 2.5 km
+	// scaled down to the city size when it exceeds the city diagonal).
+	SearchRangeMeters float64
+	// MaxDirectionDiffDegrees is θ, the mobility-clustering direction
+	// tolerance (default 45°; λ = cos θ).
+	MaxDirectionDiffDegrees float64
+	// Probabilistic enables the mT-Share_pro behaviour: probabilistic
+	// routing for taxis with spare seats and demand-seeking cruising of
+	// idle taxis.
+	Probabilistic bool
+
+	// History supplies the trips mined for transition patterns. When nil
+	// a synthetic workday is generated.
+	History []Trip
+
+	// Seed makes world generation deterministic.
+	Seed int64
+}
+
+// System is a running ridesharing dispatcher.
+type System struct {
+	g      *roadnet.Graph
+	spx    *roadnet.SpatialIndex
+	engine *match.Engine
+	scheme *match.Scheme
+	pay    payment.Model
+
+	now      float64
+	taxis    map[TaxiID]*fleet.Taxi
+	nextTaxi TaxiID
+	nextReq  RequestID
+	requests map[RequestID]*fleet.Request
+}
+
+// New builds a System. With zero Options it generates a deterministic
+// ~3 km synthetic city and a day of synthetic history.
+func New(opts Options) (*System, error) {
+	if opts.SyntheticCityRows == 0 {
+		opts.SyntheticCityRows = 24
+	}
+	if opts.SyntheticCityCols == 0 {
+		opts.SyntheticCityCols = 24
+	}
+	if opts.SpeedKmh == 0 {
+		opts.SpeedKmh = 15
+	}
+	if opts.MaxDirectionDiffDegrees == 0 {
+		opts.MaxDirectionDiffDegrees = 45
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	cp := roadnet.DefaultCityParams(opts.SyntheticCityRows, opts.SyntheticCityCols)
+	cp.Seed = opts.Seed
+	g, err := roadnet.GenerateCity(cp)
+	if err != nil {
+		return nil, err
+	}
+	spx := roadnet.NewSpatialIndex(g, 250)
+
+	history := opts.History
+	if history == nil {
+		min, max := g.Bounds()
+		ds, err := trace.Generate(trace.Workday, trace.GenParams{
+			Center:           geo.Midpoint(min, max),
+			ExtentMeters:     geo.Equirect(geo.Point{Lat: min.Lat, Lng: min.Lng}, geo.Point{Lat: min.Lat, Lng: max.Lng}),
+			TripsPerHourPeak: 300,
+			UniformFrac:      0.15,
+			Seed:             opts.Seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ds.Trips {
+			history = append(history, Trip{Origin: t.Origin, Dest: t.Dest})
+		}
+	}
+	pairs := make([]struct{ Origin, Dest geo.Point }, len(history))
+	for i, t := range history {
+		pairs[i] = struct{ Origin, Dest geo.Point }{t.Origin, t.Dest}
+	}
+	kappa := opts.Partitions
+	if kappa == 0 {
+		kappa = g.NumVertices() / 25
+		if kappa < 8 {
+			kappa = 8
+		}
+	}
+	pp := partition.DefaultParams(kappa)
+	if pp.KTrans >= kappa {
+		pp.KTrans = kappa / 2
+	}
+	pp.Seed = opts.Seed
+	pt, err := partition.BuildBipartite(g, partition.SnapTrips(spx, pairs), pp)
+	if err != nil {
+		return nil, err
+	}
+	cfg := match.DefaultConfig()
+	cfg.SpeedMps = opts.SpeedKmh * 1000 / 3600
+	cfg.Lambda = geo.CosOfDegrees(opts.MaxDirectionDiffDegrees)
+	if opts.SearchRangeMeters > 0 {
+		cfg.SearchRangeMeters = opts.SearchRangeMeters
+	} else {
+		min, max := g.Bounds()
+		diag := geo.Equirect(min, max)
+		if cfg.SearchRangeMeters > diag/2 {
+			cfg.SearchRangeMeters = diag / 2
+		}
+	}
+	engine, err := match.NewEngine(pt, spx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		g:        g,
+		spx:      spx,
+		engine:   engine,
+		scheme:   match.NewScheme(engine, opts.Probabilistic),
+		pay:      payment.DefaultModel(),
+		taxis:    make(map[TaxiID]*fleet.Taxi),
+		requests: make(map[RequestID]*fleet.Request),
+	}, nil
+}
+
+// Bounds returns the road network's bounding box, useful for placing
+// taxis and requests.
+func (s *System) Bounds() (min, max Point) { return s.g.Bounds() }
+
+// Now returns the current simulation time.
+func (s *System) Now() time.Duration {
+	return time.Duration(s.now * float64(time.Second))
+}
+
+// AddTaxi registers an empty taxi near the given position.
+func (s *System) AddTaxi(at Point, capacity int) (TaxiID, error) {
+	v, ok := s.spx.NearestVertex(at)
+	if !ok {
+		return 0, fmt.Errorf("mtshare: no road vertex near %v", at)
+	}
+	s.nextTaxi++
+	t := fleet.NewTaxi(s.g, int64(s.nextTaxi), capacity, v)
+	s.taxis[s.nextTaxi] = t
+	s.scheme.AddTaxi(t, s.now)
+	return s.nextTaxi, nil
+}
+
+// Assignment reports a successful match.
+type Assignment struct {
+	Request        RequestID
+	Taxi           TaxiID
+	PickupETA      time.Duration
+	DropoffETA     time.Duration
+	DetourMeters   float64
+	CandidateTaxis int
+	// FareEstimate is the regular (no-sharing) fare; the settled shared
+	// fare after delivery is at most this.
+	FareEstimate float64
+}
+
+// SubmitRequest matches an online ride request released now. flexibility
+// is the factor ρ over the direct travel time that the passenger accepts
+// as the delivery deadline (e.g. 1.3). ok is false when no taxi can serve
+// the request within its constraints.
+func (s *System) SubmitRequest(pickup, dropoff Point, flexibility float64) (Assignment, bool, error) {
+	req, err := s.makeRequest(pickup, dropoff, flexibility, false)
+	if err != nil {
+		return Assignment{}, false, err
+	}
+	a, ok := s.engine.Dispatch(req, s.now, s.scheme.Probabilistic)
+	if !ok {
+		return Assignment{Request: RequestID(req.ID), CandidateTaxis: a.Candidates}, false, nil
+	}
+	if err := s.engine.Commit(a, s.now); err != nil {
+		return Assignment{}, false, err
+	}
+	out := Assignment{
+		Request:        RequestID(req.ID),
+		Taxi:           TaxiID(a.Taxi.ID),
+		DetourMeters:   a.DetourMeters,
+		CandidateTaxis: a.Candidates,
+		FareEstimate:   s.pay.Tariff.Fare(req.DirectMeters),
+	}
+	for i, ev := range a.Events {
+		if ev.Req.ID != req.ID {
+			continue
+		}
+		eta := time.Duration((a.Eval.ArrivalSeconds[i] - s.now) * float64(time.Second))
+		if ev.Kind == fleet.Pickup {
+			out.PickupETA = eta
+		} else {
+			out.DropoffETA = eta
+		}
+	}
+	return out, true, nil
+}
+
+// ReportStreetHail handles an offline passenger hailing the given taxi at
+// the roadside: the system validates an insertion into the taxi's current
+// schedule, or falls back to dispatching another taxi (the paper's
+// server-side behaviour). It returns the serving taxi.
+func (s *System) ReportStreetHail(taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, bool, error) {
+	t, ok := s.taxis[taxi]
+	if !ok {
+		return 0, false, fmt.Errorf("mtshare: unknown taxi %d", taxi)
+	}
+	req, err := s.makeRequest(pickup, dropoff, flexibility, true)
+	if err != nil {
+		return 0, false, err
+	}
+	if s.engine.TryServeOffline(t, req, s.now) {
+		return taxi, true, nil
+	}
+	a, ok := s.engine.Dispatch(req, s.now, s.scheme.Probabilistic)
+	if !ok {
+		return 0, false, nil
+	}
+	if err := s.engine.Commit(a, s.now); err != nil {
+		return 0, false, err
+	}
+	return TaxiID(a.Taxi.ID), true, nil
+}
+
+func (s *System) makeRequest(pickup, dropoff Point, flexibility float64, offline bool) (*fleet.Request, error) {
+	if flexibility < 1.05 {
+		flexibility = 1.3
+	}
+	o, ok1 := s.spx.NearestVertex(pickup)
+	d, ok2 := s.spx.NearestVertex(dropoff)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("mtshare: endpoints off the road network")
+	}
+	if o == d {
+		return nil, fmt.Errorf("mtshare: pickup and dropoff snap to the same intersection")
+	}
+	direct := s.engine.Router().Cost(o, d)
+	speed := s.engine.Config().SpeedMps
+	s.nextReq++
+	req := &fleet.Request{
+		ID:           fleet.RequestID(s.nextReq),
+		ReleaseAt:    s.Now(),
+		Origin:       o,
+		Dest:         d,
+		Deadline:     s.Now() + time.Duration(direct/speed*flexibility*float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   1,
+		Offline:      offline,
+		OriginPt:     s.g.Point(o),
+		DestPt:       s.g.Point(d),
+	}
+	s.requests[RequestID(req.ID)] = req
+	return req, nil
+}
+
+// RideEvent reports a pickup or dropoff that occurred during Advance.
+type RideEvent struct {
+	Request RequestID
+	Taxi    TaxiID
+	// Pickup is true for pickups, false for deliveries.
+	Pickup bool
+	At     time.Duration
+}
+
+// Advance moves the world forward by d: taxis drive their planned routes,
+// firing pickups and deliveries. Idle taxis cruise toward likely demand
+// when the system runs in probabilistic mode.
+func (s *System) Advance(d time.Duration) []RideEvent {
+	dt := d.Seconds()
+	speed := s.engine.Config().SpeedMps
+	var events []RideEvent
+	for id, t := range s.taxis {
+		startNow := s.now
+		for _, v := range t.Advance(speed * dt) {
+			when := time.Duration((startNow + v.MetersIntoTick/speed) * float64(time.Second))
+			events = append(events, RideEvent{
+				Request: RequestID(v.Event.Req.ID),
+				Taxi:    id,
+				Pickup:  v.Event.Kind == fleet.Pickup,
+				At:      when,
+			})
+			if v.Event.Kind == fleet.Dropoff {
+				s.engine.OnRequestDone(v.Event.Req)
+			}
+		}
+		s.scheme.OnTaxiAdvanced(t, s.now+dt)
+		if s.scheme.Probabilistic {
+			s.scheme.PlanIdle(t, s.now+dt)
+		}
+	}
+	s.now += dt
+	return events
+}
+
+// TaxiStatus describes a taxi's current state.
+type TaxiStatus struct {
+	ID            TaxiID
+	Position      Point
+	OccupiedSeats int
+	Capacity      int
+	PendingEvents int
+}
+
+// Taxi returns the status of a taxi.
+func (s *System) Taxi(id TaxiID) (TaxiStatus, error) {
+	t, ok := s.taxis[id]
+	if !ok {
+		return TaxiStatus{}, fmt.Errorf("mtshare: unknown taxi %d", id)
+	}
+	return TaxiStatus{
+		ID:            id,
+		Position:      t.Point(),
+		OccupiedSeats: t.OccupiedSeats(),
+		Capacity:      t.Capacity,
+		PendingEvents: len(t.Schedule()),
+	}, nil
+}
+
+// FareQuote applies the payment model to a completed shared ride group.
+// Each entry pairs a passenger's direct (shortest-path) distance with the
+// distance actually ridden; routeMeters is the shared route length. See
+// payment.Model for the underlying Eqs. 5-8.
+func (s *System) FareQuote(routeMeters float64, rides []SharedRide) FareSettlement {
+	recs := make([]payment.RideRecord, len(rides))
+	for i, r := range rides {
+		recs[i] = payment.RideRecord{
+			ID:           fleet.RequestID(i + 1),
+			DirectMeters: r.DirectMeters,
+			SharedMeters: r.RiddenMeters,
+			Completed:    true,
+		}
+	}
+	st := s.pay.Settle(routeMeters, recs)
+	out := FareSettlement{
+		RouteFare:    st.RouteFare,
+		Benefit:      st.Benefit,
+		DriverIncome: st.DriverIncome,
+	}
+	for i := range rides {
+		id := fleet.RequestID(i + 1)
+		out.Fares = append(out.Fares, st.Fares[id])
+		out.Savings = append(out.Savings, st.Savings[id])
+	}
+	return out
+}
+
+// SharedRide describes one passenger of a completed shared trip.
+type SharedRide struct {
+	DirectMeters float64
+	RiddenMeters float64
+}
+
+// FareSettlement is the outcome of FareQuote, index-aligned with the
+// input rides.
+type FareSettlement struct {
+	RouteFare    float64
+	Benefit      float64
+	DriverIncome float64
+	Fares        []float64
+	Savings      []float64
+}
+
+// Stats summarises the system.
+type Stats struct {
+	RoadVertices     int
+	RoadEdges        int
+	Partitions       int
+	Taxis            int
+	Requests         int
+	IndexMemoryBytes int64
+}
+
+// Stats returns a system snapshot.
+func (s *System) Stats() Stats {
+	return Stats{
+		RoadVertices:     s.g.NumVertices(),
+		RoadEdges:        s.g.NumEdges(),
+		Partitions:       s.engine.Partitioning().NumPartitions(),
+		Taxis:            len(s.taxis),
+		Requests:         len(s.requests),
+		IndexMemoryBytes: s.engine.IndexMemoryBytes(),
+	}
+}

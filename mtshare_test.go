@@ -1,0 +1,194 @@
+package mtshare
+
+import (
+	"testing"
+	"time"
+)
+
+func newSystem(t testing.TB, probabilistic bool) *System {
+	t.Helper()
+	s, err := New(Options{Probabilistic: probabilistic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// at returns a point at fractional coordinates of the system's bounds.
+func at(s *System, fLat, fLng float64) Point {
+	min, max := s.Bounds()
+	return Point{
+		Lat: min.Lat + fLat*(max.Lat-min.Lat),
+		Lng: min.Lng + fLng*(max.Lng-min.Lng),
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	s := newSystem(t, false)
+	st := s.Stats()
+	if st.RoadVertices < 100 || st.RoadEdges < st.RoadVertices {
+		t.Fatalf("world too small: %+v", st)
+	}
+	if st.Partitions < 2 {
+		t.Fatalf("partitions = %d", st.Partitions)
+	}
+	if s.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+}
+
+func TestSubmitAndRide(t *testing.T) {
+	s := newSystem(t, false)
+	id, err := s.AddTaxi(at(s, 0.5, 0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := s.SubmitRequest(at(s, 0.52, 0.52), at(s, 0.85, 0.85), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("request not served")
+	}
+	if a.Taxi != id {
+		t.Fatalf("assigned taxi %d, want %d", a.Taxi, id)
+	}
+	if a.PickupETA < 0 || a.DropoffETA <= a.PickupETA {
+		t.Fatalf("ETAs: pickup %v dropoff %v", a.PickupETA, a.DropoffETA)
+	}
+	if a.FareEstimate <= 0 {
+		t.Fatal("no fare estimate")
+	}
+	// Ride to completion.
+	var picked, delivered bool
+	for i := 0; i < 2000 && !delivered; i++ {
+		for _, ev := range s.Advance(5 * time.Second) {
+			if ev.Request != a.Request {
+				continue
+			}
+			if ev.Pickup {
+				picked = true
+			} else {
+				delivered = true
+				if ev.At <= 0 {
+					t.Fatal("delivery with no timestamp")
+				}
+			}
+		}
+	}
+	if !picked || !delivered {
+		t.Fatalf("ride incomplete: picked=%v delivered=%v", picked, delivered)
+	}
+	ts, err := s.Taxi(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.OccupiedSeats != 0 || ts.PendingEvents != 0 {
+		t.Fatalf("taxi not idle after delivery: %+v", ts)
+	}
+}
+
+func TestRideSharingTwoPassengers(t *testing.T) {
+	s := newSystem(t, false)
+	if _, err := s.AddTaxi(at(s, 0.2, 0.2), 3); err != nil {
+		t.Fatal(err)
+	}
+	a1, ok, err := s.SubmitRequest(at(s, 0.2, 0.2), at(s, 0.85, 0.85), 1.6)
+	if err != nil || !ok {
+		t.Fatalf("first request: ok=%v err=%v", ok, err)
+	}
+	a2, ok, err := s.SubmitRequest(at(s, 0.3, 0.3), at(s, 0.75, 0.75), 1.8)
+	if err != nil || !ok {
+		t.Fatalf("second request: ok=%v err=%v", ok, err)
+	}
+	if a1.Taxi != a2.Taxi {
+		t.Fatalf("no sharing: taxis %d and %d", a1.Taxi, a2.Taxi)
+	}
+	ts, _ := s.Taxi(a1.Taxi)
+	if ts.PendingEvents != 4 {
+		t.Fatalf("pending events = %d, want 4", ts.PendingEvents)
+	}
+}
+
+func TestNoTaxiMeansUnserved(t *testing.T) {
+	s := newSystem(t, false)
+	_, ok, err := s.SubmitRequest(at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("served with no fleet")
+	}
+}
+
+func TestStreetHail(t *testing.T) {
+	s := newSystem(t, true)
+	id, err := s.AddTaxi(at(s, 0.4, 0.4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving, ok, err := s.ReportStreetHail(id, at(s, 0.41, 0.41), at(s, 0.8, 0.8), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || serving != id {
+		t.Fatalf("street hail: ok=%v serving=%d", ok, serving)
+	}
+	if _, _, err := s.ReportStreetHail(999, at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.5); err == nil {
+		t.Fatal("unknown taxi accepted")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := newSystem(t, false)
+	p := at(s, 0.5, 0.5)
+	if _, _, err := s.SubmitRequest(p, p, 1.3); err == nil {
+		t.Fatal("degenerate request accepted")
+	}
+}
+
+func TestFareQuote(t *testing.T) {
+	s := newSystem(t, false)
+	fs := s.FareQuote(9000, []SharedRide{
+		{DirectMeters: 6000, RiddenMeters: 7000},
+		{DirectMeters: 5000, RiddenMeters: 5000},
+	})
+	if fs.Benefit <= 0 {
+		t.Fatalf("no benefit: %+v", fs)
+	}
+	if len(fs.Fares) != 2 || len(fs.Savings) != 2 {
+		t.Fatal("fares misaligned")
+	}
+	if fs.Savings[0] <= fs.Savings[1] {
+		t.Fatal("larger detour did not earn larger saving")
+	}
+	if fs.DriverIncome <= fs.RouteFare {
+		t.Fatal("driver earned no benefit share")
+	}
+}
+
+func TestProbabilisticCruising(t *testing.T) {
+	s := newSystem(t, true)
+	id, err := s.AddTaxi(at(s, 0.1, 0.1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.Taxi(id)
+	for i := 0; i < 200; i++ {
+		s.Advance(5 * time.Second)
+	}
+	after, _ := s.Taxi(id)
+	// An idle taxi in probabilistic mode cruises toward demand.
+	if before.Position == after.Position {
+		t.Fatal("idle taxi never cruised")
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	s := newSystem(t, false)
+	s.Advance(30 * time.Second)
+	s.Advance(30 * time.Second)
+	if s.Now() != time.Minute {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
