@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/match"
+	"repro/internal/roadnet"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	expID := flag.String("experiment", "all", "experiment id (fig5..fig21, tab3..tab5, ablate-*) or a comma list or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	replicas := flag.Int("replicas", 0, "override placement-seed replicas per setting (0 = scale default)")
+	parallelism := flag.Int("parallelism", 0, "dispatch/simulation worker parallelism (0 = all CPUs, 1 = sequential; results are identical at every level)")
 	seed := flag.Int64("seed", 0, "override world seed (0 = scale default)")
 	outPath := flag.String("o", "", "also write the report to this file")
 	geoPath := flag.String("geojson", "", "write the bipartite partitioning as GeoJSON (the paper's Fig. 3b) to this file")
@@ -51,6 +54,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *parallelism < 0 {
+		fmt.Fprintln(os.Stderr, "-parallelism must be >= 0")
+		os.Exit(2)
+	}
 	if *replicas > 0 {
 		scale.Replicas = *replicas
 	}
@@ -74,6 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	lab.Parallelism = *parallelism
 	fmt.Fprintf(out, "world ready in %v: %d vertices, %d edges, peak hour %d trips\n\n",
 		time.Since(t0).Round(time.Millisecond),
 		lab.World.G.NumVertices(), lab.World.G.NumEdges(),
@@ -113,12 +121,36 @@ func main() {
 	}
 	for _, e := range todo {
 		t0 := time.Now()
+		pipe0, rt0 := lab.PipelineStats()
 		res, err := e.Run(lab)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Fprint(out, res.Render())
-		fmt.Fprintf(out, "(%s regenerated in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s regenerated in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		printPipelineDelta(out, lab, pipe0, rt0)
+		fmt.Fprintln(out)
+	}
+}
+
+// printPipelineDelta reports what the dispatch pipeline and router cache
+// did during one experiment (fresh simulations only: memoised scenario
+// recalls contribute nothing).
+func printPipelineDelta(out io.Writer, lab *experiments.Lab, pipe0 match.EngineStats, rt0 roadnet.RouterStats) {
+	pipe1, rt1 := lab.PipelineStats()
+	dispatches := pipe1.Dispatches - pipe0.Dispatches
+	if dispatches == 0 {
+		return
+	}
+	secs := func(a, b int64) float64 { return float64(a-b) / 1e9 }
+	fmt.Fprintf(out, "  dispatch stages: candidate search %.2fs, scheduling %.2fs, leg build %.2fs over %d dispatches\n",
+		secs(pipe1.CandidateSearchNanos, pipe0.CandidateSearchNanos),
+		secs(pipe1.SchedulingNanos, pipe0.SchedulingNanos),
+		secs(pipe1.LegBuildNanos, pipe0.LegBuildNanos), dispatches)
+	hits, misses := rt1.Hits-rt0.Hits, rt1.Misses-rt0.Misses
+	if q := hits + misses; q > 0 {
+		fmt.Fprintf(out, "  router cache: %.1f%% hit rate (%d queries), %d SSSP runs, %d singleflight-deduped\n",
+			100*float64(hits)/float64(q), q, misses, rt1.SingleflightDeduped-rt0.SingleflightDeduped)
 	}
 }

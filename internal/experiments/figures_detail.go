@@ -254,6 +254,7 @@ func (l *Lab) Fig21() (*Result, error) {
 		Notes: []string{"paper: execution time grows linearly with data volume; response time stays flat (110 ms workday / 420 ms weekend)"},
 	}
 	hoursSweep := []int{1, 3, 5, 7}
+	pipe0, rt0 := l.PipelineStats()
 	type variant struct {
 		scheme  SchemeName
 		window  string
@@ -278,6 +279,23 @@ func (l *Lab) Fig21() (*Result, error) {
 		}
 		r.Series = append(r.Series, exec, resp)
 	}
+	// Where the dispatch time of this sweep went, and how the shared-tree
+	// cache behaved (deltas over the sweep's own runs).
+	pipe1, rt1 := l.PipelineStats()
+	secs := func(ns int64) float64 { return float64(ns) / 1e9 }
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"dispatch stages over this sweep: candidate search %.1fs, scheduling %.1fs, leg build %.1fs (%d dispatches)",
+		secs(pipe1.CandidateSearchNanos-pipe0.CandidateSearchNanos),
+		secs(pipe1.SchedulingNanos-pipe0.SchedulingNanos),
+		secs(pipe1.LegBuildNanos-pipe0.LegBuildNanos),
+		pipe1.Dispatches-pipe0.Dispatches))
+	hits, misses := rt1.Hits-rt0.Hits, rt1.Misses-rt0.Misses
+	if q := hits + misses; q > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"router cache: %.1f%% hit rate (%d queries), %d SSSP computations, %d singleflight-deduped",
+			100*float64(hits)/float64(q), q, misses,
+			rt1.SingleflightDeduped-rt0.SingleflightDeduped))
+	}
 	return r, nil
 }
 
@@ -291,12 +309,14 @@ func (l *Lab) runHours(scheme SchemeName, window string, offline bool, hours int
 	}
 	win := Window{Day: dayOf(window), From: 7 * time.Hour, To: time.Duration(7+hours) * time.Hour}
 	reqs := l.World.Requests(win, sc.Rho, sc.OfflineFrac)
-	eng, err := sim.NewEngine(l.World.G, sch, sim.DefaultParams())
+	eng, err := sim.NewEngine(l.World.G, sch, l.simParams())
 	if err != nil {
 		return nil, err
 	}
 	eng.PlaceTaxis(sc.Taxis, sc.Capacity, l.World.Scale.Seed, win.From.Seconds())
-	return eng.Run(reqs, win.From.Seconds()), nil
+	m := eng.Run(reqs, win.From.Seconds())
+	l.collectPipelineStats(sch)
+	return m, nil
 }
 
 // AblationReorder quantifies the scheduling choice §IV-C2 makes: how much

@@ -65,8 +65,20 @@ func (sc Scenario) window() Window {
 type Lab struct {
 	World *World
 
+	// Parallelism is forwarded to the dispatch pipeline (match.Config) and
+	// the per-tick movement loop (sim.Params) of every scenario. 0 uses all
+	// CPUs, 1 forces sequential execution; results are identical at every
+	// level, only wall time changes.
+	Parallelism int
+
 	mu   sync.Mutex
 	runs map[Scenario]*sim.Metrics
+
+	// Pipeline observability, accumulated across every mT-Share engine the
+	// lab ran (memoised scenarios contribute once).
+	pipeMu   sync.Mutex
+	pipeline match.EngineStats
+	router   roadnet.RouterStats
 }
 
 // NewLab builds a lab (and its world) for a scale.
@@ -151,6 +163,7 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		cfg.Lambda = sc.Lambda
 		cfg.ExhaustiveReorder = sc.Reorder
 		cfg.ProbMaxLegInflation = sc.ProbInflation
+		cfg.Parallelism = l.Parallelism
 		eng, err := match.NewEngine(pt, l.World.Spx, cfg)
 		if err != nil {
 			return nil, err
@@ -176,18 +189,57 @@ func (l *Lab) Run(sc Scenario) (*sim.Metrics, error) {
 		return nil, err
 	}
 	reqs := l.World.Requests(sc.window(), sc.Rho, sc.OfflineFrac)
-	eng, err := sim.NewEngine(l.World.G, scheme, sim.DefaultParams())
+	eng, err := sim.NewEngine(l.World.G, scheme, l.simParams())
 	if err != nil {
 		return nil, err
 	}
 	start := sc.window().From.Seconds()
 	eng.PlaceTaxis(sc.Taxis, sc.Capacity, l.World.Scale.Seed+int64(sc.Replica)*1009, start)
 	m := eng.Run(reqs, start)
+	l.collectPipelineStats(scheme)
 
 	l.mu.Lock()
 	l.runs[sc] = m
 	l.mu.Unlock()
 	return m, nil
+}
+
+// simParams builds the simulation parameters for a lab run.
+func (l *Lab) simParams() sim.Params {
+	p := sim.DefaultParams()
+	p.Parallelism = l.Parallelism
+	return p
+}
+
+// collectPipelineStats folds a finished scheme's dispatch-pipeline and
+// router-cache counters into the lab-wide accumulators.
+func (l *Lab) collectPipelineStats(scheme dispatch.Scheme) {
+	s, ok := scheme.(interface {
+		Stats() match.EngineStats
+		Router() *roadnet.Router
+	})
+	if !ok {
+		return
+	}
+	rs := s.Router().Stats()
+	l.pipeMu.Lock()
+	l.pipeline.Add(s.Stats())
+	l.router.Hits += rs.Hits
+	l.router.Misses += rs.Misses
+	l.router.SingleflightDeduped += rs.SingleflightDeduped
+	l.router.CachedTrees += rs.CachedTrees
+	l.router.MemoryBytes += rs.MemoryBytes
+	l.pipeMu.Unlock()
+}
+
+// PipelineStats returns the dispatch-pipeline counters and router-cache
+// totals accumulated over every mT-Share engine the lab has run. The
+// router snapshot aggregates per-engine caches (CachedTrees/MemoryBytes
+// sum over engines; Shards is not populated).
+func (l *Lab) PipelineStats() (match.EngineStats, roadnet.RouterStats) {
+	l.pipeMu.Lock()
+	defer l.pipeMu.Unlock()
+	return l.pipeline, l.router
 }
 
 // RunAvg runs a scenario once per replica (varying taxi placement) and

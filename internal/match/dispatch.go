@@ -2,6 +2,9 @@ package match
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/roadnet"
@@ -24,65 +27,161 @@ type Assignment struct {
 	Candidates int
 }
 
+// candResult is one candidate taxi's best schedule instance, computed
+// independently of every other candidate so the per-candidate work can fan
+// out across workers.
+type candResult struct {
+	taxi   *fleet.Taxi
+	events []fleet.Event
+	legs   [][]roadnet.VertexID // probabilistic plans materialise eagerly
+	eval   fleet.EvalResult
+	detour float64
+	ok     bool
+}
+
+// better orders candidate results deterministically: by detour cost, then
+// by taxi ID. The taxi-ID tie-break makes the winner independent of both
+// candidate-list iteration order (a map walk) and goroutine completion
+// order, so sequential and parallel dispatch provably agree.
+func (a *candResult) better(b *candResult) bool {
+	if !a.ok || !b.ok {
+		return a.ok
+	}
+	if a.detour != b.detour {
+		return a.detour < b.detour
+	}
+	return a.taxi.ID < b.taxi.ID
+}
+
+// evalCandidate runs the per-candidate half of Alg. 1 for one taxi: it
+// enumerates schedule instances (insertion-only, exhaustive reorder, or
+// probabilistic) and keeps the feasible one with the minimum travel cost.
+// Ties between instances of the same taxi resolve by enumeration order,
+// which is deterministic. It only reads engine and taxi state; the caller
+// holds the fleet read lock.
+func (e *Engine) evalCandidate(t *fleet.Taxi, req *fleet.Request, nowSeconds float64, probabilistic bool) candResult {
+	res := candResult{taxi: t}
+	params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
+	if probabilistic && e.ProbEnabled(t) {
+		for _, cand := range fleet.InsertionCandidates(t.Schedule(), req) {
+			legs, eval, ok := e.ProbabilisticPlan(cand, t, nowSeconds)
+			if !ok {
+				continue
+			}
+			detour := eval.TotalMeters - t.RemainingMeters()
+			if !res.ok || detour < res.detour {
+				res.events, res.legs, res.eval, res.detour = cand, legs, eval, detour
+				res.ok = true
+			}
+		}
+		return res
+	}
+	var (
+		sched []fleet.Event
+		eval  fleet.EvalResult
+		ok    bool
+	)
+	if e.cfg.ExhaustiveReorder {
+		sched, eval, ok = fleet.BestReorder(t.Schedule(), req, e.BasicLegCost, params, e.cfg.reorderBudget())
+	} else {
+		sched, eval, ok = fleet.BestInsertion(t.Schedule(), req, e.BasicLegCost, params, false)
+	}
+	if !ok {
+		return res
+	}
+	res.events, res.eval, res.detour, res.ok = sched, eval, eval.TotalMeters-t.RemainingMeters(), true
+	return res
+}
+
+// evalCandidates computes every candidate's best schedule instance,
+// fanning the work across min(Parallelism, len(cands)) workers. Results
+// land in candidate-list order regardless of completion order; the
+// deterministic reduction happens in Dispatch.
+func (e *Engine) evalCandidates(cands []*fleet.Taxi, req *fleet.Request, nowSeconds float64, probabilistic bool) []candResult {
+	results := make([]candResult, len(cands))
+	workers := e.cfg.parallelism()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, t := range cands {
+			results[i] = e.evalCandidate(t, req, nowSeconds, probabilistic)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				results[i] = e.evalCandidate(cands[i], req, nowSeconds, probabilistic)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
 // Dispatch implements Alg. 1: search candidate taxis for the request,
 // enumerate every schedule insertion per candidate, route each instance
 // (basic routing, or probabilistic routing for eligible taxis when
 // probabilistic is set), and return the assignment with the minimum
-// detour cost. ok is false when no taxi can feasibly serve the request.
+// detour cost, tie-broken by taxi ID. The per-candidate work runs on a
+// bounded worker pool (Config.Parallelism); the reduction is a total
+// order, so parallel and sequential dispatch return bit-identical
+// assignments. ok is false when no taxi can feasibly serve the request.
 //
-// Dispatch does not mutate any state; apply the returned assignment with
-// Commit.
+// Dispatch does not mutate any fleet state; apply the returned assignment
+// with Commit.
 func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic bool) (Assignment, bool) {
+	t0 := time.Now()
 	cands := e.CandidateTaxis(req, nowSeconds)
+	e.counters.candidateSearchNanos.Add(time.Since(t0).Nanoseconds())
 	e.counters.dispatches.Add(1)
 	e.counters.candidatesExamined.Add(int64(len(cands)))
 	best := Assignment{Req: req, Candidates: len(cands)}
-	found := false
-	for _, t := range cands {
-		params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
-		if probabilistic && e.ProbEnabled(t) {
-			for _, cand := range fleet.InsertionCandidates(t.Schedule(), req) {
-				legs, eval, ok := e.ProbabilisticPlan(cand, t, nowSeconds)
-				if !ok {
-					continue
-				}
-				detour := eval.TotalMeters - t.RemainingMeters()
-				if !found || detour < best.DetourMeters {
-					best.Taxi, best.Events, best.Legs, best.Eval, best.DetourMeters = t, cand, legs, eval, detour
-					found = true
-				}
-			}
-			continue
-		}
-		var (
-			sched []fleet.Event
-			eval  fleet.EvalResult
-			ok    bool
-		)
-		if e.cfg.ExhaustiveReorder {
-			sched, eval, ok = fleet.BestReorder(t.Schedule(), req, e.BasicLegCost, params, e.cfg.reorderBudget())
-		} else {
-			sched, eval, ok = fleet.BestInsertion(t.Schedule(), req, e.BasicLegCost, params, false)
-		}
-		if !ok {
-			continue
-		}
-		detour := eval.TotalMeters - t.RemainingMeters()
-		if !found || detour < best.DetourMeters {
-			best.Taxi, best.Events, best.Eval, best.DetourMeters = t, sched, eval, detour
-			best.Legs = nil // materialised below
-			found = true
-		}
-	}
-	if !found {
+	if len(cands) == 0 {
 		return best, false
 	}
+
+	// The evaluation only reads taxi state, but a concurrent Commit (or
+	// ReindexTaxi) may not mutate it mid-evaluation; hold the fleet read
+	// lock across the fan-out and the winner's leg materialisation.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	t1 := time.Now()
+	results := e.evalCandidates(cands, req, nowSeconds, probabilistic)
+	win := -1
+	for i := range results {
+		if !results[i].ok {
+			continue
+		}
+		if win < 0 || results[i].better(&results[win]) {
+			win = i
+		}
+	}
+	e.counters.schedulingNanos.Add(time.Since(t1).Nanoseconds())
+	if win < 0 {
+		return best, false
+	}
+	w := &results[win]
+	best.Taxi, best.Events, best.Legs, best.Eval, best.DetourMeters = w.taxi, w.events, w.legs, w.eval, w.detour
+
 	if best.Legs == nil {
+		t2 := time.Now()
 		vertices := make([]roadnet.VertexID, len(best.Events))
 		for i, ev := range best.Events {
 			vertices[i] = ev.Vertex()
 		}
 		legs, ok := e.BuildBasicLegs(best.Taxi.NextVertex(), vertices)
+		e.counters.legBuildNanos.Add(time.Since(t2).Nanoseconds())
 		if !ok {
 			return best, false
 		}
@@ -92,12 +191,18 @@ func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic 
 }
 
 // Commit applies an assignment: installs the plan on the taxi, refreshes
-// its indexes, and registers the request in the mobility clusters.
+// its indexes, and registers the request in the mobility clusters. The
+// plan installation takes the fleet write lock, so committing while other
+// goroutines dispatch is safe; SetPlan re-validates the schedule against
+// the taxi's current passengers, so a stale assignment fails cleanly.
 func (e *Engine) Commit(a Assignment, nowSeconds float64) error {
 	if a.Taxi == nil {
 		return fmt.Errorf("match: committing empty assignment")
 	}
-	if err := a.Taxi.SetPlan(a.Events, a.Legs); err != nil {
+	e.mu.Lock()
+	err := a.Taxi.SetPlan(a.Events, a.Legs)
+	e.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	e.counters.assignments.Add(1)
@@ -110,12 +215,15 @@ func (e *Engine) Commit(a Assignment, nowSeconds float64) error {
 // met offline request req; the server checks whether req can be validly
 // inserted into t's schedule and commits the insertion when possible.
 func (e *Engine) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool {
+	e.mu.RLock()
 	if t.IdleSeats() < req.Passengers {
+		e.mu.RUnlock()
 		return false
 	}
 	params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
 	sched, eval, ok := fleet.BestInsertion(t.Schedule(), req, e.BasicLegCost, params, false)
 	if !ok {
+		e.mu.RUnlock()
 		return false
 	}
 	vertices := make([]roadnet.VertexID, len(sched))
@@ -123,6 +231,7 @@ func (e *Engine) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds f
 		vertices[i] = ev.Vertex()
 	}
 	legs, ok := e.BuildBasicLegs(t.NextVertex(), vertices)
+	e.mu.RUnlock()
 	if !ok {
 		return false
 	}

@@ -9,6 +9,7 @@ package match
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"repro/internal/fleet"
@@ -46,6 +47,12 @@ type Config struct {
 	// RouterCacheTrees bounds the shortest-path cache (trees kept).
 	RouterCacheTrees int
 
+	// Parallelism bounds the worker pool that fans the per-candidate
+	// scheduling work of Dispatch. 0 uses runtime.GOMAXPROCS(0); 1 is
+	// strictly sequential. The reduction is deterministic: every
+	// parallelism level returns bit-identical assignments.
+	Parallelism int
+
 	// ExhaustiveReorder enables full schedule rearrangement instead of
 	// insertion-only scheduling — the theoretically better variant §IV-C2
 	// rules out as prohibitive; exposed for the ablation that quantifies
@@ -59,6 +66,14 @@ type Config struct {
 	// detour trade-off the paper defers to future work. 0 disables the
 	// bound (legs are limited only by deadlines).
 	ProbMaxLegInflation float64
+}
+
+// parallelism returns the effective dispatch worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
 }
 
 func (c Config) reorderBudget() int {
@@ -103,6 +118,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("match: ReorderBudget %d negative", c.ReorderBudget)
 	case c.ProbMaxLegInflation != 0 && c.ProbMaxLegInflation < 1:
 		return fmt.Errorf("match: ProbMaxLegInflation %v below 1", c.ProbMaxLegInflation)
+	case c.Parallelism < 0:
+		return fmt.Errorf("match: Parallelism %d negative", c.Parallelism)
 	}
 	return nil
 }
@@ -121,6 +138,10 @@ type Engine struct {
 	clusters *mobcluster.Clusters
 	pindex   *index.PartitionIndex
 
+	// mu guards the taxi registry and serialises fleet-state access:
+	// Dispatch evaluates candidates under the read lock while Commit
+	// installs plans under the write lock, so concurrent dispatching,
+	// committing, and reindexing never observe a half-written schedule.
 	mu    sync.RWMutex
 	taxis map[int64]*fleet.Taxi
 
@@ -203,14 +224,29 @@ func (e *Engine) NumTaxis() int {
 
 // ReindexTaxi refreshes the partition index and mobility cluster of a taxi
 // after its plan or position changed (the paper updates indexes when
-// requests are received or finished).
+// requests are received or finished). The taxi is read under the fleet
+// read lock so reindexing is safe against concurrent Commit calls.
 func (e *Engine) ReindexTaxi(t *fleet.Taxi, nowSeconds float64) {
-	e.pindex.Update(t.ID, t.At(), t.Route(), nowSeconds, e.cfg.SpeedMps)
-	if v, ok := t.MobilityVector(); ok {
+	e.mu.RLock()
+	at := t.At()
+	route := t.Route()
+	v, hasVec := t.MobilityVector()
+	e.pindex.Update(t.ID, at, route, nowSeconds, e.cfg.SpeedMps)
+	e.mu.RUnlock()
+	if hasVec {
 		e.clusters.UpdateTaxi(t.ID, v)
 	} else {
 		e.clusters.RemoveTaxi(t.ID)
 	}
+}
+
+// installPlan installs a plan on a taxi under the fleet write lock; the
+// scheme uses it for idle cruises so plan mutation stays serialised
+// against concurrent dispatch evaluation.
+func (e *Engine) installPlan(t *fleet.Taxi, events []fleet.Event, legs [][]roadnet.VertexID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return t.SetPlan(events, legs)
 }
 
 // OnRequestAssigned records a request's cluster membership.

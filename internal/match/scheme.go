@@ -112,7 +112,7 @@ func (s *Scheme) PlanIdle(t *fleet.Taxi, nowSeconds float64) bool {
 	if !ok {
 		return false
 	}
-	if err := t.SetPlan(nil, [][]roadnet.VertexID{path}); err != nil {
+	if err := s.installPlan(t, nil, [][]roadnet.VertexID{path}); err != nil {
 		return false
 	}
 	s.counters.cruisePlans.Add(1)

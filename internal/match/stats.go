@@ -29,6 +29,30 @@ type EngineStats struct {
 	OfflineInsertions int64
 	// CruisePlans counts installed idle cruises.
 	CruisePlans int64
+	// Per-stage cumulative wall time of Dispatch: candidate search,
+	// schedule enumeration + routing (the parallel fan-out), and the
+	// winner's leg materialisation.
+	CandidateSearchNanos int64
+	SchedulingNanos      int64
+	LegBuildNanos        int64
+}
+
+// Add accumulates another snapshot into s (used when aggregating stats
+// across engines, e.g. over an experiment suite).
+func (s *EngineStats) Add(o EngineStats) {
+	s.Dispatches += o.Dispatches
+	s.Assignments += o.Assignments
+	s.CandidatesExamined += o.CandidatesExamined
+	s.PrunedByDirection += o.PrunedByDirection
+	s.PrunedByCapacity += o.PrunedByCapacity
+	s.PrunedByReachability += o.PrunedByReachability
+	s.ProbabilisticPlans += o.ProbabilisticPlans
+	s.ProbabilisticFailures += o.ProbabilisticFailures
+	s.OfflineInsertions += o.OfflineInsertions
+	s.CruisePlans += o.CruisePlans
+	s.CandidateSearchNanos += o.CandidateSearchNanos
+	s.SchedulingNanos += o.SchedulingNanos
+	s.LegBuildNanos += o.LegBuildNanos
 }
 
 // engineCounters is the atomic backing store inside the Engine.
@@ -43,6 +67,9 @@ type engineCounters struct {
 	probabilisticFailures atomic.Int64
 	offlineInsertions     atomic.Int64
 	cruisePlans           atomic.Int64
+	candidateSearchNanos  atomic.Int64
+	schedulingNanos       atomic.Int64
+	legBuildNanos         atomic.Int64
 }
 
 // Stats returns a snapshot of the engine's pipeline counters.
@@ -58,5 +85,8 @@ func (e *Engine) Stats() EngineStats {
 		ProbabilisticFailures: e.counters.probabilisticFailures.Load(),
 		OfflineInsertions:     e.counters.offlineInsertions.Load(),
 		CruisePlans:           e.counters.cruisePlans.Load(),
+		CandidateSearchNanos:  e.counters.candidateSearchNanos.Load(),
+		SchedulingNanos:       e.counters.schedulingNanos.Load(),
+		LegBuildNanos:         e.counters.legBuildNanos.Load(),
 	}
 }

@@ -1,0 +1,124 @@
+package roadnet
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRouterSingleflightDedup asserts that K concurrent misses for the
+// same source compute exactly one SSSP tree: the miss counter advances by
+// one per distinct source no matter how many goroutines race on it, and
+// the racers are accounted as singleflight waiters or cache hits.
+func TestRouterSingleflightDedup(t *testing.T) {
+	// A big enough city that one SSSP takes long enough for concurrently
+	// started goroutines to observe it in flight.
+	g, err := GenerateCity(DefaultCityParams(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 256)
+	n := g.NumVertices()
+	const K = 16
+	const maxRounds = 64
+	rounds := 0
+	for round := 0; round < maxRounds; round++ {
+		rounds++
+		src := VertexID((round * 131) % n)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < K; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				// Offset from src so dst never equals src (a src==dst
+				// query short-circuits without touching the cache).
+				dst := VertexID((int(src) + i*31 + 7) % n)
+				if c := r.Cost(src, dst); c < 0 {
+					t.Errorf("negative cost %v", c)
+				}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		st := r.Stats()
+		// The singleflight guarantee: K concurrent misses on one source
+		// still compute exactly one tree per distinct source.
+		if st.Misses != int64(round+1) {
+			t.Fatalf("round %d: %d SSSP computations for %d distinct sources (want one each)",
+				round, st.Misses, round+1)
+		}
+		if st.SingleflightDeduped > 0 && round >= 3 {
+			break // concurrency observed; totals checked below
+		}
+	}
+	st := r.Stats()
+	if st.Misses != int64(rounds) {
+		t.Fatalf("misses = %d, want %d", st.Misses, rounds)
+	}
+	// Every non-computing query either hit the cache (arrived after the
+	// tree landed) or waited on the in-flight call.
+	if got := st.Hits + st.SingleflightDeduped; got != int64(rounds*(K-1)) {
+		t.Fatalf("hits+deduped = %d, want %d", got, rounds*(K-1))
+	}
+	if st.SingleflightDeduped == 0 {
+		t.Skipf("no concurrent overlap observed in %d rounds (single-CPU runner?); dedup accounting not exercised", rounds)
+	}
+}
+
+// TestRouterShardStatsConsistent checks that the per-shard breakdown sums
+// to the aggregate totals and that the running memory counter matches the
+// cached trees.
+func TestRouterShardStatsConsistent(t *testing.T) {
+	g, err := GenerateCity(DefaultCityParams(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 512)
+	if r.NumShards() < 2 {
+		t.Fatalf("capacity 512 should shard the cache, got %d shards", r.NumShards())
+	}
+	n := g.NumVertices()
+	for i := 0; i < 200; i++ {
+		_ = r.Cost(VertexID((i*13)%n), VertexID((i*7+1)%n))
+	}
+	st := r.Stats()
+	if len(st.Shards) != r.NumShards() {
+		t.Fatalf("got %d shard stats for %d shards", len(st.Shards), r.NumShards())
+	}
+	var hits, misses, dedup int64
+	var trees int
+	var mem int64
+	for _, s := range st.Shards {
+		hits += s.Hits
+		misses += s.Misses
+		dedup += s.Deduped
+		trees += s.CachedTrees
+		mem += s.MemoryBytes
+	}
+	if hits != st.Hits || misses != st.Misses || dedup != st.SingleflightDeduped {
+		t.Fatalf("shard sums (%d,%d,%d) != totals (%d,%d,%d)",
+			hits, misses, dedup, st.Hits, st.Misses, st.SingleflightDeduped)
+	}
+	if trees != st.CachedTrees || mem != st.MemoryBytes {
+		t.Fatalf("shard sums trees=%d mem=%d != totals trees=%d mem=%d",
+			trees, mem, st.CachedTrees, st.MemoryBytes)
+	}
+	// The running memory counter must agree with a direct recount.
+	perTree := (&SSSPResult{Dist: make([]float64, n), Parent: make([]VertexID, n)}).MemoryBytes()
+	if want := int64(st.CachedTrees * perTree); st.MemoryBytes != want {
+		t.Fatalf("MemoryBytes = %d, recount = %d", st.MemoryBytes, want)
+	}
+	// Evictions must keep the counter in step: shrink via a tiny router.
+	small := NewRouter(g, 2)
+	for i := 0; i < 10; i++ {
+		_ = small.Cost(VertexID(i), VertexID(i+1))
+	}
+	sst := small.Stats()
+	if sst.CachedTrees > 2 {
+		t.Fatalf("capacity 2 holds %d trees", sst.CachedTrees)
+	}
+	if want := int64(sst.CachedTrees * perTree); sst.MemoryBytes != want {
+		t.Fatalf("after evictions MemoryBytes = %d, recount = %d", sst.MemoryBytes, want)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dispatch"
+	"repro/internal/match"
+)
+
+// mtShareParallel builds the mT-Share scheme with an explicit dispatch
+// parallelism.
+func (w *world) mtShareParallel(t testing.TB, probabilistic bool, parallelism int) dispatch.Scheme {
+	t.Helper()
+	cfg := match.DefaultConfig()
+	cfg.SearchRangeMeters = 2500
+	cfg.Parallelism = parallelism
+	e, err := match.NewEngine(w.pt, w.spx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return match.NewScheme(e, probabilistic)
+}
+
+// TestSimParallelMatchesSequential runs the same seeded peak hour with
+// sequential and parallel tick movement plus sequential and parallel
+// dispatch, and requires identical simulation outcomes: per-request served
+// and delivery flags, pickup/dropoff times, and fleet odometer totals
+// (ResponseNanos is wall-clock and excluded).
+func TestSimParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hour simulation")
+	}
+	w := newWorld(t)
+	run := func(simPar, dispatchPar int) *Metrics {
+		reqs := w.peakRequests(t, 0.2)
+		params := DefaultParams()
+		params.Parallelism = simPar
+		eng, err := NewEngine(w.g, w.mtShareParallel(t, true, dispatchPar), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := 8 * 3600.0
+		eng.PlaceTaxis(40, 3, 1, start)
+		return eng.Run(reqs, start)
+	}
+	base := run(1, 1)
+	if base.Served == 0 || base.Delivered == 0 {
+		t.Fatal("baseline run served nothing; test is vacuous")
+	}
+	for _, c := range [][2]int{{4, 1}, {1, 8}, {4, 8}} {
+		got := run(c[0], c[1])
+		if got.Served != base.Served || got.Delivered != base.Delivered ||
+			got.ServedOffline != base.ServedOffline {
+			t.Fatalf("simPar=%d dispatchPar=%d: served/delivered (%d,%d) vs baseline (%d,%d)",
+				c[0], c[1], got.Served, got.Delivered, base.Served, base.Delivered)
+		}
+		if math.Float64bits(got.TaxiMeters) != math.Float64bits(base.TaxiMeters) {
+			t.Fatalf("simPar=%d dispatchPar=%d: TaxiMeters %v vs %v",
+				c[0], c[1], got.TaxiMeters, base.TaxiMeters)
+		}
+		if math.Float64bits(got.PassengerMeters) != math.Float64bits(base.PassengerMeters) {
+			t.Fatalf("simPar=%d dispatchPar=%d: PassengerMeters %v vs %v",
+				c[0], c[1], got.PassengerMeters, base.PassengerMeters)
+		}
+		if len(got.Records) != len(base.Records) {
+			t.Fatalf("simPar=%d dispatchPar=%d: %d records vs %d",
+				c[0], c[1], len(got.Records), len(base.Records))
+		}
+		for i, br := range base.Records {
+			gr := got.Records[i]
+			if gr.Req.ID != br.Req.ID || gr.Served != br.Served || gr.Delivered != br.Delivered {
+				t.Fatalf("simPar=%d dispatchPar=%d: record %d flags differ", c[0], c[1], i)
+			}
+			if math.Float64bits(gr.PickupSeconds) != math.Float64bits(br.PickupSeconds) ||
+				math.Float64bits(gr.DropoffSeconds) != math.Float64bits(br.DropoffSeconds) ||
+				math.Float64bits(gr.AssignSeconds) != math.Float64bits(br.AssignSeconds) {
+				t.Fatalf("simPar=%d dispatchPar=%d: record %d (req %d) times differ",
+					c[0], c[1], i, gr.Req.ID)
+			}
+		}
+	}
+}

@@ -11,7 +11,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dispatch"
@@ -40,6 +43,12 @@ type Params struct {
 	Payment payment.Model
 	// SettlePayments enables fare settlement.
 	SettlePayments bool
+	// Parallelism bounds the workers that advance the fleet each tick.
+	// 0 uses runtime.GOMAXPROCS(0); 1 is strictly sequential. Taxi
+	// movement is taxi-local, and the fired events are applied in taxi-ID
+	// order afterwards, so every parallelism level produces an identical
+	// simulation.
+	Parallelism int
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -66,8 +75,18 @@ func (p Params) Validate() error {
 		return fmt.Errorf("sim: EncounterRadiusMeters negative")
 	case p.MaxDrainSeconds < 0:
 		return fmt.Errorf("sim: MaxDrainSeconds negative")
+	case p.Parallelism < 0:
+		return fmt.Errorf("sim: Parallelism negative")
 	}
 	return nil
+}
+
+// parallelism returns the effective per-tick worker count.
+func (p Params) parallelism() int {
+	if p.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Parallelism
 }
 
 // RequestRecord tracks one request through the simulation.
@@ -256,23 +275,67 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 	return true
 }
 
+// tickOutcome is one taxi's movement result for a tick, collected during
+// the parallel advance phase and applied sequentially.
+type tickOutcome struct {
+	startOdo   float64
+	wasOnboard int
+	visits     []fleet.EventVisit
+}
+
 // advanceTaxis moves every taxi by speed·dt, processing fired events in
-// order and keeping odometers, episodes, and the taxi grid current.
+// order and keeping odometers, episodes, and the taxi grid current. The
+// movement itself (polyline walking plus event firing inside the taxi) is
+// taxi-local, so it fans out across Params.Parallelism workers; the
+// engine-level consequences — request records, settlement episodes, grid
+// updates, scheme callbacks — are applied afterwards in fleet order, so
+// the simulation is deterministic at every parallelism level.
 func (e *Engine) advanceTaxis(now, dt float64) {
 	distance := e.params.SpeedMps * dt
-	for _, t := range e.taxis {
-		startOdo := t.Odometer()
-		wasOnboard := t.OccupiedSeats()
-		visits := t.Advance(distance)
-		for _, v := range visits {
-			eventOdo := startOdo + v.MetersIntoTick
+	outs := make([]tickOutcome, len(e.taxis))
+	advance := func(i int) {
+		t := e.taxis[i]
+		outs[i] = tickOutcome{startOdo: t.Odometer(), wasOnboard: t.OccupiedSeats()}
+		outs[i].visits = t.Advance(distance)
+	}
+	workers := e.params.parallelism()
+	if workers > len(e.taxis) {
+		workers = len(e.taxis)
+	}
+	if workers <= 1 {
+		for i := range e.taxis {
+			advance(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(e.taxis) {
+						return
+					}
+					advance(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, t := range e.taxis {
+		o := outs[i]
+		wasOnboard := o.wasOnboard
+		for _, v := range o.visits {
+			eventOdo := o.startOdo + v.MetersIntoTick
 			eventTime := now + v.MetersIntoTick/e.params.SpeedMps
 			e.processEvent(t, v.Event, eventOdo, eventTime, &wasOnboard)
 		}
 		if t.OccupiedSeats() > 0 {
 			e.occupiedSecs += dt
 		}
-		if t.Odometer() != startOdo || len(visits) > 0 {
+		if t.Odometer() != o.startOdo || len(o.visits) > 0 {
 			e.taxiGrid.Update(t.ID, t.Point())
 		}
 		e.scheme.OnTaxiAdvanced(t, now+dt)
