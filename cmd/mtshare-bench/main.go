@@ -16,12 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -34,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "override world seed (0 = scale default)")
 	outPath := flag.String("o", "", "also write the report to this file")
 	geoPath := flag.String("geojson", "", "write the bipartite partitioning as GeoJSON (the paper's Fig. 3b) to this file")
+	traceSample := flag.Int("trace-sample", 0, "print the span tree of one in N dispatches to stderr (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +89,36 @@ func main() {
 		os.Exit(1)
 	}
 	lab.Parallelism = *parallelism
+	if *traceSample > 0 {
+		lab.TraceEvery = *traceSample
+		lab.TraceHandler = func(sp *obs.Span) {
+			fmt.Fprintf(os.Stderr, "dispatch trace:\n%s", sp.Tree())
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	fmt.Fprintf(out, "world ready in %v: %d vertices, %d edges, peak hour %d trips\n\n",
 		time.Since(t0).Round(time.Millisecond),
 		lab.World.G.NumVertices(), lab.World.G.NumEdges(),

@@ -7,14 +7,20 @@
 // Usage:
 //
 //	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
+//	               [-trace-sample N] [-pprof]
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the /api/ aliases are deprecated):
 //
-//	POST /api/taxis     {"lat":..,"lng":..,"capacity":3}        -> {"id":..}
-//	GET  /api/taxis                                             -> fleet status
-//	POST /api/requests  {"pickup":{...},"dropoff":{...},"rho":1.3} -> assignment
-//	GET  /api/requests?id=N                                     -> request status
-//	GET  /api/stats                                             -> engine statistics
+//	POST /v1/taxis     {"lat":..,"lng":..,"capacity":3}        -> {"id":..}
+//	GET  /v1/taxis                                             -> fleet status
+//	POST /v1/requests  {"pickup":{...},"dropoff":{...},"rho":1.3} -> assignment
+//	GET  /v1/requests?id=N                                     -> request status
+//	GET  /v1/stats                                             -> engine statistics
+//	GET  /v1/metrics                                           -> Prometheus text metrics
+//	GET  /debug/pprof/                                         -> profiling (with -pprof)
+//
+// With -trace-sample N, one in N dispatches logs its sampled span tree
+// (candidate search, scheduling, leg build) to stderr.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -35,13 +43,22 @@ func main() {
 	capacity := flag.Int("capacity", 3, "taxi capacity")
 	speedup := flag.Float64("speedup", 20, "simulation clock speedup over wall clock")
 	seed := flag.Int64("seed", 1, "world seed")
+	traceSample := flag.Int("trace-sample", 0, "log the span tree of one in N dispatches (0 disables)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		CityRows: *rows, CityCols: *cols,
 		InitialTaxis: *taxis, Capacity: *capacity,
 		Speedup: *speedup, Seed: *seed,
-	})
+	}
+	if *traceSample > 0 {
+		cfg.TraceSampleEvery = *traceSample
+		cfg.TraceHandler = func(sp *obs.Span) {
+			log.Printf("dispatch trace:\n%s", sp.Tree())
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -49,7 +66,17 @@ func main() {
 	srv.Start()
 	defer srv.Stop()
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	log.Printf("mT-Share dispatch service on %s (city %dx%d, %d taxis, %gx clock)",
 		*addr, *rows, *cols, *taxis, *speedup)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -1,0 +1,29 @@
+package mtshare
+
+import "errors"
+
+// Sentinel errors returned by the facade (and mapped to HTTP error codes
+// by internal/server). Match them with errors.Is; they may arrive wrapped
+// with situational detail.
+var (
+	// ErrNoTaxiAvailable reports that dispatch ran but no taxi could
+	// feasibly serve the request within its constraints. The Assignment
+	// returned alongside it still carries the candidate-set size.
+	ErrNoTaxiAvailable = errors.New("mtshare: no taxi can serve the request")
+
+	// ErrInvalidRequest reports a request that could not be interpreted:
+	// endpoints off the road network, degenerate pickup/dropoff, or an
+	// out-of-range flexibility factor.
+	ErrInvalidRequest = errors.New("mtshare: invalid request")
+
+	// ErrUnknownTaxi reports an operation on a taxi ID that was never
+	// registered.
+	ErrUnknownTaxi = errors.New("mtshare: unknown taxi")
+
+	// ErrInvalidOptions reports that Options.Validate rejected the
+	// configuration passed to New.
+	ErrInvalidOptions = errors.New("mtshare: invalid options")
+
+	// ErrShutdown reports an operation on a System after Close.
+	ErrShutdown = errors.New("mtshare: system is shut down")
+)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,17 +39,18 @@ func main() {
 	}
 
 	// Two passengers along the same corridor: mT-Share should pool them.
-	a1, ok, err := sys.SubmitRequest(point(0.2, 0.2), point(0.85, 0.85), 1.5)
-	if err != nil || !ok {
-		log.Fatalf("request 1 unserved (ok=%v err=%v)", ok, err)
+	ctx := context.Background()
+	a1, err := sys.SubmitRequest(ctx, point(0.2, 0.2), point(0.85, 0.85), 1.5)
+	if err != nil {
+		log.Fatalf("request 1 unserved: %v", err)
 	}
 	fmt.Printf("request %d -> taxi %d, pickup in %v, dropoff in %v (examined %d candidates, detour %.0f m)\n",
 		a1.Request, a1.Taxi, a1.PickupETA.Round(time.Second), a1.DropoffETA.Round(time.Second),
 		a1.CandidateTaxis, a1.DetourMeters)
 
-	a2, ok, err := sys.SubmitRequest(point(0.3, 0.3), point(0.7, 0.7), 1.6)
-	if err != nil || !ok {
-		log.Fatalf("request 2 unserved (ok=%v err=%v)", ok, err)
+	a2, err := sys.SubmitRequest(ctx, point(0.3, 0.3), point(0.7, 0.7), 1.6)
+	if err != nil {
+		log.Fatalf("request 2 unserved: %v", err)
 	}
 	fmt.Printf("request %d -> taxi %d (shared ride: %v)\n", a2.Request, a2.Taxi, a1.Taxi == a2.Taxi)
 

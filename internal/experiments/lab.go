@@ -8,6 +8,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/fleet"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -70,6 +71,12 @@ type Lab struct {
 	// CPUs, 1 forces sequential execution; results are identical at every
 	// level, only wall time changes.
 	Parallelism int
+
+	// TraceEvery samples one in N dispatches of every mT-Share engine the
+	// lab builds with a span tree delivered to TraceHandler; 0 disables
+	// tracing.
+	TraceEvery   int
+	TraceHandler func(*obs.Span)
 
 	mu   sync.Mutex
 	runs map[Scenario]*sim.Metrics
@@ -164,6 +171,9 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		cfg.ExhaustiveReorder = sc.Reorder
 		cfg.ProbMaxLegInflation = sc.ProbInflation
 		cfg.Parallelism = l.Parallelism
+		if l.TraceEvery > 0 {
+			cfg.Tracer = obs.NewTracer(l.TraceEvery, l.TraceHandler)
+		}
 		eng, err := match.NewEngine(pt, l.World.Spx, cfg)
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/roadnet"
 )
@@ -34,6 +35,25 @@ type PartitionIndex struct {
 	byPart  []map[int64]float64 // partition -> taxi -> arrival seconds
 	byTaxi  map[int64][]partition.ID
 	entries int
+
+	// Optional registry instruments (see InstrumentWith).
+	updates      *obs.Counter
+	entriesGauge *obs.Gauge
+	taxisGauge   *obs.Gauge
+}
+
+// InstrumentWith registers the index's instruments in reg
+// (mtshare_index_updates_total, mtshare_index_partition_entries,
+// mtshare_index_indexed_taxis) and returns the index. Call it once,
+// before concurrent use.
+func (ix *PartitionIndex) InstrumentWith(reg *obs.Registry) *PartitionIndex {
+	if reg == nil {
+		return ix
+	}
+	ix.updates = reg.Counter("mtshare_index_updates_total")
+	ix.entriesGauge = reg.Gauge("mtshare_index_partition_entries")
+	ix.taxisGauge = reg.Gauge("mtshare_index_indexed_taxis")
+	return ix
 }
 
 // NewPartitionIndex creates an index over the given partitioning with the
@@ -81,7 +101,6 @@ func (ix *PartitionIndex) Update(taxiID int64, at roadnet.VertexID, route []road
 		}
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	ix.removeLocked(taxiID)
 	parts := make([]partition.ID, 0, len(arrivals))
 	for p, t := range arrivals {
@@ -90,6 +109,13 @@ func (ix *PartitionIndex) Update(taxiID int64, at roadnet.VertexID, route []road
 	}
 	ix.byTaxi[taxiID] = parts
 	ix.entries += len(parts)
+	entries, taxis := ix.entries, len(ix.byTaxi)
+	ix.mu.Unlock()
+	if ix.updates != nil {
+		ix.updates.Inc()
+		ix.entriesGauge.Set(float64(entries))
+		ix.taxisGauge.Set(float64(taxis))
+	}
 }
 
 // Remove drops a taxi from all partition lists.

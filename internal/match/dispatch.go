@@ -1,12 +1,14 @@
 package match
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -140,13 +142,32 @@ func (e *Engine) evalCandidates(cands []*fleet.Taxi, req *fleet.Request, nowSeco
 // Dispatch does not mutate any fleet state; apply the returned assignment
 // with Commit.
 func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic bool) (Assignment, bool) {
+	return e.DispatchContext(context.Background(), req, nowSeconds, probabilistic)
+}
+
+// DispatchContext is Dispatch with a caller context: cancellation is
+// honoured between stages, and a tracer carried by the context (or the
+// engine's configured tracer) samples a span tree over the dispatch
+// stages — dispatch.candidates, dispatch.scheduling, dispatch.legbuild.
+// Every stage also lands in the mtshare_match_*_seconds histograms.
+func (e *Engine) DispatchContext(ctx context.Context, req *fleet.Request, nowSeconds float64, probabilistic bool) (Assignment, bool) {
+	if e.tracer != nil && obs.TracerFrom(ctx) == nil {
+		ctx = obs.WithTracer(ctx, e.tracer)
+	}
+	ctx, sp := obs.StartSpan(ctx, "dispatch")
+	defer sp.End()
+	tDispatch := time.Now()
+	defer e.ins.dispatchSeconds.ObserveSince(tDispatch)
+
+	_, spc := obs.StartSpan(ctx, "dispatch.candidates")
 	t0 := time.Now()
 	cands := e.CandidateTaxis(req, nowSeconds)
-	e.counters.candidateSearchNanos.Add(time.Since(t0).Nanoseconds())
-	e.counters.dispatches.Add(1)
-	e.counters.candidatesExamined.Add(int64(len(cands)))
+	e.ins.candidateSearchSeconds.ObserveSince(t0)
+	spc.End()
+	e.ins.dispatches.Inc()
+	e.ins.candidatesExamined.Add(int64(len(cands)))
 	best := Assignment{Req: req, Candidates: len(cands)}
-	if len(cands) == 0 {
+	if len(cands) == 0 || ctx.Err() != nil {
 		return best, false
 	}
 
@@ -156,6 +177,7 @@ func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 
+	_, sps := obs.StartSpan(ctx, "dispatch.scheduling")
 	t1 := time.Now()
 	results := e.evalCandidates(cands, req, nowSeconds, probabilistic)
 	win := -1
@@ -167,7 +189,8 @@ func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic 
 			win = i
 		}
 	}
-	e.counters.schedulingNanos.Add(time.Since(t1).Nanoseconds())
+	e.ins.schedulingSeconds.ObserveSince(t1)
+	sps.End()
 	if win < 0 {
 		return best, false
 	}
@@ -175,13 +198,15 @@ func (e *Engine) Dispatch(req *fleet.Request, nowSeconds float64, probabilistic 
 	best.Taxi, best.Events, best.Legs, best.Eval, best.DetourMeters = w.taxi, w.events, w.legs, w.eval, w.detour
 
 	if best.Legs == nil {
+		_, spl := obs.StartSpan(ctx, "dispatch.legbuild")
 		t2 := time.Now()
 		vertices := make([]roadnet.VertexID, len(best.Events))
 		for i, ev := range best.Events {
 			vertices[i] = ev.Vertex()
 		}
 		legs, ok := e.BuildBasicLegs(best.Taxi.NextVertex(), vertices)
-		e.counters.legBuildNanos.Add(time.Since(t2).Nanoseconds())
+		e.ins.legBuildSeconds.ObserveSince(t2)
+		spl.End()
 		if !ok {
 			return best, false
 		}
@@ -199,15 +224,17 @@ func (e *Engine) Commit(a Assignment, nowSeconds float64) error {
 	if a.Taxi == nil {
 		return fmt.Errorf("match: committing empty assignment")
 	}
+	t0 := time.Now()
 	e.mu.Lock()
 	err := a.Taxi.SetPlan(a.Events, a.Legs)
 	e.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	e.counters.assignments.Add(1)
+	e.ins.assignments.Inc()
 	e.ReindexTaxi(a.Taxi, nowSeconds)
 	e.OnRequestAssigned(a.Req)
+	e.ins.commitSeconds.ObserveSince(t0)
 	return nil
 }
 
@@ -239,6 +266,6 @@ func (e *Engine) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds f
 	if e.Commit(a, nowSeconds) != nil {
 		return false
 	}
-	e.counters.offlineInsertions.Add(1)
+	e.ins.offlineInsertions.Inc()
 	return true
 }

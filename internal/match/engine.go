@@ -16,6 +16,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/mobcluster"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/roadnet"
 )
@@ -66,6 +67,17 @@ type Config struct {
 	// detour trade-off the paper defers to future work. 0 disables the
 	// bound (legs are limited only by deadlines).
 	ProbMaxLegInflation float64
+
+	// Metrics is the registry the engine (and its router and partition
+	// index) register their instruments in, under mtshare_match_*,
+	// mtshare_roadnet_*, and mtshare_index_*. nil gives the engine a
+	// private registry, so independent engines never share counters;
+	// pass a shared registry to aggregate (e.g. the server's).
+	Metrics *obs.Registry
+
+	// Tracer samples dispatch span trees. nil disables tracing; a tracer
+	// carried by the DispatchContext context takes precedence.
+	Tracer *obs.Tracer
 }
 
 // parallelism returns the effective dispatch worker count.
@@ -162,7 +174,9 @@ type Engine struct {
 	rngMu     sync.Mutex
 	cruiseRng *rand.Rand
 
-	counters engineCounters
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	ins    instruments
 }
 
 // NewEngine builds an engine over a prepared partitioning and spatial
@@ -171,23 +185,35 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	g := pt.Graph()
 	e := &Engine{
 		cfg:         cfg,
 		g:           g,
 		pt:          pt,
 		spx:         spx,
-		router:      roadnet.NewRouter(g, cfg.RouterCacheTrees),
+		router:      roadnet.NewRouter(g, cfg.RouterCacheTrees).InstrumentWith(reg),
 		clusters:    mobcluster.New(cfg.Lambda),
-		pindex:      index.NewPartitionIndex(pt, cfg.HorizonSeconds),
+		pindex:      index.NewPartitionIndex(pt, cfg.HorizonSeconds).InstrumentWith(reg),
 		taxis:       make(map[int64]*fleet.Taxi),
 		legCache:    make(map[uint64]float64),
 		filterCache: make(map[uint64][]partition.ID),
 		cruiseRng:   rand.New(rand.NewSource(1)),
+		reg:         reg,
+		tracer:      cfg.Tracer,
+		ins:         newInstruments(reg),
 	}
 	e.router.Warm(pt.Landmarks())
 	return e, nil
 }
+
+// Metrics returns the registry holding the engine's instruments (and
+// those of its router and partition index). Serve it via
+// obs.Registry.WritePrometheus or read it via Snapshot.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -313,12 +339,12 @@ func (e *Engine) CandidateTaxis(req *fleet.Request, nowSeconds float64) []*fleet
 		// Rule 1: empty taxis in the disc partitions are always included.
 		// Occupied taxis must share the request's travel direction.
 		if !t.Empty() && !clusterTaxis[id] {
-			e.counters.prunedByDirection.Add(1)
+			e.ins.prunedByDirection.Inc()
 			continue
 		}
 		// Rule 2: spare seats.
 		if t.IdleSeats() < req.Passengers {
-			e.counters.prunedByCapacity.Add(1)
+			e.ins.prunedByCapacity.Inc()
 			continue
 		}
 		// Rule 3: reachability of the request's partition by the pickup
@@ -329,7 +355,7 @@ func (e *Engine) CandidateTaxis(req *fleet.Request, nowSeconds float64) []*fleet
 		if arr, ok := e.pindex.ArrivalAt(id, reqPart); !ok || arr > pickupDeadline {
 			lb := nowSeconds + geo.Equirect(t.Point(), req.OriginPt)/e.cfg.SpeedMps
 			if lb > pickupDeadline {
-				e.counters.prunedByReachability.Add(1)
+				e.ins.prunedByReachability.Inc()
 				continue
 			}
 		}

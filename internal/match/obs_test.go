@@ -1,0 +1,147 @@
+package match
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// TestDispatchIncrementsInstruments asserts that one dispatch+commit
+// cycle drives every stage instrument on the registry: the dispatch
+// counter, a candidate count, and one observation in each stage
+// histogram.
+func TestDispatchIncrementsInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	env := newTestEnv(t, func(c *Config) { c.Metrics = reg })
+	taxi := fleet.NewTaxi(env.g, 1, 3, env.vertexNear(t, 0.5, 0.5))
+	env.e.AddTaxi(taxi, 0)
+
+	req := env.request(1, env.vertexNear(t, 0.52, 0.52), env.vertexNear(t, 0.8, 0.8), 0, 1.6)
+	a, ok := env.e.Dispatch(req, 0, false)
+	if !ok {
+		t.Fatal("dispatch failed")
+	}
+	if err := env.e.Commit(a, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		"mtshare_match_dispatches_total":  1,
+		"mtshare_match_assignments_total": 1,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Counters["mtshare_match_candidates_examined_total"]; got < 1 {
+		t.Errorf("candidates examined = %d, want >= 1", got)
+	}
+	wantHistograms := []string{
+		"mtshare_match_dispatch_seconds",
+		"mtshare_match_candidate_search_seconds",
+		"mtshare_match_scheduling_seconds",
+		"mtshare_match_leg_build_seconds",
+		"mtshare_match_commit_seconds",
+	}
+	for _, name := range wantHistograms {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if h.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, h.Count)
+		}
+	}
+
+	// An unserved dispatch observes the stages but not the commit.
+	empty := newTestEnv(t, nil)
+	a2, ok := empty.e.Dispatch(empty.request(2, empty.vertexNear(t, 0.4, 0.4), empty.vertexNear(t, 0.8, 0.8), 0, 1.3), 0, false)
+	if ok {
+		t.Fatal("dispatch served with no fleet")
+	}
+	_ = a2
+	snap2 := empty.e.Metrics().Snapshot()
+	if got := snap2.Counters["mtshare_match_dispatches_total"]; got != 1 {
+		t.Errorf("dispatches = %d, want 1", got)
+	}
+	if got := snap2.Counters["mtshare_match_assignments_total"]; got != 0 {
+		t.Errorf("assignments = %d, want 0", got)
+	}
+	if h := snap2.Histograms["mtshare_match_dispatch_seconds"]; h.Count != 1 {
+		t.Errorf("dispatch histogram count = %d, want 1", h.Count)
+	}
+}
+
+// TestEngineStatsMatchesRegistry asserts the legacy EngineStats view is
+// derived from the same registry instruments.
+func TestEngineStatsMatchesRegistry(t *testing.T) {
+	env := newTestEnv(t, nil)
+	taxi := fleet.NewTaxi(env.g, 1, 3, env.vertexNear(t, 0.5, 0.5))
+	env.e.AddTaxi(taxi, 0)
+	req := env.request(1, env.vertexNear(t, 0.52, 0.52), env.vertexNear(t, 0.8, 0.8), 0, 1.6)
+	if _, ok := env.e.Dispatch(req, 0, false); !ok {
+		t.Fatal("dispatch failed")
+	}
+	st := env.e.Stats()
+	snap := env.e.Metrics().Snapshot()
+	if st.Dispatches != snap.Counters["mtshare_match_dispatches_total"] {
+		t.Errorf("Dispatches %d != counter %d", st.Dispatches, snap.Counters["mtshare_match_dispatches_total"])
+	}
+	if st.CandidatesExamined != snap.Counters["mtshare_match_candidates_examined_total"] {
+		t.Errorf("CandidatesExamined %d != counter %d", st.CandidatesExamined, snap.Counters["mtshare_match_candidates_examined_total"])
+	}
+	if st.CandidateSearchNanos <= 0 || st.SchedulingNanos <= 0 {
+		t.Errorf("stage nanos not derived from histograms: %+v", st)
+	}
+}
+
+// TestDispatchContextTracing asserts a context-carried tracer samples a
+// span tree whose children are the dispatch stages.
+func TestDispatchContextTracing(t *testing.T) {
+	env := newTestEnv(t, nil)
+	taxi := fleet.NewTaxi(env.g, 1, 3, env.vertexNear(t, 0.5, 0.5))
+	env.e.AddTaxi(taxi, 0)
+
+	var roots []*obs.Span
+	tr := obs.NewTracer(1, func(sp *obs.Span) { roots = append(roots, sp) })
+	ctx := obs.WithTracer(context.Background(), tr)
+	req := env.request(1, env.vertexNear(t, 0.52, 0.52), env.vertexNear(t, 0.8, 0.8), 0, 1.6)
+	if _, ok := env.e.DispatchContext(ctx, req, 0, false); !ok {
+		t.Fatal("dispatch failed")
+	}
+	if len(roots) != 1 {
+		t.Fatalf("sampled %d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "dispatch" || root.Duration <= 0 {
+		t.Fatalf("root = %+v", root)
+	}
+	stages := map[string]bool{}
+	for _, c := range root.Children() {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"dispatch.candidates", "dispatch.scheduling", "dispatch.legbuild"} {
+		if !stages[want] {
+			t.Errorf("span tree missing stage %s (got %v)", want, stages)
+		}
+	}
+}
+
+// TestDispatchContextCancellation asserts a cancelled context aborts
+// dispatch between stages.
+func TestDispatchContextCancellation(t *testing.T) {
+	env := newTestEnv(t, nil)
+	taxi := fleet.NewTaxi(env.g, 1, 3, env.vertexNear(t, 0.5, 0.5))
+	env.e.AddTaxi(taxi, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := env.request(1, env.vertexNear(t, 0.52, 0.52), env.vertexNear(t, 0.8, 0.8), 0, 1.6)
+	if _, ok := env.e.DispatchContext(ctx, req, 0, false); ok {
+		t.Fatal("cancelled dispatch reported success")
+	}
+}

@@ -191,7 +191,7 @@ func (e *Engine) meanEdgeCost() float64 {
 // plan is re-validated with EvaluateScheduleWithCosts. ok=false discards
 // the schedule instance.
 func (e *Engine) ProbabilisticPlan(events []fleet.Event, t *fleet.Taxi, nowSeconds float64) ([][]roadnet.VertexID, fleet.EvalResult, bool) {
-	e.counters.probabilisticPlans.Add(1)
+	e.ins.probabilisticPlans.Inc()
 	vec, hasVec := t.MobilityVector()
 	params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
 	legs := make([][]roadnet.VertexID, len(events))
@@ -240,7 +240,7 @@ func (e *Engine) ProbabilisticPlan(events []fleet.Event, t *fleet.Taxi, nowSecon
 			}
 		}
 		if budget < 0 {
-			e.counters.probabilisticFailures.Add(1)
+			e.ins.probabilisticFailures.Inc()
 			return nil, fleet.EvalResult{}, false
 		}
 		legVec := vec
@@ -250,7 +250,7 @@ func (e *Engine) ProbabilisticPlan(events []fleet.Event, t *fleet.Taxi, nowSecon
 		}
 		path, cost, ok := e.ProbabilisticLeg(at, ev.Vertex(), legVec, budget)
 		if !ok {
-			e.counters.probabilisticFailures.Add(1)
+			e.ins.probabilisticFailures.Inc()
 			return nil, fleet.EvalResult{}, false
 		}
 		legs[i] = path
@@ -260,7 +260,7 @@ func (e *Engine) ProbabilisticPlan(events []fleet.Event, t *fleet.Taxi, nowSecon
 	}
 	eval := fleet.EvaluateScheduleWithCosts(events, costs, params)
 	if !eval.Feasible {
-		e.counters.probabilisticFailures.Add(1)
+		e.ins.probabilisticFailures.Inc()
 		return nil, eval, false
 	}
 	return legs, eval, true

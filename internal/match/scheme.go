@@ -115,7 +115,7 @@ func (s *Scheme) PlanIdle(t *fleet.Taxi, nowSeconds float64) bool {
 	if err := s.installPlan(t, nil, [][]roadnet.VertexID{path}); err != nil {
 		return false
 	}
-	s.counters.cruisePlans.Add(1)
+	s.ins.cruisePlans.Inc()
 	s.ReindexTaxi(t, nowSeconds)
 	s.noteIndexed(t)
 	return true

@@ -1,11 +1,13 @@
 package match
 
-import "sync/atomic"
+import "repro/internal/obs"
 
-// EngineStats counts what the matching pipeline did — how many dispatches
-// ran, how the candidate-search refinement rules pruned, and how routing
-// modes were exercised. The counters are cumulative and safe to read
-// concurrently.
+// EngineStats is a point-in-time summary of what the matching pipeline
+// did — how many dispatches ran, how the candidate-search refinement
+// rules pruned, how routing modes were exercised, and the cumulative
+// per-stage wall time. It is a convenience view over the engine's
+// registry-backed instruments (see Engine.Metrics for the full surface,
+// including latency histograms).
 type EngineStats struct {
 	// Dispatches is the number of Dispatch calls.
 	Dispatches int64
@@ -31,7 +33,8 @@ type EngineStats struct {
 	CruisePlans int64
 	// Per-stage cumulative wall time of Dispatch: candidate search,
 	// schedule enumeration + routing (the parallel fan-out), and the
-	// winner's leg materialisation.
+	// winner's leg materialisation. Derived from the stage histograms'
+	// sums.
 	CandidateSearchNanos int64
 	SchedulingNanos      int64
 	LegBuildNanos        int64
@@ -55,38 +58,66 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.LegBuildNanos += o.LegBuildNanos
 }
 
-// engineCounters is the atomic backing store inside the Engine.
-type engineCounters struct {
-	dispatches            atomic.Int64
-	assignments           atomic.Int64
-	candidatesExamined    atomic.Int64
-	prunedByDirection     atomic.Int64
-	prunedByCapacity      atomic.Int64
-	prunedByReachability  atomic.Int64
-	probabilisticPlans    atomic.Int64
-	probabilisticFailures atomic.Int64
-	offlineInsertions     atomic.Int64
-	cruisePlans           atomic.Int64
-	candidateSearchNanos  atomic.Int64
-	schedulingNanos       atomic.Int64
-	legBuildNanos         atomic.Int64
+// instruments are the engine's registry-backed instruments under the
+// mtshare_match_* namespace, resolved once at construction so the hot
+// path never touches the registry's name map.
+type instruments struct {
+	dispatches            *obs.Counter
+	assignments           *obs.Counter
+	candidatesExamined    *obs.Counter
+	prunedByDirection     *obs.Counter
+	prunedByCapacity      *obs.Counter
+	prunedByReachability  *obs.Counter
+	probabilisticPlans    *obs.Counter
+	probabilisticFailures *obs.Counter
+	offlineInsertions     *obs.Counter
+	cruisePlans           *obs.Counter
+
+	dispatchSeconds        *obs.Histogram
+	candidateSearchSeconds *obs.Histogram
+	schedulingSeconds      *obs.Histogram
+	legBuildSeconds        *obs.Histogram
+	commitSeconds          *obs.Histogram
 }
 
-// Stats returns a snapshot of the engine's pipeline counters.
+func newInstruments(reg *obs.Registry) instruments {
+	return instruments{
+		dispatches:            reg.Counter("mtshare_match_dispatches_total"),
+		assignments:           reg.Counter("mtshare_match_assignments_total"),
+		candidatesExamined:    reg.Counter("mtshare_match_candidates_examined_total"),
+		prunedByDirection:     reg.Counter("mtshare_match_pruned_direction_total"),
+		prunedByCapacity:      reg.Counter("mtshare_match_pruned_capacity_total"),
+		prunedByReachability:  reg.Counter("mtshare_match_pruned_reachability_total"),
+		probabilisticPlans:    reg.Counter("mtshare_match_probabilistic_plans_total"),
+		probabilisticFailures: reg.Counter("mtshare_match_probabilistic_failures_total"),
+		offlineInsertions:     reg.Counter("mtshare_match_offline_insertions_total"),
+		cruisePlans:           reg.Counter("mtshare_match_cruise_plans_total"),
+
+		dispatchSeconds:        reg.Histogram("mtshare_match_dispatch_seconds"),
+		candidateSearchSeconds: reg.Histogram("mtshare_match_candidate_search_seconds"),
+		schedulingSeconds:      reg.Histogram("mtshare_match_scheduling_seconds"),
+		legBuildSeconds:        reg.Histogram("mtshare_match_leg_build_seconds"),
+		commitSeconds:          reg.Histogram("mtshare_match_commit_seconds"),
+	}
+}
+
+// Stats returns a snapshot of the engine's pipeline counters. Stage nanos
+// are derived from the corresponding latency histograms' sums.
 func (e *Engine) Stats() EngineStats {
+	toNanos := func(h *obs.Histogram) int64 { return int64(h.Snapshot().Sum * 1e9) }
 	return EngineStats{
-		Dispatches:            e.counters.dispatches.Load(),
-		Assignments:           e.counters.assignments.Load(),
-		CandidatesExamined:    e.counters.candidatesExamined.Load(),
-		PrunedByDirection:     e.counters.prunedByDirection.Load(),
-		PrunedByCapacity:      e.counters.prunedByCapacity.Load(),
-		PrunedByReachability:  e.counters.prunedByReachability.Load(),
-		ProbabilisticPlans:    e.counters.probabilisticPlans.Load(),
-		ProbabilisticFailures: e.counters.probabilisticFailures.Load(),
-		OfflineInsertions:     e.counters.offlineInsertions.Load(),
-		CruisePlans:           e.counters.cruisePlans.Load(),
-		CandidateSearchNanos:  e.counters.candidateSearchNanos.Load(),
-		SchedulingNanos:       e.counters.schedulingNanos.Load(),
-		LegBuildNanos:         e.counters.legBuildNanos.Load(),
+		Dispatches:            e.ins.dispatches.Value(),
+		Assignments:           e.ins.assignments.Value(),
+		CandidatesExamined:    e.ins.candidatesExamined.Value(),
+		PrunedByDirection:     e.ins.prunedByDirection.Value(),
+		PrunedByCapacity:      e.ins.prunedByCapacity.Value(),
+		PrunedByReachability:  e.ins.prunedByReachability.Value(),
+		ProbabilisticPlans:    e.ins.probabilisticPlans.Value(),
+		ProbabilisticFailures: e.ins.probabilisticFailures.Value(),
+		OfflineInsertions:     e.ins.offlineInsertions.Value(),
+		CruisePlans:           e.ins.cruisePlans.Value(),
+		CandidateSearchNanos:  toNanos(e.ins.candidateSearchSeconds),
+		SchedulingNanos:       toNanos(e.ins.schedulingSeconds),
+		LegBuildNanos:         toNanos(e.ins.legBuildSeconds),
 	}
 }

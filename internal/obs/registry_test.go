@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mtshare_test_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("mtshare_test_total") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+	g := r.Gauge("mtshare_test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+// TestHistogramQuantiles feeds a known distribution and checks that the
+// interpolated quantiles land in the right buckets.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat", []float64{0.01, 0.1, 1, 10})
+	// 90 observations in (0, 0.01], 9 in (0.01, 0.1], 1 in (0.1, 1].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.5); got <= 0 || got > 0.01 {
+		t.Fatalf("p50 = %v, want in (0, 0.01]", got)
+	}
+	if got := s.Quantile(0.95); got <= 0.01 || got > 0.1 {
+		t.Fatalf("p95 = %v, want in (0.01, 0.1]", got)
+	}
+	if got := s.Quantile(0.99); got <= 0.01 || got > 0.1 {
+		t.Fatalf("p99 = %v, want in (0.01, 0.1]", got)
+	}
+	if got := s.Quantile(1); got <= 0.1 || got > 1 {
+		t.Fatalf("p100 = %v, want in (0.1, 1]", got)
+	}
+	wantSum := 90*0.005 + 9*0.05 + 0.5
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if math.Abs(s.Mean()-wantSum/100) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat", []float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	h.Observe(100) // overflow bucket
+	s := h.Snapshot()
+	if s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Fatalf("overflow not counted: %v", s.Buckets)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", got)
+	}
+}
+
+// TestSnapshotConsistency hammers a histogram from several goroutines
+// while snapshotting: every snapshot must satisfy Count == sum(Buckets),
+// and the final totals must equal the observation count.
+func TestSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mtshare_test_seconds")
+	const workers, perWorker = 8, 5000
+	stop := make(chan struct{})
+	bad := make(chan [2]int64, 1)
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum int64
+			for _, n := range s.Buckets {
+				sum += n
+			}
+			if sum != s.Count {
+				select {
+				case bad <- [2]int64{sum, s.Count}:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%7) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	select {
+	case mismatch := <-bad:
+		t.Fatalf("snapshot bucket sum %d != count %d", mismatch[0], mismatch[1])
+	default:
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mtshare_match_dispatches_total").Add(3)
+	r.Gauge("mtshare_roadnet_cached_trees").Set(7)
+	h := r.HistogramWith("mtshare_match_dispatch_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mtshare_match_dispatches_total counter",
+		"mtshare_match_dispatches_total 3",
+		"# TYPE mtshare_roadnet_cached_trees gauge",
+		"mtshare_roadnet_cached_trees 7",
+		"# TYPE mtshare_match_dispatch_seconds histogram",
+		`mtshare_match_dispatch_seconds_bucket{le="0.001"} 1`,
+		`mtshare_match_dispatch_seconds_bucket{le="0.01"} 2`,
+		`mtshare_match_dispatch_seconds_bucket{le="+Inf"} 3`,
+		"mtshare_match_dispatch_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNoTracerIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "dispatch")
+	if sp != nil {
+		t.Fatal("span started without a tracer")
+	}
+	sp.End() // nil-safe
+	// Children of a nil span are also no-ops.
+	_, child := StartSpan(ctx, "dispatch.candidates")
+	if child != nil {
+		t.Fatal("child span started without a root")
+	}
+	child.End()
+}
+
+func TestSpanSampling(t *testing.T) {
+	var roots []*Span
+	tr := NewTracer(3, func(s *Span) { roots = append(roots, s) })
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 9; i++ {
+		_, sp := StartSpan(ctx, "dispatch")
+		sp.End()
+	}
+	if len(roots) != 3 {
+		t.Fatalf("sampled %d of 9 roots at 1-in-3, want 3", len(roots))
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	var root *Span
+	tr := NewTracer(1, func(s *Span) { root = s })
+	ctx := WithTracer(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "dispatch")
+	cctx, c1 := StartSpan(ctx, "dispatch.candidates")
+	_, gc := StartSpan(cctx, "dispatch.candidates.index")
+	gc.End()
+	c1.End()
+	_, c2 := StartSpan(ctx, "dispatch.scheduling")
+	c2.End()
+	sp.End()
+	if root == nil {
+		t.Fatal("root never delivered")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name != "dispatch.candidates" || kids[1].Name != "dispatch.scheduling" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if len(kids[0].Children()) != 1 {
+		t.Fatal("grandchild lost")
+	}
+	tree := root.Tree()
+	for _, want := range []string{"dispatch ", "  dispatch.candidates", "    dispatch.candidates.index", "  dispatch.scheduling"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestSpanConcurrentChildren attaches children from parallel goroutines
+// (the dispatch fan-out shape) and checks none are lost.
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer(1, nil)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "dispatch")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, c := StartSpan(ctx, "dispatch.eval")
+			c.End()
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	if got := len(sp.Children()); got != n {
+		t.Fatalf("children = %d, want %d", got, n)
+	}
+}

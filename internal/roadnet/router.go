@@ -5,6 +5,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Router answers shortest-path cost and path queries over a fixed graph,
@@ -24,6 +27,40 @@ import (
 type Router struct {
 	g      *Graph
 	shards []routerShard
+	met    *routerMetrics // nil until InstrumentWith
+}
+
+// routerMetrics mirrors the cache counters into an obs.Registry under the
+// mtshare_roadnet_* namespace, so the cache shows up on the one metrics
+// surface next to the dispatch-stage histograms. The per-shard atomics
+// stay the source of truth for Stats().
+type routerMetrics struct {
+	hits        *obs.Counter
+	misses      *obs.Counter
+	deduped     *obs.Counter
+	ssspSeconds *obs.Histogram
+	cachedTrees *obs.Gauge
+	memoryBytes *obs.Gauge
+}
+
+// InstrumentWith registers the router's cache instruments in reg
+// (mtshare_roadnet_cache_hits_total, ..._cache_misses_total,
+// ..._singleflight_deduped_total, ..._sssp_seconds, ..._cached_trees,
+// ..._cache_memory_bytes) and returns the router. Call it once, before
+// the router is used concurrently.
+func (r *Router) InstrumentWith(reg *obs.Registry) *Router {
+	if reg == nil {
+		return r
+	}
+	r.met = &routerMetrics{
+		hits:        reg.Counter("mtshare_roadnet_cache_hits_total"),
+		misses:      reg.Counter("mtshare_roadnet_cache_misses_total"),
+		deduped:     reg.Counter("mtshare_roadnet_singleflight_deduped_total"),
+		ssspSeconds: reg.Histogram("mtshare_roadnet_sssp_seconds"),
+		cachedTrees: reg.Gauge("mtshare_roadnet_cached_trees"),
+		memoryBytes: reg.Gauge("mtshare_roadnet_cache_memory_bytes"),
+	}
+	return r
 }
 
 // routerShard is one hash shard of the tree cache: an LRU of SSSP trees
@@ -105,6 +142,9 @@ func (r *Router) tree(src VertexID) *SSSPResult {
 		res := el.Value.(*SSSPResult)
 		s.hits.Add(1)
 		s.mu.Unlock()
+		if r.met != nil {
+			r.met.hits.Inc()
+		}
 		return res
 	}
 	if c, ok := s.inflight[src]; ok {
@@ -112,6 +152,9 @@ func (r *Router) tree(src VertexID) *SSSPResult {
 		// instead of duplicating the Dijkstra run.
 		s.deduped.Add(1)
 		s.mu.Unlock()
+		if r.met != nil {
+			r.met.deduped.Inc()
+		}
 		<-c.done
 		return c.res
 	}
@@ -120,21 +163,33 @@ func (r *Router) tree(src VertexID) *SSSPResult {
 	s.misses.Add(1)
 	s.mu.Unlock()
 
+	t0 := time.Now()
 	c.res = r.g.SSSP(src)
+	if r.met != nil {
+		r.met.misses.Inc()
+		r.met.ssspSeconds.ObserveSince(t0)
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, src)
 	el := s.lru.PushFront(c.res)
 	s.bySrc[src] = el
 	s.memoryBytes += int64(c.res.MemoryBytes())
+	trees, evicted := 1, int64(0)
 	for s.lru.Len() > s.cap {
 		back := s.lru.Back()
 		s.lru.Remove(back)
 		old := back.Value.(*SSSPResult)
 		delete(s.bySrc, old.Source)
 		s.memoryBytes -= int64(old.MemoryBytes())
+		trees--
+		evicted += int64(old.MemoryBytes())
 	}
 	s.mu.Unlock()
+	if r.met != nil {
+		r.met.cachedTrees.Add(float64(trees))
+		r.met.memoryBytes.Add(float64(int64(c.res.MemoryBytes()) - evicted))
+	}
 	close(c.done)
 	return c.res
 }

@@ -3,6 +3,11 @@
 // an accelerated clock, ride requests are matched on arrival, and the
 // payment model settles fares on delivery. It is the "mobile-cloud"
 // deployment shape the paper's Fig. 2 sketches, on the synthetic city.
+//
+// The API is versioned under /v1/ (the unversioned /api/ routes remain
+// as deprecated aliases). Errors are a uniform JSON envelope
+// {"error": "...", "code": "..."}; /v1/metrics serves the engine's
+// instrument registry in Prometheus text format.
 package server
 
 import (
@@ -11,12 +16,15 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/payment"
 	"repro/internal/roadnet"
@@ -37,6 +45,14 @@ type Config struct {
 	// for taxis with spare seats and demand-seeking cruising when idle.
 	Probabilistic bool
 	Seed          int64
+
+	// Metrics receives the engine's instruments; nil allocates a private
+	// registry served at /v1/metrics either way.
+	Metrics *obs.Registry
+	// TraceSampleEvery samples one in N dispatches with a span tree
+	// delivered to TraceHandler; 0 disables tracing.
+	TraceSampleEvery int
+	TraceHandler     func(*obs.Span)
 }
 
 // Server is the dispatch service.
@@ -47,6 +63,8 @@ type Server struct {
 	engine *match.Engine
 	scheme *match.Scheme
 	pay    payment.Model
+	reg    *obs.Registry
+	rng    *rand.Rand // guarded by mu; seeded from Config.Seed
 
 	mu         sync.Mutex
 	nowSeconds float64
@@ -55,8 +73,10 @@ type Server struct {
 	nextReq    int64
 	requests   map[fleet.RequestID]*reqStatus
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
 }
 
 type reqStatus struct {
@@ -113,7 +133,12 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := match.NewEngine(pt, spx, match.DefaultConfig())
+	mcfg := match.DefaultConfig()
+	mcfg.Metrics = cfg.Metrics
+	if cfg.TraceSampleEvery > 0 {
+		mcfg.Tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceHandler)
+	}
+	eng, err := match.NewEngine(pt, spx, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +149,14 @@ func New(cfg Config) (*Server, error) {
 		engine:   eng,
 		scheme:   match.NewScheme(eng, cfg.Probabilistic),
 		pay:      payment.DefaultModel(),
+		reg:      eng.Metrics(),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
 		taxis:    make(map[int64]*fleet.Taxi),
 		requests: make(map[fleet.RequestID]*reqStatus),
 		stop:     make(chan struct{}),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	for i := 0; i < cfg.InitialTaxis; i++ {
-		s.addTaxiLocked(g.Point(roadnet.VertexID(rng.Intn(g.NumVertices()))), cfg.Capacity)
+		s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
 	}
 	return s, nil
 }
@@ -154,9 +180,12 @@ func (s *Server) Start() {
 	}()
 }
 
-// Stop terminates the movement loop.
+// Stop terminates the movement loop and marks the service shut down:
+// subsequent mutating requests fail with a 503 "shutdown" envelope.
+// Stop is idempotent.
 func (s *Server) Stop() {
-	close(s.stop)
+	s.stopped.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 }
 
@@ -198,14 +227,32 @@ func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
 	return t.ID
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. Routes live under /v1/; the original
+// unversioned /api/ paths are served as deprecated aliases announcing
+// their replacement via Deprecation and Link headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/taxis", s.handleTaxis)
-	mux.HandleFunc("/api/requests", s.handleRequests)
-	mux.HandleFunc("/api/hails", s.handleHails)
-	mux.HandleFunc("/api/stats", s.handleStats)
+	routes := map[string]http.HandlerFunc{
+		"/taxis":    s.handleTaxis,
+		"/requests": s.handleRequests,
+		"/hails":    s.handleHails,
+		"/stats":    s.handleStats,
+		"/metrics":  s.handleMetrics,
+	}
+	for path, h := range routes {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc("/api"+path, deprecatedAlias("/v1"+path, h))
+	}
 	return mux
+}
+
+// deprecatedAlias serves h while flagging the route as superseded.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 type pointJSON struct {
@@ -221,10 +268,56 @@ type taxiJSON struct {
 	Empty    bool      `json:"empty"`
 }
 
+// Machine-readable error codes carried by the JSON error envelope.
+const (
+	codeInvalidRequest   = "invalid_request"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeShutdown         = "shutdown"
+)
+
+// errorJSON is the uniform error envelope of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg, Code: code})
+}
+
+// methodNotAllowed answers 405 with the Allow header listing the
+// methods the route accepts.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow ...string) {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+		fmt.Sprintf("method %s not allowed", r.Method))
+}
+
+// rejectIfStopped answers mutating requests arriving after Stop.
+func (s *Server) rejectIfStopped(w http.ResponseWriter) bool {
+	if !s.stopped.Load() {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, codeShutdown, "server is shut down")
+	return true
+}
+
+// handleMetrics serves the instrument registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
@@ -242,13 +335,16 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
+		if s.rejectIfStopped(w) {
+			return
+		}
 		var body struct {
 			Lat      float64 `json:"lat"`
 			Lng      float64 `json:"lng"`
 			Capacity int     `json:"capacity"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 			return
 		}
 		if body.Capacity <= 0 {
@@ -259,7 +355,7 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
@@ -280,14 +376,14 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or bad id"})
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "missing or bad id")
 			return
 		}
 		s.mu.Lock()
 		st, ok := s.requests[fleet.RequestID(id)]
 		s.mu.Unlock()
 		if !ok {
-			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown request"})
+			writeError(w, http.StatusNotFound, codeNotFound, "unknown request")
 			return
 		}
 		writeJSON(w, http.StatusOK, requestJSON{
@@ -295,32 +391,50 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			PickedUp: st.PickedUp, Delivered: st.Delivered, FareEstimate: st.Fare,
 		})
 	case http.MethodPost:
+		if s.rejectIfStopped(w) {
+			return
+		}
 		var body struct {
 			Pickup  pointJSON `json:"pickup"`
 			Dropoff pointJSON `json:"dropoff"`
 			Rho     float64   `json:"rho"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 			return
 		}
-		if body.Rho < 1.05 {
-			body.Rho = 1.3
+		rho, ok := normalizeRho(body.Rho)
+		if !ok {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("rho %g below minimum 1.05", body.Rho))
+			return
 		}
-		resp, code := s.dispatch(body.Pickup, body.Dropoff, body.Rho)
-		writeJSON(w, code, resp)
+		s.dispatch(w, r, body.Pickup, body.Dropoff, rho)
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
-func (s *Server) dispatch(pickup, dropoff pointJSON, rho float64) (requestJSON, int) {
+// normalizeRho applies the 1.3 default to an absent flexibility factor
+// and rejects explicit values below the 1.05 floor.
+func normalizeRho(rho float64) (float64, bool) {
+	if rho == 0 {
+		return 1.3, true
+	}
+	if rho < 1.05 {
+		return 0, false
+	}
+	return rho, true
+}
+
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropoff pointJSON, rho float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: pickup.Lat, Lng: pickup.Lng})
 	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: dropoff.Lat, Lng: dropoff.Lng})
 	if !ok1 || !ok2 || o == d {
-		return requestJSON{}, http.StatusBadRequest
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
+		return
 	}
 	speed := s.engine.Config().SpeedMps
 	direct := s.engine.Router().Cost(o, d)
@@ -338,13 +452,15 @@ func (s *Server) dispatch(pickup, dropoff pointJSON, rho float64) (requestJSON, 
 	}
 	st := &reqStatus{Req: req}
 	s.requests[req.ID] = st
-	a, ok := s.engine.Dispatch(req, s.nowSeconds, s.cfg.Probabilistic)
+	a, ok := s.engine.DispatchContext(r.Context(), req, s.nowSeconds, s.cfg.Probabilistic)
 	out := requestJSON{ID: int64(req.ID), Candidates: a.Candidates}
 	if !ok {
-		return out, http.StatusOK
+		writeJSON(w, http.StatusOK, out)
+		return
 	}
 	if err := s.engine.Commit(a, s.nowSeconds); err != nil {
-		return out, http.StatusOK
+		writeJSON(w, http.StatusOK, out)
+		return
 	}
 	st.Served = true
 	st.TaxiID = a.Taxi.ID
@@ -362,12 +478,12 @@ func (s *Server) dispatch(pickup, dropoff pointJSON, rho float64) (requestJSON, 
 		}
 	}
 	out.FareEstimate = s.pay.Tariff.Fare(direct)
-	return out, http.StatusOK
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	s.mu.Lock()
@@ -416,7 +532,10 @@ func (s *Server) String() string {
 // or dispatches another taxi (§IV-C2's interaction).
 func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, http.MethodPost)
+		return
+	}
+	if s.rejectIfStopped(w) {
 		return
 	}
 	var body struct {
@@ -426,23 +545,26 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		Rho     float64   `json:"rho"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
-	if body.Rho < 1.05 {
-		body.Rho = 1.3
+	rho, okRho := normalizeRho(body.Rho)
+	if !okRho {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Sprintf("rho %g below minimum 1.05", body.Rho))
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, ok := s.taxis[body.TaxiID]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown taxi"})
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown taxi")
 		return
 	}
 	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: body.Pickup.Lat, Lng: body.Pickup.Lng})
 	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: body.Dropoff.Lat, Lng: body.Dropoff.Lng})
 	if !ok1 || !ok2 || o == d {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad endpoints"})
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
 		return
 	}
 	speed := s.engine.Config().SpeedMps
@@ -453,7 +575,7 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		ReleaseAt:    time.Duration(s.nowSeconds * float64(time.Second)),
 		Origin:       o,
 		Dest:         d,
-		Deadline:     time.Duration((s.nowSeconds + direct/speed*body.Rho) * float64(time.Second)),
+		Deadline:     time.Duration((s.nowSeconds + direct/speed*rho) * float64(time.Second)),
 		DirectMeters: direct,
 		Passengers:   1,
 		Offline:      true,
@@ -472,7 +594,7 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The hailing taxi could not fit them: dispatch another.
-	a, ok := s.engine.Dispatch(req, s.nowSeconds, s.cfg.Probabilistic)
+	a, ok := s.engine.DispatchContext(r.Context(), req, s.nowSeconds, s.cfg.Probabilistic)
 	if ok && s.engine.Commit(a, s.nowSeconds) == nil {
 		st.Served = true
 		st.TaxiID = a.Taxi.ID

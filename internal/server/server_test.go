@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -229,4 +231,198 @@ func TestServerStreetHail(t *testing.T) {
 	if _, ok := out["offline_insertions"]; !ok {
 		t.Fatal("engine counters missing from stats")
 	}
+}
+
+func TestServerVersionedRoutesAndAliases(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	// The /v1/ routes are the primary surface.
+	rec, _ := do(t, h, http.MethodGet, "/v1/taxis", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/taxis = %d", rec.Code)
+	}
+	if rec.Header().Get("Deprecation") != "" {
+		t.Fatal("/v1 route marked deprecated")
+	}
+
+	// The unversioned aliases still work but announce their successor.
+	rec, _ = do(t, h, http.MethodGet, "/api/taxis", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/taxis = %d", rec.Code)
+	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Fatal("alias missing Deprecation header")
+	}
+	if link := rec.Header().Get("Link"); !strings.Contains(link, "/v1/taxis") {
+		t.Fatalf("alias Link header = %q", link)
+	}
+}
+
+func TestServerErrorEnvelope(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	assertEnvelope := func(rec *httptest.ResponseRecorder, status int, code string) {
+		t.Helper()
+		if rec.Code != status {
+			t.Fatalf("status = %d, want %d: %s", rec.Code, status, rec.Body)
+		}
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("not an envelope: %s", rec.Body)
+		}
+		if env.Code != code || env.Error == "" {
+			t.Fatalf("envelope = %+v, want code %q", env, code)
+		}
+	}
+
+	rec, _ := do(t, h, http.MethodGet, "/v1/requests?id=abc", nil)
+	assertEnvelope(rec, http.StatusBadRequest, "invalid_request")
+
+	rec, _ = do(t, h, http.MethodGet, "/v1/requests?id=999", nil)
+	assertEnvelope(rec, http.StatusNotFound, "not_found")
+
+	rec, _ = do(t, h, http.MethodDelete, "/v1/taxis", nil)
+	assertEnvelope(rec, http.StatusMethodNotAllowed, "method_not_allowed")
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, http.MethodGet) || !strings.Contains(allow, http.MethodPost) {
+		t.Fatalf("Allow header = %q", allow)
+	}
+
+	// Explicit sub-minimum rho is rejected rather than silently patched.
+	rec, _ = do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+		"pickup": cityPoint(s, 0.4, 0.4), "dropoff": cityPoint(s, 0.8, 0.8), "rho": 0.5,
+	})
+	assertEnvelope(rec, http.StatusBadRequest, "invalid_request")
+
+	// Shutdown turns mutating routes into 503 envelopes.
+	s.Stop()
+	rec, _ = do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+		"pickup": cityPoint(s, 0.4, 0.4), "dropoff": cityPoint(s, 0.8, 0.8),
+	})
+	assertEnvelope(rec, http.StatusServiceUnavailable, "shutdown")
+	rec, _ = do(t, h, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read-only route after Stop = %d", rec.Code)
+	}
+}
+
+func TestServerMetricsScrape(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	// Serve one request so the dispatch pipeline has observations.
+	rec, out := do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+		"pickup":  cityPoint(s, 0.45, 0.45),
+		"dropoff": cityPoint(s, 0.9, 0.9),
+		"rho":     1.5,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/requests = %d: %s", rec.Code, rec.Body)
+	}
+	var served bool
+	if err := json.Unmarshal(out["served"], &served); err != nil || !served {
+		t.Fatalf("request not served: %s", rec.Body)
+	}
+
+	rec, _ = do(t, h, http.MethodGet, "/v1/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE mtshare_match_dispatch_seconds histogram",
+		"mtshare_match_dispatch_seconds_bucket{le=\"+Inf\"} 1",
+		"mtshare_match_dispatches_total 1",
+		"mtshare_match_candidate_search_seconds_bucket",
+		"mtshare_match_scheduling_seconds_bucket",
+		"mtshare_roadnet_cache_hits_total",
+		"mtshare_roadnet_cache_misses_total",
+		"mtshare_index_updates_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	rec, _ = do(t, h, http.MethodPost, "/v1/metrics", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/metrics = %d", rec.Code)
+	}
+}
+
+// TestServerConcurrentTraffic hammers the API from many goroutines while
+// the simulation clock advances, so the race detector can see handler,
+// dispatch, and metrics paths interleave.
+func TestServerConcurrentTraffic(t *testing.T) {
+	s, err := New(Config{CityRows: 12, CityCols: 12, InitialTaxis: 12, Capacity: 3, Speedup: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	const workers = 8
+	const perWorker = 12
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Background: drive the simulated clock like the Start loop would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.advance(2)
+			}
+		}
+	}()
+
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f := 0.2 + 0.05*float64((w+i)%10)
+				var buf bytes.Buffer
+				_ = json.NewEncoder(&buf).Encode(map[string]interface{}{
+					"pickup":  cityPoint(s, f, f),
+					"dropoff": cityPoint(s, 1-f, 1-f),
+					"rho":     1.6,
+				})
+				req := httptest.NewRequest(http.MethodPost, "/v1/requests", &buf)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+					errc <- fmt.Errorf("POST /v1/requests = %d: %s", rec.Code, rec.Body)
+					return
+				}
+				for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/taxis"} {
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+					if rec.Code != http.StatusOK {
+						errc <- fmt.Errorf("GET %s = %d", path, rec.Code)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/fleet"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/payment"
 	"repro/internal/roadnet"
 )
@@ -49,6 +50,12 @@ type Params struct {
 	// order afterwards, so every parallelism level produces an identical
 	// simulation.
 	Parallelism int
+
+	// Metrics receives the simulation's instruments under mtshare_sim_*
+	// (ticks, tick latency, request lifecycle, roadside encounters). nil
+	// gives the engine a private registry; pass the dispatcher's registry
+	// to see simulation and matching on one surface.
+	Metrics *obs.Registry
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -161,6 +168,30 @@ type Engine struct {
 	wallStart       time.Time
 	ExecutionSecs   float64
 	FinalSimSeconds float64
+
+	reg *obs.Registry
+	ins simInstruments
+}
+
+// simInstruments are the simulation's registry-backed instruments.
+type simInstruments struct {
+	ticks            *obs.Counter
+	requestsReleased *obs.Counter
+	requestsServed   *obs.Counter
+	encounters       *obs.Counter
+	tickSeconds      *obs.Histogram
+	dispatchSeconds  *obs.Histogram
+}
+
+func newSimInstruments(reg *obs.Registry) simInstruments {
+	return simInstruments{
+		ticks:            reg.Counter("mtshare_sim_ticks_total"),
+		requestsReleased: reg.Counter("mtshare_sim_requests_released_total"),
+		requestsServed:   reg.Counter("mtshare_sim_requests_served_total"),
+		encounters:       reg.Counter("mtshare_sim_encounters_total"),
+		tickSeconds:      reg.Histogram("mtshare_sim_tick_seconds"),
+		dispatchSeconds:  reg.Histogram("mtshare_sim_dispatch_seconds"),
+	}
 }
 
 // NewEngine creates a simulation over the graph with the given scheme.
@@ -169,6 +200,10 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		return nil, err
 	}
 	min, max := g.Bounds()
+	reg := params.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Engine{
 		params:   params,
 		g:        g,
@@ -177,8 +212,13 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		lastIdle: make(map[int64]float64),
 		taxiGrid: index.NewLocationGrid(min, max, 300),
 		records:  make(map[fleet.RequestID]*RequestRecord),
+		reg:      reg,
+		ins:      newSimInstruments(reg),
 	}, nil
 }
+
+// Metrics returns the registry holding the simulation's instruments.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // PlaceTaxis creates n taxis with the given capacity at deterministic
 // pseudo-random vertices and registers them with the scheme.
@@ -217,10 +257,12 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 	next := 0
 	dt := e.params.TickSeconds
 	for {
+		tickStart := time.Now()
 		// 1. Release requests due by now.
 		for next < len(reqs) && reqs[next].ReleaseAt.Seconds() <= now {
 			r := reqs[next]
 			next++
+			e.ins.requestsReleased.Inc()
 			if r.Offline {
 				e.pending = append(e.pending, r)
 				continue
@@ -235,6 +277,8 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 		e.expirePending(now + dt)
 		// 5. Idle cruising (probabilistic variants).
 		e.planIdle(now + dt)
+		e.ins.ticks.Inc()
+		e.ins.tickSeconds.ObserveSince(tickStart)
 
 		now += dt
 		if next >= len(reqs) && now > lastRelease {
@@ -265,10 +309,12 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 	t0 := time.Now()
 	out := e.scheme.OnRequest(r, now)
 	rec.ResponseNanos = time.Since(t0).Nanoseconds()
+	e.ins.dispatchSeconds.Observe(float64(rec.ResponseNanos) / 1e9)
 	rec.Candidates = out.Candidates
 	if !out.Served {
 		return false
 	}
+	e.ins.requestsServed.Inc()
 	rec.Served = true
 	rec.ServedOffline = offline
 	rec.AssignSeconds = now
@@ -425,6 +471,8 @@ func (e *Engine) handleEncounters(now float64) {
 				rec.ServedOffline = true
 				rec.AssignSeconds = now
 				served = true
+				e.ins.encounters.Inc()
+				e.ins.requestsServed.Inc()
 				break
 			}
 			// The driver reported the hailing passenger but could not fit

@@ -14,12 +14,15 @@
 package mtshare
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/payment"
 	"repro/internal/roadnet"
@@ -71,9 +74,88 @@ type Options struct {
 
 	// Seed makes world generation deterministic.
 	Seed int64
+
+	// Metrics receives the system's instruments (dispatch-stage
+	// histograms, router cache counters, index gauges). Nil allocates a
+	// private registry, retrievable via System.Metrics.
+	Metrics *obs.Registry
+
+	// TraceSampleEvery samples one in N dispatches with a span tree when
+	// positive; sampled trees are delivered to TraceHandler. Zero
+	// disables tracing.
+	TraceSampleEvery int
+	// TraceHandler receives sampled root spans. It may be called from
+	// the goroutine that ran the dispatch.
+	TraceHandler func(*obs.Span)
 }
 
-// System is a running ridesharing dispatcher.
+// DefaultOptions returns the configuration New applies when fields are
+// left zero: a deterministic 24x24 synthetic city, the paper's 15 km/h
+// fleet speed, and a 45° mobility-clustering direction tolerance.
+func DefaultOptions() Options {
+	return Options{
+		SyntheticCityRows:       24,
+		SyntheticCityCols:       24,
+		SpeedKmh:                15,
+		MaxDirectionDiffDegrees: 45,
+		Seed:                    1,
+	}
+}
+
+// Validate reports whether the options are coherent. Zero-valued fields
+// are legal (New fills them from DefaultOptions); explicitly negative or
+// out-of-range values are not. Errors wrap ErrInvalidOptions.
+func (o Options) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidOptions, fmt.Sprintf(format, args...))
+	}
+	if o.SyntheticCityRows < 0 || o.SyntheticCityCols < 0 {
+		return fail("synthetic city dimensions %dx%d must not be negative", o.SyntheticCityRows, o.SyntheticCityCols)
+	}
+	if (o.SyntheticCityRows > 0 && o.SyntheticCityRows < 2) || (o.SyntheticCityCols > 0 && o.SyntheticCityCols < 2) {
+		return fail("synthetic city needs at least 2x2 intersections, got %dx%d", o.SyntheticCityRows, o.SyntheticCityCols)
+	}
+	if o.Partitions < 0 {
+		return fail("partitions %d must not be negative", o.Partitions)
+	}
+	if o.SpeedKmh < 0 {
+		return fail("speed %g km/h must not be negative", o.SpeedKmh)
+	}
+	if o.SearchRangeMeters < 0 {
+		return fail("search range %g m must not be negative", o.SearchRangeMeters)
+	}
+	if o.MaxDirectionDiffDegrees < 0 || o.MaxDirectionDiffDegrees > 180 {
+		return fail("direction tolerance %g° must be within [0, 180]", o.MaxDirectionDiffDegrees)
+	}
+	if o.TraceSampleEvery < 0 {
+		return fail("trace sample rate %d must not be negative", o.TraceSampleEvery)
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.SyntheticCityRows == 0 {
+		o.SyntheticCityRows = def.SyntheticCityRows
+	}
+	if o.SyntheticCityCols == 0 {
+		o.SyntheticCityCols = def.SyntheticCityCols
+	}
+	if o.SpeedKmh == 0 {
+		o.SpeedKmh = def.SpeedKmh
+	}
+	if o.MaxDirectionDiffDegrees == 0 {
+		o.MaxDirectionDiffDegrees = def.MaxDirectionDiffDegrees
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	return o
+}
+
+// System is a running ridesharing dispatcher. It is not safe for
+// concurrent use; internal/server provides the concurrent HTTP front.
 type System struct {
 	g      *roadnet.Graph
 	spx    *roadnet.SpatialIndex
@@ -86,26 +168,18 @@ type System struct {
 	nextTaxi TaxiID
 	nextReq  RequestID
 	requests map[RequestID]*fleet.Request
+	closed   bool
 }
 
-// New builds a System. With zero Options it generates a deterministic
-// ~3 km synthetic city and a day of synthetic history.
+// New builds a System. Zero-valued Options fields take the
+// DefaultOptions values — the zero Options generates a deterministic
+// ~3 km synthetic city and a day of synthetic history. Invalid options
+// fail with an error wrapping ErrInvalidOptions.
 func New(opts Options) (*System, error) {
-	if opts.SyntheticCityRows == 0 {
-		opts.SyntheticCityRows = 24
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.SyntheticCityCols == 0 {
-		opts.SyntheticCityCols = 24
-	}
-	if opts.SpeedKmh == 0 {
-		opts.SpeedKmh = 15
-	}
-	if opts.MaxDirectionDiffDegrees == 0 {
-		opts.MaxDirectionDiffDegrees = 45
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
+	opts = opts.withDefaults()
 	cp := roadnet.DefaultCityParams(opts.SyntheticCityRows, opts.SyntheticCityCols)
 	cp.Seed = opts.Seed
 	g, err := roadnet.GenerateCity(cp)
@@ -154,6 +228,10 @@ func New(opts Options) (*System, error) {
 	cfg := match.DefaultConfig()
 	cfg.SpeedMps = opts.SpeedKmh * 1000 / 3600
 	cfg.Lambda = geo.CosOfDegrees(opts.MaxDirectionDiffDegrees)
+	cfg.Metrics = opts.Metrics
+	if opts.TraceSampleEvery > 0 {
+		cfg.Tracer = obs.NewTracer(opts.TraceSampleEvery, opts.TraceHandler)
+	}
 	if opts.SearchRangeMeters > 0 {
 		cfg.SearchRangeMeters = opts.SearchRangeMeters
 	} else {
@@ -187,11 +265,33 @@ func (s *System) Now() time.Duration {
 	return time.Duration(s.now * float64(time.Second))
 }
 
+// Close shuts the system down: subsequent submissions fail with
+// ErrShutdown. Close is idempotent.
+func (s *System) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Metrics returns the system's instrument registry — the one passed via
+// Options.Metrics, or the private registry New allocated. Serve it with
+// WriteMetrics or walk it with Registry.Snapshot.
+func (s *System) Metrics() *obs.Registry { return s.engine.Metrics() }
+
+// MetricsSnapshot returns a point-in-time copy of every counter, gauge,
+// and histogram.
+func (s *System) MetricsSnapshot() obs.Snapshot { return s.engine.Metrics().Snapshot() }
+
+// WriteMetrics writes the registry in Prometheus text exposition format.
+func (s *System) WriteMetrics(w io.Writer) error { return s.engine.Metrics().WritePrometheus(w) }
+
 // AddTaxi registers an empty taxi near the given position.
 func (s *System) AddTaxi(at Point, capacity int) (TaxiID, error) {
+	if s.closed {
+		return 0, ErrShutdown
+	}
 	v, ok := s.spx.NearestVertex(at)
 	if !ok {
-		return 0, fmt.Errorf("mtshare: no road vertex near %v", at)
+		return 0, fmt.Errorf("%w: no road vertex near %v", ErrInvalidRequest, at)
 	}
 	s.nextTaxi++
 	t := fleet.NewTaxi(s.g, int64(s.nextTaxi), capacity, v)
@@ -215,19 +315,30 @@ type Assignment struct {
 
 // SubmitRequest matches an online ride request released now. flexibility
 // is the factor ρ over the direct travel time that the passenger accepts
-// as the delivery deadline (e.g. 1.3). ok is false when no taxi can serve
-// the request within its constraints.
-func (s *System) SubmitRequest(pickup, dropoff Point, flexibility float64) (Assignment, bool, error) {
+// as the delivery deadline (e.g. 1.3); zero takes the 1.3 default, and
+// values below 1.05 are rejected with ErrInvalidRequest. When no taxi
+// can serve the request the error is ErrNoTaxiAvailable and the returned
+// Assignment still reports the candidate-set size. ctx cancellation is
+// honoured between dispatch stages, and a tracer carried by ctx samples
+// the dispatch span tree.
+func (s *System) SubmitRequest(ctx context.Context, pickup, dropoff Point, flexibility float64) (Assignment, error) {
+	if s.closed {
+		return Assignment{}, ErrShutdown
+	}
 	req, err := s.makeRequest(pickup, dropoff, flexibility, false)
 	if err != nil {
-		return Assignment{}, false, err
+		return Assignment{}, err
 	}
-	a, ok := s.engine.Dispatch(req, s.now, s.scheme.Probabilistic)
+	a, ok := s.engine.DispatchContext(ctx, req, s.now, s.scheme.Probabilistic)
 	if !ok {
-		return Assignment{Request: RequestID(req.ID), CandidateTaxis: a.Candidates}, false, nil
+		out := Assignment{Request: RequestID(req.ID), CandidateTaxis: a.Candidates}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		return out, ErrNoTaxiAvailable
 	}
 	if err := s.engine.Commit(a, s.now); err != nil {
-		return Assignment{}, false, err
+		return Assignment{}, err
 	}
 	out := Assignment{
 		Request:        RequestID(req.ID),
@@ -247,46 +358,57 @@ func (s *System) SubmitRequest(pickup, dropoff Point, flexibility float64) (Assi
 			out.DropoffETA = eta
 		}
 	}
-	return out, true, nil
+	return out, nil
 }
 
 // ReportStreetHail handles an offline passenger hailing the given taxi at
 // the roadside: the system validates an insertion into the taxi's current
 // schedule, or falls back to dispatching another taxi (the paper's
-// server-side behaviour). It returns the serving taxi.
-func (s *System) ReportStreetHail(taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, bool, error) {
+// server-side behaviour). It returns the serving taxi; when neither the
+// hailed taxi nor any dispatched taxi can serve, the error is
+// ErrNoTaxiAvailable.
+func (s *System) ReportStreetHail(ctx context.Context, taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, error) {
+	if s.closed {
+		return 0, ErrShutdown
+	}
 	t, ok := s.taxis[taxi]
 	if !ok {
-		return 0, false, fmt.Errorf("mtshare: unknown taxi %d", taxi)
+		return 0, fmt.Errorf("%w: taxi %d", ErrUnknownTaxi, taxi)
 	}
 	req, err := s.makeRequest(pickup, dropoff, flexibility, true)
 	if err != nil {
-		return 0, false, err
+		return 0, err
 	}
 	if s.engine.TryServeOffline(t, req, s.now) {
-		return taxi, true, nil
+		return taxi, nil
 	}
-	a, ok := s.engine.Dispatch(req, s.now, s.scheme.Probabilistic)
+	a, ok := s.engine.DispatchContext(ctx, req, s.now, s.scheme.Probabilistic)
 	if !ok {
-		return 0, false, nil
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return 0, ErrNoTaxiAvailable
 	}
 	if err := s.engine.Commit(a, s.now); err != nil {
-		return 0, false, err
+		return 0, err
 	}
-	return TaxiID(a.Taxi.ID), true, nil
+	return TaxiID(a.Taxi.ID), nil
 }
 
 func (s *System) makeRequest(pickup, dropoff Point, flexibility float64, offline bool) (*fleet.Request, error) {
-	if flexibility < 1.05 {
+	if flexibility == 0 {
 		flexibility = 1.3
+	}
+	if flexibility < 1.05 {
+		return nil, fmt.Errorf("%w: flexibility %g below minimum 1.05", ErrInvalidRequest, flexibility)
 	}
 	o, ok1 := s.spx.NearestVertex(pickup)
 	d, ok2 := s.spx.NearestVertex(dropoff)
 	if !ok1 || !ok2 {
-		return nil, fmt.Errorf("mtshare: endpoints off the road network")
+		return nil, fmt.Errorf("%w: endpoints off the road network", ErrInvalidRequest)
 	}
 	if o == d {
-		return nil, fmt.Errorf("mtshare: pickup and dropoff snap to the same intersection")
+		return nil, fmt.Errorf("%w: pickup and dropoff snap to the same intersection", ErrInvalidRequest)
 	}
 	direct := s.engine.Router().Cost(o, d)
 	speed := s.engine.Config().SpeedMps
@@ -359,7 +481,7 @@ type TaxiStatus struct {
 func (s *System) Taxi(id TaxiID) (TaxiStatus, error) {
 	t, ok := s.taxis[id]
 	if !ok {
-		return TaxiStatus{}, fmt.Errorf("mtshare: unknown taxi %d", id)
+		return TaxiStatus{}, fmt.Errorf("%w: taxi %d", ErrUnknownTaxi, id)
 	}
 	return TaxiStatus{
 		ID:            id,

@@ -1,6 +1,9 @@
 package mtshare
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -43,12 +46,9 @@ func TestSubmitAndRide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, ok, err := s.SubmitRequest(at(s, 0.52, 0.52), at(s, 0.85, 0.85), 1.5)
+	a, err := s.SubmitRequest(context.Background(), at(s, 0.52, 0.52), at(s, 0.85, 0.85), 1.5)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if !ok {
-		t.Fatal("request not served")
 	}
 	if a.Taxi != id {
 		t.Fatalf("assigned taxi %d, want %d", a.Taxi, id)
@@ -93,13 +93,13 @@ func TestRideSharingTwoPassengers(t *testing.T) {
 	if _, err := s.AddTaxi(at(s, 0.2, 0.2), 3); err != nil {
 		t.Fatal(err)
 	}
-	a1, ok, err := s.SubmitRequest(at(s, 0.2, 0.2), at(s, 0.85, 0.85), 1.6)
-	if err != nil || !ok {
-		t.Fatalf("first request: ok=%v err=%v", ok, err)
+	a1, err := s.SubmitRequest(context.Background(), at(s, 0.2, 0.2), at(s, 0.85, 0.85), 1.6)
+	if err != nil {
+		t.Fatalf("first request: %v", err)
 	}
-	a2, ok, err := s.SubmitRequest(at(s, 0.3, 0.3), at(s, 0.75, 0.75), 1.8)
-	if err != nil || !ok {
-		t.Fatalf("second request: ok=%v err=%v", ok, err)
+	a2, err := s.SubmitRequest(context.Background(), at(s, 0.3, 0.3), at(s, 0.75, 0.75), 1.8)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
 	}
 	if a1.Taxi != a2.Taxi {
 		t.Fatalf("no sharing: taxis %d and %d", a1.Taxi, a2.Taxi)
@@ -112,12 +112,12 @@ func TestRideSharingTwoPassengers(t *testing.T) {
 
 func TestNoTaxiMeansUnserved(t *testing.T) {
 	s := newSystem(t, false)
-	_, ok, err := s.SubmitRequest(at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.3)
-	if err != nil {
-		t.Fatal(err)
+	a, err := s.SubmitRequest(context.Background(), at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.3)
+	if !errors.Is(err, ErrNoTaxiAvailable) {
+		t.Fatalf("err = %v, want ErrNoTaxiAvailable", err)
 	}
-	if ok {
-		t.Fatal("served with no fleet")
+	if a.CandidateTaxis != 0 {
+		t.Fatalf("candidates = %d with no fleet", a.CandidateTaxis)
 	}
 }
 
@@ -127,23 +127,104 @@ func TestStreetHail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serving, ok, err := s.ReportStreetHail(id, at(s, 0.41, 0.41), at(s, 0.8, 0.8), 1.5)
+	serving, err := s.ReportStreetHail(context.Background(), id, at(s, 0.41, 0.41), at(s, 0.8, 0.8), 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok || serving != id {
-		t.Fatalf("street hail: ok=%v serving=%d", ok, serving)
+	if serving != id {
+		t.Fatalf("street hail served by taxi %d, want %d", serving, id)
 	}
-	if _, _, err := s.ReportStreetHail(999, at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.5); err == nil {
-		t.Fatal("unknown taxi accepted")
+	if _, err := s.ReportStreetHail(context.Background(), 999, at(s, 0.4, 0.4), at(s, 0.8, 0.8), 1.5); !errors.Is(err, ErrUnknownTaxi) {
+		t.Fatalf("unknown taxi: err = %v, want ErrUnknownTaxi", err)
 	}
 }
 
 func TestRequestValidation(t *testing.T) {
 	s := newSystem(t, false)
 	p := at(s, 0.5, 0.5)
-	if _, _, err := s.SubmitRequest(p, p, 1.3); err == nil {
-		t.Fatal("degenerate request accepted")
+	if _, err := s.SubmitRequest(context.Background(), p, p, 1.3); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("degenerate request: err = %v, want ErrInvalidRequest", err)
+	}
+	if _, err := s.SubmitRequest(context.Background(), p, at(s, 0.8, 0.8), 0.9); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("flexibility 0.9: err = %v, want ErrInvalidRequest", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []Options{
+		{SyntheticCityRows: -1},
+		{SyntheticCityRows: 1, SyntheticCityCols: 1},
+		{Partitions: -4},
+		{SpeedKmh: -15},
+		{SearchRangeMeters: -1},
+		{MaxDirectionDiffDegrees: 270},
+		{TraceSampleEvery: -1},
+	}
+	for _, opts := range cases {
+		if err := opts.Validate(); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("Validate(%+v) = %v, want ErrInvalidOptions", opts, err)
+		}
+		if _, err := New(opts); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("New(%+v) = %v, want ErrInvalidOptions", opts, err)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("DefaultOptions invalid: %v", err)
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options invalid: %v", err)
+	}
+}
+
+func TestCloseShutsDown(t *testing.T) {
+	s := newSystem(t, false)
+	if _, err := s.AddTaxi(at(s, 0.5, 0.5), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+	if _, err := s.SubmitRequest(context.Background(), at(s, 0.5, 0.5), at(s, 0.8, 0.8), 1.3); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("SubmitRequest after Close: err = %v, want ErrShutdown", err)
+	}
+	if _, err := s.ReportStreetHail(context.Background(), 1, at(s, 0.5, 0.5), at(s, 0.8, 0.8), 1.3); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("ReportStreetHail after Close: err = %v, want ErrShutdown", err)
+	}
+	if _, err := s.AddTaxi(at(s, 0.4, 0.4), 3); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("AddTaxi after Close: err = %v, want ErrShutdown", err)
+	}
+}
+
+func TestMetricsSurface(t *testing.T) {
+	s := newSystem(t, false)
+	if _, err := s.AddTaxi(at(s, 0.5, 0.5), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitRequest(context.Background(), at(s, 0.52, 0.52), at(s, 0.85, 0.85), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.MetricsSnapshot()
+	if got := snap.Counters["mtshare_match_dispatches_total"]; got != 1 {
+		t.Fatalf("dispatches counter = %d, want 1", got)
+	}
+	if h, ok := snap.Histograms["mtshare_match_dispatch_seconds"]; !ok || h.Count != 1 {
+		t.Fatalf("dispatch histogram = %+v, want one observation", h)
+	}
+	var sb strings.Builder
+	if err := s.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mtshare_match_dispatches_total 1",
+		"mtshare_match_dispatch_seconds_bucket",
+		"mtshare_roadnet_cache_hits_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
 	}
 }
 
