@@ -1,0 +1,114 @@
+// Command mtshare-replay re-executes a recorded mtshare run against the
+// current engine and reports divergences, or records one of the built-in
+// golden scenarios.
+//
+// Replaying (the default mode) exits 0 when the replay is bit-identical
+// to the log and 1 on the first divergence, which it prints with the
+// event index and the recorded-versus-replayed values:
+//
+//	mtshare-replay testdata/golden/peakhour.jsonl.gz
+//	mtshare-replay -v run.jsonl          # list every divergence
+//
+// Recording regenerates a golden log (gzip-compressed when the output
+// path ends in .gz), optionally with a deterministic fault plan:
+//
+//	mtshare-replay -gen uniform -o testdata/golden/uniform.jsonl.gz
+//	mtshare-replay -gen peakhour -faults '{"seed":3,"unreachable_every":9}' -o faulty.jsonl
+package main
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mtshare "repro"
+)
+
+func main() {
+	gen := flag.String("gen", "", "record this scenario instead of replaying (one of: "+strings.Join(mtshare.ScenarioNames, ", ")+")")
+	out := flag.String("o", "", "output path for -gen (.gz compresses); required with -gen")
+	faultsJSON := flag.String("faults", "", "JSON fault plan for -gen, e.g. '{\"seed\":3,\"unreachable_every\":9,\"cancel_every\":7}'")
+	verbose := flag.Bool("v", false, "list every divergence instead of only the first")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mtshare-replay [-v] log.jsonl[.gz]\n")
+		fmt.Fprintf(os.Stderr, "       mtshare-replay -gen scenario [-faults json] -o path\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *gen != "" {
+		if err := record(*gen, *out, *faultsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "mtshare-replay:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := replayFile(flag.Arg(0), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "mtshare-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func record(scenario, path, faultsJSON string) error {
+	if path == "" {
+		return fmt.Errorf("-gen requires -o")
+	}
+	var faults *mtshare.FaultPlan
+	if faultsJSON != "" {
+		faults = new(mtshare.FaultPlan)
+		if err := json.Unmarshal([]byte(faultsJSON), faults); err != nil {
+			return fmt.Errorf("bad -faults: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := mtshare.RecordScenario(scenario, zw, faults); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	} else if err := mtshare.RecordScenario(scenario, f, faults); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded scenario %q to %s\n", scenario, path)
+	return nil
+}
+
+func replayFile(path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := mtshare.Replay(f)
+	if err != nil {
+		return err
+	}
+	if !rep.Diverged() {
+		fmt.Printf("%s: %d events replayed, no divergence\n", path, rep.Events)
+		return nil
+	}
+	if verbose {
+		for _, d := range rep.Divergences {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	return fmt.Errorf("%s: %d divergences over %d events; first: %s",
+		path, len(rep.Divergences), rep.Events, rep.First())
+}

@@ -78,6 +78,13 @@ type Config struct {
 	// Tracer samples dispatch span trees. nil disables tracing; a tracer
 	// carried by the DispatchContext context takes precedence.
 	Tracer *obs.Tracer
+
+	// RouterWrap, when set, interposes on the engine's shortest-path
+	// router: every leg-cost and path query of the dispatch pipeline
+	// goes through the returned PathRouter. The replay harness injects
+	// deterministic router faults through it. Engine.Router still
+	// returns the raw cache (stats, warming, request preparation).
+	RouterWrap func(roadnet.PathRouter) roadnet.PathRouter
 }
 
 // parallelism returns the effective dispatch worker count.
@@ -141,11 +148,15 @@ func (c Config) Validate() error {
 // feeds it taxi movement via ReindexTaxi and request lifecycle via
 // OnRequestDone.
 type Engine struct {
-	cfg    Config
-	g      *roadnet.Graph
-	pt     *partition.Partitioning
-	spx    *roadnet.SpatialIndex
-	router *roadnet.Router
+	cfg Config
+	g   *roadnet.Graph
+	pt  *partition.Partitioning
+	spx *roadnet.SpatialIndex
+	// rawRouter is the shortest-path cache; router is the query surface
+	// the dispatch pipeline uses — the raw cache, or Config.RouterWrap's
+	// interposition around it (fault injection under replay).
+	rawRouter *roadnet.Router
+	router    roadnet.PathRouter
 
 	clusters *mobcluster.Clusters
 	pindex   *index.PartitionIndex
@@ -190,12 +201,18 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 		reg = obs.NewRegistry()
 	}
 	g := pt.Graph()
+	raw := roadnet.NewRouter(g, cfg.RouterCacheTrees).InstrumentWith(reg)
+	var router roadnet.PathRouter = raw
+	if cfg.RouterWrap != nil {
+		router = cfg.RouterWrap(raw)
+	}
 	e := &Engine{
 		cfg:         cfg,
 		g:           g,
 		pt:          pt,
 		spx:         spx,
-		router:      roadnet.NewRouter(g, cfg.RouterCacheTrees).InstrumentWith(reg),
+		rawRouter:   raw,
+		router:      router,
 		clusters:    mobcluster.New(cfg.Lambda),
 		pindex:      index.NewPartitionIndex(pt, cfg.HorizonSeconds).InstrumentWith(reg),
 		taxis:       make(map[int64]*fleet.Taxi),
@@ -206,7 +223,7 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 		tracer:      cfg.Tracer,
 		ins:         newInstruments(reg),
 	}
-	e.router.Warm(pt.Landmarks())
+	e.rawRouter.Warm(pt.Landmarks())
 	return e, nil
 }
 
@@ -222,8 +239,10 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Partitioning() *partition.Partitioning { return e.pt }
 
 // Router exposes the shared shortest-path cache (used by the simulation
-// for request preparation).
-func (e *Engine) Router() *roadnet.Router { return e.router }
+// for request preparation). It is the raw cache even when RouterWrap
+// interposes a fault layer on the dispatch pipeline, so request
+// preparation and cache statistics see the true network.
+func (e *Engine) Router() *roadnet.Router { return e.rawRouter }
 
 // AddTaxi registers a taxi and indexes it at its current position.
 func (e *Engine) AddTaxi(t *fleet.Taxi, nowSeconds float64) {

@@ -39,7 +39,7 @@ func (e *Engine) Repartition(pt *partition.Partitioning, nowSeconds float64) err
 	e.legMu.Unlock()
 
 	e.pindex = index.NewPartitionIndex(pt, e.cfg.HorizonSeconds)
-	e.router.Warm(pt.Landmarks())
+	e.rawRouter.Warm(pt.Landmarks())
 
 	// Reindex the fleet onto the new partitions.
 	for _, id := range taxis {

@@ -1,0 +1,189 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/roadnet"
+)
+
+// FaultPlan configures the deterministic fault-injection layer. Every
+// decision is a pure function of (Seed, event index, query endpoints),
+// so two runs with the same plan — sequential or parallel, recorded or
+// replayed — inject exactly the same faults and reach exactly the same
+// dispatch outcomes. The plan travels in the log header, making a
+// fault-injected run reproducible from the log alone.
+type FaultPlan struct {
+	// Seed derives every fault decision.
+	Seed int64 `json:"seed"`
+	// UnreachableEvery makes ~1-in-N shortest-path queries report the
+	// pair unreachable (a transient router error), which exercises the
+	// infeasible-schedule and ErrNoTaxiAvailable paths. 0 disables.
+	UnreachableEvery int `json:"unreachable_every,omitempty"`
+	// LatencySpikeEvery delays ~1-in-N shortest-path queries by
+	// LatencySpikeMs of wall clock — a latency fault that perturbs
+	// timing instrumentation without changing any decision. 0 disables.
+	LatencySpikeEvery int `json:"latency_spike_every,omitempty"`
+	LatencySpikeMs    int `json:"latency_spike_ms,omitempty"`
+	// CancelEvery pre-cancels the context of ~1-in-N facade calls,
+	// exercising DispatchContext's cancellation path deterministically.
+	// 0 disables.
+	CancelEvery int `json:"cancel_every,omitempty"`
+	// ShutdownAtEvent closes the system before executing the event with
+	// this index (and every later one), exercising the ErrShutdown path.
+	// 0 disables.
+	ShutdownAtEvent int64 `json:"shutdown_at_event,omitempty"`
+}
+
+// Validate reports whether the plan is coherent.
+func (p *FaultPlan) Validate() error {
+	switch {
+	case p == nil:
+		return nil
+	case p.UnreachableEvery < 0:
+		return fmt.Errorf("replay: UnreachableEvery %d negative", p.UnreachableEvery)
+	case p.LatencySpikeEvery < 0:
+		return fmt.Errorf("replay: LatencySpikeEvery %d negative", p.LatencySpikeEvery)
+	case p.LatencySpikeMs < 0:
+		return fmt.Errorf("replay: LatencySpikeMs %d negative", p.LatencySpikeMs)
+	case p.LatencySpikeEvery > 0 && p.LatencySpikeMs == 0:
+		return fmt.Errorf("replay: LatencySpikeEvery set but LatencySpikeMs zero")
+	case p.CancelEvery < 0:
+		return fmt.Errorf("replay: CancelEvery %d negative", p.CancelEvery)
+	case p.ShutdownAtEvent < 0:
+		return fmt.Errorf("replay: ShutdownAtEvent %d negative", p.ShutdownAtEvent)
+	}
+	return nil
+}
+
+// Active reports whether the plan injects anything at all.
+func (p *FaultPlan) Active() bool {
+	return p != nil && (p.UnreachableEvery > 0 || p.LatencySpikeEvery > 0 ||
+		p.CancelEvery > 0 || p.ShutdownAtEvent > 0)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a fast, well-mixed hash used
+// to turn (seed, tag, operands) into fault decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// decide hashes the operands under the plan seed and reports whether the
+// 1-in-every lottery fires. every <= 0 never fires.
+func (p *FaultPlan) decide(tag uint64, every int, operands ...uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(p.Seed) ^ tag)
+	for _, op := range operands {
+		h = splitmix64(h ^ op)
+	}
+	return h%uint64(every) == 0
+}
+
+// Fault decision tags (arbitrary distinct constants).
+const (
+	tagUnreachable = 0x5E1EC7ED0000001
+	tagSpike       = 0x5E1EC7ED0000002
+	tagCancel      = 0x5E1EC7ED0000003
+)
+
+// CancelsEvent reports whether the facade call with the given event
+// index runs under a pre-cancelled context.
+func (p *FaultPlan) CancelsEvent(i int64) bool {
+	return p != nil && p.decide(tagCancel, p.CancelEvery, uint64(i))
+}
+
+// ShutsDownAt reports whether the system must be closed before
+// executing event i.
+func (p *FaultPlan) ShutsDownAt(i int64) bool {
+	return p != nil && p.ShutdownAtEvent > 0 && i >= p.ShutdownAtEvent
+}
+
+// MaybeCancel returns ctx, pre-cancelled when the plan says event i's
+// context fails.
+func (p *FaultPlan) MaybeCancel(ctx context.Context, i int64) context.Context {
+	if !p.CancelsEvent(i) {
+		return ctx
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	return cctx
+}
+
+// FaultRouter wraps a shortest-path router with the plan's router
+// faults. The epoch — set to the current event index by the facade
+// before each call — scopes the per-query decisions, so a pair that is
+// "unreachable" during one event routes normally during the next, like
+// a real transient failure. Decisions are pure functions of
+// (seed, epoch, u, v): concurrent dispatch workers always agree, and
+// repeated queries inside one event are consistent with each other.
+//
+// FaultRouter is safe for concurrent use.
+type FaultRouter struct {
+	inner roadnet.PathRouter
+	plan  FaultPlan
+	epoch atomic.Int64
+}
+
+// NewFaultRouter creates a fault layer with the given plan; Wrap
+// installs the router it delegates to.
+func NewFaultRouter(plan FaultPlan) *FaultRouter {
+	return &FaultRouter{plan: plan}
+}
+
+// Wrap installs inner as the delegate and returns the fault router
+// (shaped to slot into match.Config.RouterWrap).
+func (f *FaultRouter) Wrap(inner roadnet.PathRouter) roadnet.PathRouter {
+	f.inner = inner
+	return f
+}
+
+// SetEpoch scopes subsequent fault decisions to event i.
+func (f *FaultRouter) SetEpoch(i int64) { f.epoch.Store(i) }
+
+func (f *FaultRouter) unreachable(epoch int64, u, v roadnet.VertexID) bool {
+	return f.plan.decide(tagUnreachable, f.plan.UnreachableEvery, uint64(epoch), uint64(u), uint64(v))
+}
+
+// spike sleeps when the (epoch, u, v) lottery fires. It only perturbs
+// wall-clock timing; decisions and outcomes are unaffected.
+func (f *FaultRouter) spike(epoch int64, u, v roadnet.VertexID) {
+	if f.plan.decide(tagSpike, f.plan.LatencySpikeEvery, uint64(epoch), uint64(u), uint64(v)) {
+		time.Sleep(time.Duration(f.plan.LatencySpikeMs) * time.Millisecond)
+	}
+}
+
+// Cost implements roadnet.PathRouter.
+func (f *FaultRouter) Cost(u, v roadnet.VertexID) float64 {
+	epoch := f.epoch.Load()
+	f.spike(epoch, u, v)
+	if u != v && f.unreachable(epoch, u, v) {
+		return math.Inf(1)
+	}
+	return f.inner.Cost(u, v)
+}
+
+// Path implements roadnet.PathRouter.
+func (f *FaultRouter) Path(u, v roadnet.VertexID) []roadnet.VertexID {
+	epoch := f.epoch.Load()
+	f.spike(epoch, u, v)
+	if u != v && f.unreachable(epoch, u, v) {
+		return nil
+	}
+	return f.inner.Path(u, v)
+}
+
+// Reachable implements roadnet.PathRouter.
+func (f *FaultRouter) Reachable(u, v roadnet.VertexID) bool {
+	if u != v && f.unreachable(f.epoch.Load(), u, v) {
+		return false
+	}
+	return f.inner.Reachable(u, v)
+}

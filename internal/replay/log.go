@@ -1,0 +1,203 @@
+// Package replay defines the deterministic record/replay substrate of
+// the reproduction: a versioned JSONL log format capturing a full run —
+// seed, world options, road-graph fingerprint, and the ordered stream of
+// facade events (AddTaxi / SubmitRequest / ReportStreetHail / Advance)
+// with their outcomes — plus the machinery to re-execute such a log
+// against the current engine and report the first divergence, and a
+// deterministic fault-injection layer (router faults, latency spikes,
+// context cancellations, forced shutdown) configurable from the log
+// header.
+//
+// The format is line-oriented JSON with stable field order (struct
+// marshalling; map keys sort), so logs diff cleanly, compress well, and
+// a golden log checked into testdata stays byte-stable across runs of
+// the same engine. Line 1 is the Header; every following line is one
+// Event. Outcome floats round-trip exactly (Go marshals float64 in
+// shortest form that parses back to the same bits), so replay
+// comparison is exact, not approximate.
+package replay
+
+import (
+	"fmt"
+)
+
+// Version is the current log format version. Decoder rejects logs whose
+// header declares a different major version.
+const Version = 1
+
+// Log kinds: a full facade run versus a scripted simulation's dispatch
+// stream (internal/sim records the latter for run-to-run diffing).
+const (
+	KindSystem = "system"
+	KindSim    = "sim"
+)
+
+// Header is the first line of a log: everything needed to rebuild the
+// world the events ran against.
+type Header struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	// World generation parameters (the facade's Options snapshot).
+	Seed                    int64   `json:"seed"`
+	Rows                    int     `json:"rows,omitempty"`
+	Cols                    int     `json:"cols,omitempty"`
+	Partitions              int     `json:"partitions,omitempty"`
+	SpeedKmh                float64 `json:"speed_kmh,omitempty"`
+	SearchRangeMeters       float64 `json:"search_range_m,omitempty"`
+	MaxDirectionDiffDegrees float64 `json:"max_direction_deg,omitempty"`
+	Probabilistic           bool    `json:"probabilistic,omitempty"`
+	// GraphFingerprint is the hex fingerprint of the road graph the run
+	// used; replay refuses to diff against a different graph.
+	GraphFingerprint string `json:"graph_fp,omitempty"`
+	// Faults configures the deterministic fault-injection layer for the
+	// run. A replay applies the same plan, so fault-injected runs are
+	// reproducible bit for bit.
+	Faults *FaultPlan `json:"faults,omitempty"`
+}
+
+// Validate reports whether the header can drive a replay.
+func (h *Header) Validate() error {
+	if h.Version != Version {
+		return fmt.Errorf("replay: log version %d, this build reads %d", h.Version, Version)
+	}
+	switch h.Kind {
+	case KindSystem, KindSim:
+	default:
+		return fmt.Errorf("replay: unknown log kind %q", h.Kind)
+	}
+	if h.Faults != nil {
+		if err := h.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Point is a geographic location in the log.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// Event is one line of the log: the event index plus exactly one of the
+// typed payloads.
+type Event struct {
+	I       int64          `json:"i"`
+	AddTaxi *AddTaxiEvent  `json:"add_taxi,omitempty"`
+	Request *RequestEvent  `json:"request,omitempty"`
+	Hail    *HailEvent     `json:"hail,omitempty"`
+	Tick    *TickEvent     `json:"tick,omitempty"`
+	Metrics *MetricsRecord `json:"metrics,omitempty"`
+}
+
+// Kind names the payload carried by the event ("" when none is set).
+func (e *Event) Kind() string {
+	switch {
+	case e.AddTaxi != nil:
+		return "add_taxi"
+	case e.Request != nil:
+		return "request"
+	case e.Hail != nil:
+		return "hail"
+	case e.Tick != nil:
+		return "tick"
+	case e.Metrics != nil:
+		return "metrics"
+	}
+	return ""
+}
+
+// AddTaxiEvent records a taxi registration and its outcome.
+type AddTaxiEvent struct {
+	At       Point `json:"at"`
+	Capacity int   `json:"capacity"`
+	// Outcome.
+	Taxi int64  `json:"taxi,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// RequestEvent records one SubmitRequest call.
+type RequestEvent struct {
+	Pickup      Point          `json:"pickup"`
+	Dropoff     Point          `json:"dropoff"`
+	Flexibility float64        `json:"flex,omitempty"`
+	Out         RequestOutcome `json:"out"`
+}
+
+// RequestOutcome is the recorded result of a dispatch: the error code
+// (empty on success), the assignment identifiers, and the decision
+// quantities the replayer diffs.
+type RequestOutcome struct {
+	Err             string  `json:"err,omitempty"`
+	Request         int64   `json:"request,omitempty"`
+	Taxi            int64   `json:"taxi,omitempty"`
+	Candidates      int     `json:"candidates,omitempty"`
+	DetourMeters    float64 `json:"detour_m,omitempty"`
+	PickupETANanos  int64   `json:"pickup_eta_ns,omitempty"`
+	DropoffETANanos int64   `json:"dropoff_eta_ns,omitempty"`
+	FareEstimate    float64 `json:"fare,omitempty"`
+}
+
+// HailEvent records one ReportStreetHail call.
+type HailEvent struct {
+	Taxi        int64       `json:"taxi"`
+	Pickup      Point       `json:"pickup"`
+	Dropoff     Point       `json:"dropoff"`
+	Flexibility float64     `json:"flex,omitempty"`
+	Out         HailOutcome `json:"out"`
+}
+
+// HailOutcome is the recorded result of a street hail.
+type HailOutcome struct {
+	Err      string `json:"err,omitempty"`
+	ServedBy int64  `json:"served_by,omitempty"`
+}
+
+// TickEvent records one Advance call and the ride events it fired.
+type TickEvent struct {
+	DNanos int64  `json:"d_ns"`
+	Rides  []Ride `json:"rides,omitempty"`
+}
+
+// Ride is one pickup or dropoff fired during a tick.
+type Ride struct {
+	Request int64 `json:"request"`
+	Taxi    int64 `json:"taxi"`
+	Pickup  bool  `json:"pickup,omitempty"`
+	AtNanos int64 `json:"at_ns"`
+}
+
+// MetricsRecord closes a log with the run's deterministic counters
+// (typically the mtshare_match_* / mtshare_sim_* families; timing
+// histograms and scheduling-order-dependent cache counters are excluded
+// by the recorder). JSON marshalling sorts map keys, so the record is
+// byte-stable.
+type MetricsRecord struct {
+	Counters map[string]int64 `json:"counters"`
+}
+
+// DeterministicCounterPrefixes lists the instrument families whose
+// values are a pure function of the event stream: dispatch pipeline
+// counters and simulation lifecycle counters. Router cache counters
+// (hit/miss/dedup split depends on worker interleaving) and every
+// histogram (wall-clock) are intentionally absent.
+var DeterministicCounterPrefixes = []string{
+	"mtshare_match_",
+	"mtshare_sim_",
+	"mtshare_index_",
+}
+
+// DeterministicCounters filters a counters map down to the families in
+// DeterministicCounterPrefixes.
+func DeterministicCounters(counters map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range counters {
+		for _, p := range DeterministicCounterPrefixes {
+			if len(name) >= len(p) && name[:len(p)] == p {
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out
+}

@@ -13,7 +13,9 @@
 package roadnet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"repro/internal/geo"
@@ -107,6 +109,32 @@ func (g *Graph) EdgeCost(u, v VertexID) (float64, bool) {
 		}
 	}
 	return best, ok
+}
+
+// Fingerprint returns a stable FNV-1a hash over the graph's vertices
+// (bit-exact coordinates) and directed edges (order-sensitive, costs
+// bit-exact). Two graphs built from the same generator parameters hash
+// identically; a replay log carries the fingerprint so a log is never
+// diffed against a different road network.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	w64(uint64(len(g.pts)))
+	for _, p := range g.pts {
+		w64(math.Float64bits(p.Lat))
+		w64(math.Float64bits(p.Lng))
+	}
+	for u, arcs := range g.out {
+		for _, a := range arcs {
+			w64(uint64(uint32(u))<<32 | uint64(uint32(a.To)))
+			w64(math.Float64bits(a.Cost))
+		}
+	}
+	return h.Sum64()
 }
 
 // Bounds returns the bounding box of all vertices as (min, max) points.

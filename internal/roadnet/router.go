@@ -97,6 +97,23 @@ func routerShardCount(capacity int) int {
 	return n
 }
 
+// PathRouter is the query surface consumers of shortest paths depend
+// on. *Router is the canonical implementation; wrappers (the replay
+// harness's fault-injection layer) interpose on it to perturb answers
+// deterministically without touching the cache underneath.
+type PathRouter interface {
+	// Cost returns the shortest-path cost in meters from u to v, or
+	// +Inf when v is unreachable from u.
+	Cost(u, v VertexID) float64
+	// Path returns the shortest path from u to v inclusive of both
+	// endpoints, or nil when unreachable.
+	Path(u, v VertexID) []VertexID
+	// Reachable reports whether v is reachable from u.
+	Reachable(u, v VertexID) bool
+}
+
+var _ PathRouter = (*Router)(nil)
+
 // NewRouter creates a Router over g caching up to capacity source trees.
 // Each tree costs ~12 bytes per graph vertex. capacity < 1 is treated as 1.
 func NewRouter(g *Graph, capacity int) *Router {

@@ -18,7 +18,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
@@ -72,10 +71,15 @@ type Server struct {
 	nextTaxi   int64
 	nextReq    int64
 	requests   map[fleet.RequestID]*reqStatus
+	// stopped is guarded by mu. Handlers decide the 503 and run their
+	// engine mutation inside one mu critical section, so once Stop (which
+	// sets stopped under mu) returns, no new mutation can start — an
+	// atomic flag checked outside the lock would leave a window where a
+	// handler passes the check and mutates the engine after shutdown.
+	stopped bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
-	stopped  atomic.Bool
 	wg       sync.WaitGroup
 }
 
@@ -182,9 +186,13 @@ func (s *Server) Start() {
 
 // Stop terminates the movement loop and marks the service shut down:
 // subsequent mutating requests fail with a 503 "shutdown" envelope.
-// Stop is idempotent.
+// The flag is set under mu, so any handler already inside its critical
+// section finishes first and every later handler observes the shutdown
+// before touching the engine. Stop is idempotent.
 func (s *Server) Stop() {
-	s.stopped.Store(true)
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
 }
@@ -300,9 +308,11 @@ func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow ...string) {
 		fmt.Sprintf("method %s not allowed", r.Method))
 }
 
-// rejectIfStopped answers mutating requests arriving after Stop.
-func (s *Server) rejectIfStopped(w http.ResponseWriter) bool {
-	if !s.stopped.Load() {
+// rejectIfStoppedLocked answers mutating requests arriving after Stop.
+// The caller must hold mu: the shutdown decision is only race-free when
+// it shares the critical section with the mutation it guards.
+func (s *Server) rejectIfStoppedLocked(w http.ResponseWriter) bool {
+	if !s.stopped {
 		return false
 	}
 	writeError(w, http.StatusServiceUnavailable, codeShutdown, "server is shut down")
@@ -335,9 +345,6 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
-		if s.rejectIfStopped(w) {
-			return
-		}
 		var body struct {
 			Lat      float64 `json:"lat"`
 			Lng      float64 `json:"lng"`
@@ -351,6 +358,10 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 			body.Capacity = s.cfg.Capacity
 		}
 		s.mu.Lock()
+		if s.rejectIfStoppedLocked(w) {
+			s.mu.Unlock()
+			return
+		}
 		id := s.addTaxiLocked(geo.Point{Lat: body.Lat, Lng: body.Lng}, body.Capacity)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
@@ -391,9 +402,6 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 			PickedUp: st.PickedUp, Delivered: st.Delivered, FareEstimate: st.Fare,
 		})
 	case http.MethodPost:
-		if s.rejectIfStopped(w) {
-			return
-		}
 		var body struct {
 			Pickup  pointJSON `json:"pickup"`
 			Dropoff pointJSON `json:"dropoff"`
@@ -430,6 +438,9 @@ func normalizeRho(rho float64) (float64, bool) {
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropoff pointJSON, rho float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.rejectIfStoppedLocked(w) {
+		return
+	}
 	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: pickup.Lat, Lng: pickup.Lng})
 	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: dropoff.Lat, Lng: dropoff.Lng})
 	if !ok1 || !ok2 || o == d {
@@ -535,9 +546,6 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
-	if s.rejectIfStopped(w) {
-		return
-	}
 	var body struct {
 		TaxiID  int64     `json:"taxi_id"`
 		Pickup  pointJSON `json:"pickup"`
@@ -556,6 +564,9 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.rejectIfStoppedLocked(w) {
+		return
+	}
 	t, ok := s.taxis[body.TaxiID]
 	if !ok {
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown taxi")

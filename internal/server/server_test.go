@@ -426,3 +426,142 @@ func TestServerConcurrentTraffic(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestServerStopMidFlight hammers mutating endpoints while Stop fires
+// from another goroutine. In-flight requests must either complete
+// normally or be refused with the 503 shutdown envelope — never panic
+// or mutate the engine after Stop returned — and every mutating request
+// issued after Stop must see the 503.
+func TestServerStopMidFlight(t *testing.T) {
+	s, err := New(Config{CityRows: 12, CityCols: 12, InitialTaxis: 10, Capacity: 3, Speedup: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	started := make(chan struct{})
+	var startOnce sync.Once
+
+	post := func(path string, body interface{}) (*httptest.ResponseRecorder, error) {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, &buf))
+		return rec, nil
+	}
+	checkShutdownEnvelope := func(rec *httptest.ResponseRecorder, path string) error {
+		var env struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			return fmt.Errorf("POST %s 503 body not JSON: %s", path, rec.Body)
+		}
+		if env.Code != "shutdown" {
+			return fmt.Errorf("POST %s 503 code %q, want shutdown", path, env.Code)
+		}
+		return nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				startOnce.Do(func() { close(started) })
+				f := 0.15 + 0.05*float64((w+i)%12)
+				var path string
+				var body interface{}
+				switch i % 3 {
+				case 0:
+					path = "/v1/requests"
+					body = map[string]interface{}{
+						"pickup": cityPoint(s, f, f), "dropoff": cityPoint(s, 1-f, 1-f), "rho": 1.6,
+					}
+				case 1:
+					path = "/v1/taxis"
+					body = map[string]interface{}{"at": cityPoint(s, f, 1-f), "capacity": 3}
+				default:
+					path = "/v1/hails"
+					body = map[string]interface{}{
+						"taxi_id": int64(1 + (w+i)%10),
+						"pickup":  cityPoint(s, 1-f, f), "dropoff": cityPoint(s, f, 1-f), "rho": 1.5,
+					}
+				}
+				rec, err := post(path, body)
+				if err != nil {
+					errc <- err
+					return
+				}
+				switch rec.Code {
+				case http.StatusOK, http.StatusCreated, http.StatusBadRequest, http.StatusNotFound:
+					// Normal outcomes while the server is live.
+				case http.StatusServiceUnavailable:
+					if err := checkShutdownEnvelope(rec, path); err != nil {
+						errc <- err
+						return
+					}
+				default:
+					errc <- fmt.Errorf("POST %s = %d: %s", path, rec.Code, rec.Body)
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+
+	// Stop midway through the barrage, concurrently with the workers.
+	stopDone := make(chan struct{})
+	go func() {
+		<-started
+		s.Stop()
+		close(stopDone)
+	}()
+
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	<-stopDone
+
+	// After Stop has returned, every mutating endpoint must refuse.
+	after := []struct {
+		path string
+		body interface{}
+	}{
+		{"/v1/requests", map[string]interface{}{
+			"pickup": cityPoint(s, 0.2, 0.2), "dropoff": cityPoint(s, 0.8, 0.8), "rho": 1.6}},
+		{"/v1/taxis", map[string]interface{}{"at": cityPoint(s, 0.5, 0.5), "capacity": 3}},
+		{"/v1/hails", map[string]interface{}{
+			"taxi_id": int64(1), "pickup": cityPoint(s, 0.3, 0.3), "dropoff": cityPoint(s, 0.7, 0.7), "rho": 1.5}},
+	}
+	for _, tc := range after {
+		rec, err := post(tc.path, tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s after Stop = %d: %s", tc.path, rec.Code, rec.Body)
+		}
+		if err := checkShutdownEnvelope(rec, tc.path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-only endpoints stay available after shutdown.
+	for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/taxis"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s after Stop = %d", path, rec.Code)
+		}
+	}
+	// Stop is idempotent.
+	s.Stop()
+}

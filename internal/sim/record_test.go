@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+)
+
+// recordRun executes one scripted peak-hour simulation with recording
+// enabled and returns the log bytes. Requests are re-prepared per run:
+// fleet.Request carries mutable dispatch state, so runs must not share
+// them.
+func recordRun(t *testing.T, w *world, parallelism int) []byte {
+	t.Helper()
+	reqs := w.peakRequests(t, 0.2)
+	params := DefaultParams()
+	params.Parallelism = parallelism
+	var buf bytes.Buffer
+	params.RecordTo = &buf
+	params.RecordSeed = 3
+	eng, err := NewEngine(w.g, w.mtShare(t, false), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 8 * 3600.0
+	eng.PlaceTaxis(30, 3, 1, start)
+	eng.Run(reqs, start)
+	if err := eng.RecordErr(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimRecordingDeterministic runs the same scripted simulation twice
+// — once sequential, once with full parallelism — and requires the two
+// recorded logs to be byte-identical: the sim's dispatch stream, ride
+// events, and deterministic counters are a pure function of the
+// workload at every parallelism level.
+func TestSimRecordingDeterministic(t *testing.T) {
+	w := newWorld(t)
+	seqLog := recordRun(t, w, 1)
+	parLog := recordRun(t, w, 0)
+	if bytes.Equal(seqLog, parLog) {
+		return
+	}
+	divs, err := replay.CompareLogs(bytes.NewReader(seqLog), bytes.NewReader(parLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Fatalf("sequential and parallel sim logs differ (%d divergences); first: %v", len(divs), divs[0])
+}
+
+// TestSimRecordingShape sanity-checks the recorded log's structure:
+// sim kind, request outcomes for every dispatched request, tick events,
+// and a closing deterministic-counters record.
+func TestSimRecordingShape(t *testing.T) {
+	w := newWorld(t)
+	log := recordRun(t, w, 1)
+	h, evs, err := replay.ReadAll(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != replay.KindSim {
+		t.Fatalf("log kind %q", h.Kind)
+	}
+	if h.GraphFingerprint == "" {
+		t.Fatal("no graph fingerprint")
+	}
+	var requests, ticks, rides int
+	var last replay.Event
+	for _, ev := range evs {
+		switch {
+		case ev.Request != nil:
+			requests++
+		case ev.Tick != nil:
+			ticks++
+			rides += len(ev.Tick.Rides)
+		}
+		last = ev
+	}
+	if requests == 0 || ticks == 0 || rides == 0 {
+		t.Fatalf("log shape: %d requests, %d ticks, %d rides", requests, ticks, rides)
+	}
+	if last.Metrics == nil {
+		t.Fatal("log not sealed with a metrics record")
+	}
+	if last.Metrics.Counters["mtshare_sim_ticks_total"] != int64(ticks) {
+		t.Fatalf("sealed tick counter %d, log has %d tick events",
+			last.Metrics.Counters["mtshare_sim_ticks_total"], ticks)
+	}
+	for name := range last.Metrics.Counters {
+		if !deterministicName(name) {
+			t.Fatalf("non-deterministic counter %q leaked into the log", name)
+		}
+	}
+	// Ride events must reference dispatched requests and placed taxis.
+	placed := int64(30)
+	for _, ev := range evs {
+		if ev.Tick == nil {
+			continue
+		}
+		for _, r := range ev.Tick.Rides {
+			if r.Taxi < 1 || r.Taxi > placed {
+				t.Fatalf("ride references unknown taxi %d", r.Taxi)
+			}
+			if r.Request < 1 || r.Request > int64(len(w.ds.Trips))+1 {
+				t.Fatalf("ride references implausible request %d", r.Request)
+			}
+			if r.AtNanos <= int64(8*time.Hour) {
+				t.Fatalf("ride before simulation start: %d", r.AtNanos)
+			}
+		}
+	}
+}
+
+func deterministicName(name string) bool {
+	for _, p := range replay.DeterministicCounterPrefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

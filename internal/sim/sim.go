@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/payment"
+	"repro/internal/replay"
 	"repro/internal/roadnet"
 )
 
@@ -56,6 +58,17 @@ type Params struct {
 	// gives the engine a private registry; pass the dispatcher's registry
 	// to see simulation and matching on one surface.
 	Metrics *obs.Registry
+
+	// RecordTo, when set, records the run as a replay.KindSim JSONL log:
+	// every dispatch outcome, roadside-encounter service, and tick's ride
+	// events, sealed with the deterministic counters. Two runs of the
+	// same scripted workload must produce byte-identical logs
+	// (replay.CompareLogs diffs them); wall-clock quantities are never
+	// written.
+	RecordTo io.Writer
+	// RecordSeed stamps the log header with the workload seed for
+	// provenance; it does not affect the simulation.
+	RecordSeed int64
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -171,6 +184,9 @@ type Engine struct {
 
 	reg *obs.Registry
 	ins simInstruments
+
+	rec      *replay.Encoder
+	eventIdx int64
 }
 
 // simInstruments are the simulation's registry-backed instruments.
@@ -204,7 +220,7 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Engine{
+	e := &Engine{
 		params:   params,
 		g:        g,
 		scheme:   scheme,
@@ -214,7 +230,41 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		records:  make(map[fleet.RequestID]*RequestRecord),
 		reg:      reg,
 		ins:      newSimInstruments(reg),
-	}, nil
+	}
+	if params.RecordTo != nil {
+		rec, err := replay.NewEncoder(params.RecordTo, replay.Header{
+			Version:          replay.Version,
+			Kind:             replay.KindSim,
+			Seed:             params.RecordSeed,
+			SpeedKmh:         params.SpeedMps * 3.6,
+			GraphFingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.rec = rec
+	}
+	return e, nil
+}
+
+// record appends one event line when recording is active, consuming the
+// next event index.
+func (e *Engine) record(build func(i int64) replay.Event) {
+	if e.rec == nil {
+		return
+	}
+	ev := build(e.eventIdx)
+	e.eventIdx++
+	e.rec.Encode(ev)
+}
+
+// RecordErr returns the log encoder's sticky write error, if recording
+// was enabled and a write failed.
+func (e *Engine) RecordErr() error {
+	if e.rec == nil {
+		return nil
+	}
+	return e.rec.Err()
 }
 
 // Metrics returns the registry holding the simulation's instruments.
@@ -289,6 +339,11 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 	}
 	e.ExecutionSecs = time.Since(e.wallStart).Seconds()
 	e.FinalSimSeconds = now
+	e.record(func(i int64) replay.Event {
+		return replay.Event{I: i, Metrics: &replay.MetricsRecord{
+			Counters: replay.DeterministicCounters(e.reg.Snapshot().Counters),
+		}}
+	})
 	return e.collectMetrics()
 }
 
@@ -311,6 +366,22 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 	rec.ResponseNanos = time.Since(t0).Nanoseconds()
 	e.ins.dispatchSeconds.Observe(float64(rec.ResponseNanos) / 1e9)
 	rec.Candidates = out.Candidates
+	e.record(func(i int64) replay.Event {
+		errCode := ""
+		if !out.Served {
+			errCode = "no_taxi"
+		}
+		return replay.Event{I: i, Request: &replay.RequestEvent{
+			Pickup:  replay.Point{Lat: r.OriginPt.Lat, Lng: r.OriginPt.Lng},
+			Dropoff: replay.Point{Lat: r.DestPt.Lat, Lng: r.DestPt.Lng},
+			Out: replay.RequestOutcome{
+				Err:        errCode,
+				Request:    int64(r.ID),
+				Taxi:       out.TaxiID,
+				Candidates: out.Candidates,
+			},
+		}}
+	})
 	if !out.Served {
 		return false
 	}
@@ -370,6 +441,7 @@ func (e *Engine) advanceTaxis(now, dt float64) {
 		}
 		wg.Wait()
 	}
+	var rides []replay.Ride
 	for i, t := range e.taxis {
 		o := outs[i]
 		wasOnboard := o.wasOnboard
@@ -377,6 +449,14 @@ func (e *Engine) advanceTaxis(now, dt float64) {
 			eventOdo := o.startOdo + v.MetersIntoTick
 			eventTime := now + v.MetersIntoTick/e.params.SpeedMps
 			e.processEvent(t, v.Event, eventOdo, eventTime, &wasOnboard)
+			if e.rec != nil {
+				rides = append(rides, replay.Ride{
+					Request: int64(v.Event.Req.ID),
+					Taxi:    t.ID,
+					Pickup:  v.Event.Kind == fleet.Pickup,
+					AtNanos: int64(eventTime * float64(time.Second)),
+				})
+			}
 		}
 		if t.OccupiedSeats() > 0 {
 			e.occupiedSecs += dt
@@ -386,6 +466,12 @@ func (e *Engine) advanceTaxis(now, dt float64) {
 		}
 		e.scheme.OnTaxiAdvanced(t, now+dt)
 	}
+	e.record(func(i int64) replay.Event {
+		return replay.Event{I: i, Tick: &replay.TickEvent{
+			DNanos: int64(dt * float64(time.Second)),
+			Rides:  rides,
+		}}
+	})
 }
 
 // processEvent updates per-request records and per-taxi episodes for one
@@ -473,6 +559,14 @@ func (e *Engine) handleEncounters(now float64) {
 				served = true
 				e.ins.encounters.Inc()
 				e.ins.requestsServed.Inc()
+				e.record(func(i int64) replay.Event {
+					return replay.Event{I: i, Hail: &replay.HailEvent{
+						Taxi:    t.ID,
+						Pickup:  replay.Point{Lat: r.OriginPt.Lat, Lng: r.OriginPt.Lng},
+						Dropoff: replay.Point{Lat: r.DestPt.Lat, Lng: r.DestPt.Lng},
+						Out:     replay.HailOutcome{ServedBy: t.ID},
+					}}
+				})
 				break
 			}
 			// The driver reported the hailing passenger but could not fit

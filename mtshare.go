@@ -15,8 +15,10 @@ package mtshare
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/fleet"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/payment"
+	"repro/internal/replay"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
 )
@@ -87,7 +90,27 @@ type Options struct {
 	// TraceHandler receives sampled root spans. It may be called from
 	// the goroutine that ran the dispatch.
 	TraceHandler func(*obs.Span)
+
+	// RecordTo, when set, records the run to this writer as a versioned
+	// JSONL replay log: the header (seed, options, graph fingerprint,
+	// fault plan) followed by every AddTaxi / SubmitRequest /
+	// ReportStreetHail / Advance call with its outcome, closed by a
+	// deterministic-counters snapshot on Close. Replay the log with
+	// Replay (or cmd/mtshare-replay). Recording requires the synthetic
+	// history: a custom History is not serialised into the log.
+	RecordTo io.Writer
+
+	// Faults enables the deterministic fault-injection layer: router
+	// unreachability faults and latency spikes, pre-cancelled dispatch
+	// contexts, and a forced shutdown, all derived from the plan's seed
+	// and the event index. The plan travels in the recorded log header,
+	// so fault-injected runs replay bit-identically.
+	Faults *FaultPlan
 }
+
+// FaultPlan configures deterministic fault injection; see
+// Options.Faults. The zero Every/At fields disable each fault class.
+type FaultPlan = replay.FaultPlan
 
 // DefaultOptions returns the configuration New applies when fields are
 // left zero: a deterministic 24x24 synthetic city, the paper's 15 km/h
@@ -130,6 +153,12 @@ func (o Options) Validate() error {
 	if o.TraceSampleEvery < 0 {
 		return fail("trace sample rate %d must not be negative", o.TraceSampleEvery)
 	}
+	if o.RecordTo != nil && o.History != nil {
+		return fail("recording requires the synthetic history; custom History is not serialised into the log")
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return fail("fault plan: %v", err)
+	}
 	return nil
 }
 
@@ -169,6 +198,15 @@ type System struct {
 	nextReq  RequestID
 	requests map[RequestID]*fleet.Request
 	closed   bool
+
+	// Record/replay state: the log encoder (nil when not recording),
+	// the fault plan and its router layer (nil without faults), and the
+	// monotonically increasing event index every facade call consumes.
+	rec         *replay.Encoder
+	recDone     bool
+	faults      *replay.FaultPlan
+	faultRouter *replay.FaultRouter
+	eventIndex  int64
 }
 
 // New builds a System. Zero-valued Options fields take the
@@ -232,6 +270,11 @@ func New(opts Options) (*System, error) {
 	if opts.TraceSampleEvery > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceSampleEvery, opts.TraceHandler)
 	}
+	var faultRouter *replay.FaultRouter
+	if opts.Faults.Active() {
+		faultRouter = replay.NewFaultRouter(*opts.Faults)
+		cfg.RouterWrap = faultRouter.Wrap
+	}
 	if opts.SearchRangeMeters > 0 {
 		cfg.SearchRangeMeters = opts.SearchRangeMeters
 	} else {
@@ -245,15 +288,82 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		g:        g,
-		spx:      spx,
-		engine:   engine,
-		scheme:   match.NewScheme(engine, opts.Probabilistic),
-		pay:      payment.DefaultModel(),
-		taxis:    make(map[TaxiID]*fleet.Taxi),
-		requests: make(map[RequestID]*fleet.Request),
-	}, nil
+	s := &System{
+		g:           g,
+		spx:         spx,
+		engine:      engine,
+		scheme:      match.NewScheme(engine, opts.Probabilistic),
+		pay:         payment.DefaultModel(),
+		taxis:       make(map[TaxiID]*fleet.Taxi),
+		requests:    make(map[RequestID]*fleet.Request),
+		faults:      opts.Faults,
+		faultRouter: faultRouter,
+	}
+	if opts.RecordTo != nil {
+		rec, err := replay.NewEncoder(opts.RecordTo, replay.Header{
+			Version:                 replay.Version,
+			Kind:                    replay.KindSystem,
+			Seed:                    opts.Seed,
+			Rows:                    opts.SyntheticCityRows,
+			Cols:                    opts.SyntheticCityCols,
+			Partitions:              opts.Partitions,
+			SpeedKmh:                opts.SpeedKmh,
+			SearchRangeMeters:       opts.SearchRangeMeters,
+			MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
+			Probabilistic:           opts.Probabilistic,
+			GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),
+			Faults:                  opts.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.rec = rec
+	}
+	return s, nil
+}
+
+// beginEvent consumes the next event index and applies the fault plan's
+// per-event effects: the router fault epoch and the forced shutdown.
+func (s *System) beginEvent() int64 {
+	i := s.eventIndex
+	s.eventIndex++
+	if s.faultRouter != nil {
+		s.faultRouter.SetEpoch(i)
+	}
+	if s.faults.ShutsDownAt(i) {
+		s.closed = true
+	}
+	return i
+}
+
+// record appends one event line when recording is active.
+func (s *System) record(ev replay.Event) {
+	if s.rec != nil && !s.recDone {
+		s.rec.Encode(ev)
+	}
+}
+
+// errCode maps an API error onto the stable code the log stores; replay
+// compares codes, so wrapped detail text may vary without diverging.
+func errCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrNoTaxiAvailable):
+		return "no_taxi"
+	case errors.Is(err, ErrInvalidRequest):
+		return "invalid_request"
+	case errors.Is(err, ErrUnknownTaxi):
+		return "unknown_taxi"
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
 }
 
 // Bounds returns the road network's bounding box, useful for placing
@@ -266,10 +376,25 @@ func (s *System) Now() time.Duration {
 }
 
 // Close shuts the system down: subsequent submissions fail with
-// ErrShutdown. Close is idempotent.
+// ErrShutdown. When recording, Close seals the log with a snapshot of
+// the run's deterministic counters and reports any deferred write
+// error. Close is idempotent.
 func (s *System) Close() error {
 	s.closed = true
+	if s.rec != nil && !s.recDone {
+		s.record(replay.Event{I: s.eventIndex, Metrics: &replay.MetricsRecord{
+			Counters: s.deterministicCounters(),
+		}})
+		s.recDone = true
+		return s.rec.Close()
+	}
 	return nil
+}
+
+// deterministicCounters snapshots the counters whose values are a pure
+// function of the event stream (see replay.DeterministicCounters).
+func (s *System) deterministicCounters() map[string]int64 {
+	return replay.DeterministicCounters(s.MetricsSnapshot().Counters)
 }
 
 // Metrics returns the system's instrument registry — the one passed via
@@ -286,6 +411,18 @@ func (s *System) WriteMetrics(w io.Writer) error { return s.engine.Metrics().Wri
 
 // AddTaxi registers an empty taxi near the given position.
 func (s *System) AddTaxi(at Point, capacity int) (TaxiID, error) {
+	i := s.beginEvent()
+	id, err := s.addTaxi(at, capacity)
+	s.record(replay.Event{I: i, AddTaxi: &replay.AddTaxiEvent{
+		At:       replay.Point{Lat: at.Lat, Lng: at.Lng},
+		Capacity: capacity,
+		Taxi:     int64(id),
+		Err:      errCode(err),
+	}})
+	return id, err
+}
+
+func (s *System) addTaxi(at Point, capacity int) (TaxiID, error) {
 	if s.closed {
 		return 0, ErrShutdown
 	}
@@ -322,6 +459,33 @@ type Assignment struct {
 // honoured between dispatch stages, and a tracer carried by ctx samples
 // the dispatch span tree.
 func (s *System) SubmitRequest(ctx context.Context, pickup, dropoff Point, flexibility float64) (Assignment, error) {
+	i := s.beginEvent()
+	ctx = s.faults.MaybeCancel(ctx, i)
+	a, err := s.submitRequest(ctx, pickup, dropoff, flexibility)
+	s.record(replay.Event{I: i, Request: &replay.RequestEvent{
+		Pickup:      replay.Point{Lat: pickup.Lat, Lng: pickup.Lng},
+		Dropoff:     replay.Point{Lat: dropoff.Lat, Lng: dropoff.Lng},
+		Flexibility: flexibility,
+		Out:         requestOutcome(a, err),
+	}})
+	return a, err
+}
+
+// requestOutcome renders an Assignment and error as the log outcome.
+func requestOutcome(a Assignment, err error) replay.RequestOutcome {
+	return replay.RequestOutcome{
+		Err:             errCode(err),
+		Request:         int64(a.Request),
+		Taxi:            int64(a.Taxi),
+		Candidates:      a.CandidateTaxis,
+		DetourMeters:    a.DetourMeters,
+		PickupETANanos:  int64(a.PickupETA),
+		DropoffETANanos: int64(a.DropoffETA),
+		FareEstimate:    a.FareEstimate,
+	}
+}
+
+func (s *System) submitRequest(ctx context.Context, pickup, dropoff Point, flexibility float64) (Assignment, error) {
 	if s.closed {
 		return Assignment{}, ErrShutdown
 	}
@@ -368,6 +532,20 @@ func (s *System) SubmitRequest(ctx context.Context, pickup, dropoff Point, flexi
 // hailed taxi nor any dispatched taxi can serve, the error is
 // ErrNoTaxiAvailable.
 func (s *System) ReportStreetHail(ctx context.Context, taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, error) {
+	i := s.beginEvent()
+	ctx = s.faults.MaybeCancel(ctx, i)
+	served, err := s.reportStreetHail(ctx, taxi, pickup, dropoff, flexibility)
+	s.record(replay.Event{I: i, Hail: &replay.HailEvent{
+		Taxi:        int64(taxi),
+		Pickup:      replay.Point{Lat: pickup.Lat, Lng: pickup.Lng},
+		Dropoff:     replay.Point{Lat: dropoff.Lat, Lng: dropoff.Lng},
+		Flexibility: flexibility,
+		Out:         replay.HailOutcome{Err: errCode(err), ServedBy: int64(served)},
+	}})
+	return served, err
+}
+
+func (s *System) reportStreetHail(ctx context.Context, taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, error) {
 	if s.closed {
 		return 0, ErrShutdown
 	}
@@ -440,12 +618,37 @@ type RideEvent struct {
 
 // Advance moves the world forward by d: taxis drive their planned routes,
 // firing pickups and deliveries. Idle taxis cruise toward likely demand
-// when the system runs in probabilistic mode.
+// when the system runs in probabilistic mode. Taxis advance in ID order,
+// so the ride-event sequence is deterministic for a given call history.
 func (s *System) Advance(d time.Duration) []RideEvent {
+	i := s.beginEvent()
+	events := s.advance(d)
+	if s.rec != nil && !s.recDone {
+		rides := make([]replay.Ride, len(events))
+		for k, ev := range events {
+			rides[k] = replay.Ride{
+				Request: int64(ev.Request),
+				Taxi:    int64(ev.Taxi),
+				Pickup:  ev.Pickup,
+				AtNanos: int64(ev.At),
+			}
+		}
+		s.record(replay.Event{I: i, Tick: &replay.TickEvent{DNanos: int64(d), Rides: rides}})
+	}
+	return events
+}
+
+func (s *System) advance(d time.Duration) []RideEvent {
 	dt := d.Seconds()
 	speed := s.engine.Config().SpeedMps
+	ids := make([]TaxiID, 0, len(s.taxis))
+	for id := range s.taxis {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	var events []RideEvent
-	for id, t := range s.taxis {
+	for _, id := range ids {
+		t := s.taxis[id]
 		startNow := s.now
 		for _, v := range t.Advance(speed * dt) {
 			when := time.Duration((startNow + v.MetersIntoTick/speed) * float64(time.Second))
