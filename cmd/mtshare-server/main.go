@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
-//	               [-trace-sample N] [-pprof]
+//	               [-queue N] [-queue-retry N] [-trace-sample N] [-pprof]
 //
 // Endpoints (versioned under /v1/; the /api/ aliases are deprecated):
 //
@@ -15,6 +15,7 @@
 //	GET  /v1/taxis                                             -> fleet status
 //	POST /v1/requests  {"pickup":{...},"dropoff":{...},"rho":1.3} -> assignment
 //	GET  /v1/requests?id=N                                     -> request status
+//	GET  /v1/queue                                             -> pending-queue stats
 //	GET  /v1/stats                                             -> engine statistics
 //	GET  /v1/metrics                                           -> Prometheus text metrics
 //	GET  /debug/pprof/                                         -> profiling (with -pprof)
@@ -43,6 +44,8 @@ func main() {
 	capacity := flag.Int("capacity", 3, "taxi capacity")
 	speedup := flag.Float64("speedup", 20, "simulation clock speedup over wall clock")
 	seed := flag.Int64("seed", 1, "world seed")
+	queueDepth := flag.Int("queue", 0, "pending-queue capacity: park unserved requests and retry until their deadline (0 = reject immediately)")
+	queueRetry := flag.Int("queue-retry", 1, "retry the pending queue every N simulation ticks")
 	traceSample := flag.Int("trace-sample", 0, "log the span tree of one in N dispatches (0 disables)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -51,6 +54,7 @@ func main() {
 		CityRows: *rows, CityCols: *cols,
 		InitialTaxis: *taxis, Capacity: *capacity,
 		Speedup: *speedup, Seed: *seed,
+		QueueDepth: *queueDepth, RetryEveryTicks: *queueRetry,
 	}
 	if *traceSample > 0 {
 		cfg.TraceSampleEvery = *traceSample

@@ -11,6 +11,18 @@ var (
 	// returned alongside it still carries the candidate-set size.
 	ErrNoTaxiAvailable = errors.New("mtshare: no taxi can serve the request")
 
+	// ErrQueued reports that no taxi could serve the request right now,
+	// so it was parked in the pending queue (Options.QueueDepth > 0) for
+	// batched re-dispatch on subsequent Advance ticks. The Assignment
+	// returned alongside it carries the request ID; the terminal outcome
+	// (served or expired) arrives as a RideEvent or QueueEvent from
+	// Advance.
+	ErrQueued = errors.New("mtshare: request queued for re-dispatch")
+
+	// ErrQueueFull reports that dispatch failed and the pending queue had
+	// no room (backpressure): the request is terminally rejected.
+	ErrQueueFull = errors.New("mtshare: pending queue is full")
+
 	// ErrInvalidRequest reports a request that could not be interpreted:
 	// endpoints off the road network, degenerate pickup/dropoff, or an
 	// out-of-range flexibility factor.

@@ -15,6 +15,24 @@ type Outcome struct {
 	Candidates int
 }
 
+// BatchResult pairs one request of a batch re-dispatch with its outcome.
+type BatchResult struct {
+	Req *fleet.Request
+	Out Outcome
+	// Conflict marks a result that had to be re-evaluated after an
+	// earlier commit in the same batch took its first-choice taxi.
+	Conflict bool
+}
+
+// BatchDispatcher is an optional Scheme extension used by the pending
+// queue's retry loop: evaluate a batch of parked requests against the
+// current fleet and commit winners in deterministic (pickup deadline,
+// request ID) order. The simulator falls back to per-request OnRequest
+// calls in the same order for schemes that do not implement it.
+type BatchDispatcher interface {
+	OnBatch(reqs []*fleet.Request, nowSeconds float64) []BatchResult
+}
+
 // Scheme is a ridesharing dispatcher under simulation.
 type Scheme interface {
 	// Name identifies the scheme in reports.

@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"ablate-filter", (*Lab).AblationPartitionFilter},
 		{"ablate-reorder", (*Lab).AblationReorder},
 		{"ablate-probtradeoff", (*Lab).AblationProbTradeoff},
+		{"ablate-queue", (*Lab).AblationQueue},
 		{"verify", (*Lab).Verify},
 	}
 }

@@ -227,6 +227,39 @@ func TestAblationPartitionFilter(t *testing.T) {
 	}
 }
 
+// TestAblationQueue pins the tentpole claim: at peak load on a
+// constrained fleet, the pending queue's batched re-dispatch strictly
+// improves the served count over immediate rejection, and every retry
+// outcome is accounted for (served from queue or expired in queue).
+func TestAblationQueue(t *testing.T) {
+	l := testLab(t)
+	r, err := l.AblationQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	taxis := l.World.Scale.DefaultTaxis / 2
+	base, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Taxis: taxis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Taxis: taxis, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Queued != 0 || base.ServedFromQueue != 0 {
+		t.Fatalf("queue-less run reports queue activity: %+v", base)
+	}
+	if queued.Served <= base.Served {
+		t.Fatalf("queue did not improve served count: %d (depth 32) vs %d (reject)", queued.Served, base.Served)
+	}
+	if queued.ServedFromQueue == 0 {
+		t.Fatal("no requests served from the queue")
+	}
+}
+
 func TestAllRegistryResolves(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {

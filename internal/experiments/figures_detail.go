@@ -373,6 +373,32 @@ func (l *Lab) AblationProbTradeoff() (*Result, error) {
 	return r, nil
 }
 
+// AblationQueue measures the pending-request queue (batched re-dispatch
+// of unserved requests until their pickup deadline) against immediate
+// rejection, at peak load on a deliberately constrained fleet so
+// dispatch failures are common enough for retries to matter.
+func (l *Lab) AblationQueue() (*Result, error) {
+	taxis := l.World.Scale.DefaultTaxis / 2
+	r := &Result{
+		ID: "ablate-queue", Title: fmt.Sprintf("Pending-queue re-dispatch vs immediate reject (peak, mT-Share, %d taxis)", taxis),
+		Header: []string{"queue depth", "served", "served rate", "from queue", "expired in queue", "mean queue wait (min)"},
+		Notes: []string{
+			"depth 0 is the paper's immediate-reject behaviour; parked requests retry every tick until served or their pickup deadline passes",
+		},
+	}
+	for _, depth := range []int{0, 8, 16, 32, 64} {
+		m, err := l.RunAvg(Scenario{Scheme: MTShare, Window: "peak", Taxis: taxis, QueueDepth: depth})
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			fi(depth), fi(m.Served), f3(m.ServedRate()),
+			fi(m.ServedFromQueue), fi(m.ExpiredInQueue), f2(m.MeanQueueWaitMin),
+		})
+	}
+	return r, nil
+}
+
 // AblationPartitionFilter compares basic-routing legs (cached shortest
 // paths, the paper's evaluation setup) against the partition-filtered
 // Dijkstra production path: routing cost inflation and query counts. It

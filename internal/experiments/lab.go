@@ -53,6 +53,11 @@ type Scenario struct {
 	// ProbInflation caps probabilistic leg detours at this multiple of
 	// the shortest path (the ablate-probtradeoff experiment); 0 = off.
 	ProbInflation float64
+	// QueueDepth enables the pending-request queue (batched re-dispatch
+	// of unserved requests) at the given capacity; 0 = immediate reject.
+	// RetryEveryTicks sets the retry cadence (0 = every tick).
+	QueueDepth      int
+	RetryEveryTicks int
 }
 
 func (sc Scenario) window() Window {
@@ -199,7 +204,12 @@ func (l *Lab) Run(sc Scenario) (*sim.Metrics, error) {
 		return nil, err
 	}
 	reqs := l.World.Requests(sc.window(), sc.Rho, sc.OfflineFrac)
-	eng, err := sim.NewEngine(l.World.G, scheme, l.simParams())
+	params := l.simParams()
+	params.QueueDepth = sc.QueueDepth
+	if sc.QueueDepth > 0 {
+		params.RetryEveryTicks = sc.RetryEveryTicks
+	}
+	eng, err := sim.NewEngine(l.World.G, scheme, params)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +301,10 @@ func (l *Lab) RunAvg(sc Scenario) (*sim.Metrics, error) {
 		acc.ServedOnline += m.ServedOnline
 		acc.ServedOffline += m.ServedOffline
 		acc.Delivered += m.Delivered
+		acc.Queued += m.Queued
+		acc.ServedFromQueue += m.ServedFromQueue
+		acc.ExpiredInQueue += m.ExpiredInQueue
+		acc.MeanQueueWaitMin += m.MeanQueueWaitMin
 		acc.MeanResponseMs += m.MeanResponseMs
 		acc.P95ResponseMs += m.P95ResponseMs
 		acc.MeanDetourMin += m.MeanDetourMin
@@ -308,6 +322,10 @@ func (l *Lab) RunAvg(sc Scenario) (*sim.Metrics, error) {
 	acc.ServedOnline = int(float64(acc.ServedOnline)/f + 0.5)
 	acc.ServedOffline = int(float64(acc.ServedOffline)/f + 0.5)
 	acc.Delivered = int(float64(acc.Delivered)/f + 0.5)
+	acc.Queued = int(float64(acc.Queued)/f + 0.5)
+	acc.ServedFromQueue = int(float64(acc.ServedFromQueue)/f + 0.5)
+	acc.ExpiredInQueue = int(float64(acc.ExpiredInQueue)/f + 0.5)
+	acc.MeanQueueWaitMin /= f
 	acc.MeanResponseMs /= f
 	acc.P95ResponseMs /= f
 	acc.MeanDetourMin /= f

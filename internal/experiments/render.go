@@ -91,4 +91,5 @@ func trimFloat(x float64) string {
 
 func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
 func fi(x int) string     { return fmt.Sprintf("%d", x) }

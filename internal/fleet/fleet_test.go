@@ -206,6 +206,59 @@ func TestEvaluateScheduleDeadlineViolations(t *testing.T) {
 	}
 }
 
+func TestEvaluateScheduleExactlyAtDeadline(t *testing.T) {
+	g := testGraph()
+	// Direct time 1->4 at 10 m/s = 300 s; deadline 400 s puts the pickup
+	// deadline at exactly 100 s — precisely the arrival time from vertex 0.
+	// The dropoff then lands at exactly 400 s. Deadlines are inclusive:
+	// arrival exactly at either boundary is feasible.
+	r := testRequest(g, 1, 1, 4, 0, 400*time.Second)
+	events := []Event{{r, Pickup}, {r, Dropoff}}
+	res := EvaluateSchedule(events, legCoster(g), EvalParams{SpeedMps: 10, Start: 0, Capacity: 3})
+	if !res.Feasible {
+		t.Fatal("arrival exactly at the deadline rejected")
+	}
+	if res.ArrivalSeconds[0] != 100 || res.ArrivalSeconds[1] != 400 {
+		t.Fatalf("arrivals = %v", res.ArrivalSeconds)
+	}
+	// One second less slack pushes the pickup strictly past its deadline.
+	late := testRequest(g, 2, 1, 4, 0, 399*time.Second)
+	res2 := EvaluateSchedule([]Event{{late, Pickup}, {late, Dropoff}}, legCoster(g),
+		EvalParams{SpeedMps: 10, Start: 0, Capacity: 3})
+	if res2.Feasible {
+		t.Fatal("arrival strictly past the deadline accepted")
+	}
+}
+
+func TestEvaluateScheduleWithCostsMismatch(t *testing.T) {
+	g := testGraph()
+	r := testRequest(g, 1, 1, 4, 0, time.Hour)
+	events := []Event{{r, Pickup}, {r, Dropoff}}
+	p := EvalParams{SpeedMps: 10, Start: 0, Capacity: 3}
+	for _, legs := range [][]float64{nil, {1000}, {1000, 3000, 500}} {
+		res := EvaluateScheduleWithCosts(events, legs, p)
+		if res.Feasible {
+			t.Fatalf("legs %v: mismatched legMeters accepted", legs)
+		}
+		if len(res.ArrivalSeconds) != len(events) {
+			t.Fatalf("legs %v: ArrivalSeconds len = %d, want %d", legs, len(res.ArrivalSeconds), len(events))
+		}
+		for i, a := range res.ArrivalSeconds {
+			if a != 0 {
+				t.Fatalf("legs %v: ArrivalSeconds[%d] = %v, want zero-filled", legs, i, a)
+			}
+		}
+		if res.TotalMeters != 0 {
+			t.Fatalf("legs %v: TotalMeters = %v, want 0", legs, res.TotalMeters)
+		}
+	}
+	// Matched lengths still evaluate normally.
+	res := EvaluateScheduleWithCosts(events, []float64{1000, 3000}, p)
+	if !res.Feasible || res.TotalMeters != 4000 {
+		t.Fatalf("matched legs: Feasible=%v TotalMeters=%v", res.Feasible, res.TotalMeters)
+	}
+}
+
 func TestEvaluateScheduleCapacity(t *testing.T) {
 	g := testGraph()
 	r1 := testRequest(g, 1, 0, 5, 0, time.Hour)

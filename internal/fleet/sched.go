@@ -49,6 +49,10 @@ type EvalResult struct {
 // (§III-C): delivery deadlines (pickups additionally respect the derived
 // pickup deadline) and seat capacity. It is the shared core of Alg. 1's
 // schedule enumeration for every scheme in the repository.
+//
+// Deadline-boundary convention (shared with match.Engine's search-radius
+// gate): deadlines are inclusive — arrival exactly at the pickup or
+// delivery deadline is feasible; only t strictly past the deadline fails.
 func EvaluateSchedule(events []Event, cost LegCoster, p EvalParams) EvalResult {
 	res := EvalResult{ArrivalSeconds: make([]float64, len(events))}
 	if p.SpeedMps <= 0 {
@@ -95,6 +99,12 @@ func EvaluateSchedule(events []Event, cost LegCoster, p EvalParams) EvalResult {
 // computed each leg's travel cost (probabilistic routing materialises legs
 // up front). legMeters[i] is the cost of the leg ending at events[i].
 func EvaluateScheduleWithCosts(events []Event, legMeters []float64, p EvalParams) EvalResult {
+	// Validate the pairing before any evaluation state is set up: a
+	// mismatched legMeters cannot be walked meaningfully, so the result is
+	// infeasible with zero-filled arrival times.
+	if len(legMeters) != len(events) {
+		return EvalResult{ArrivalSeconds: make([]float64, len(events))}
+	}
 	i := 0
 	coster := func(u, v roadnet.VertexID) (float64, bool) {
 		if i >= len(legMeters) {
@@ -103,9 +113,6 @@ func EvaluateScheduleWithCosts(events []Event, legMeters []float64, p EvalParams
 		c := legMeters[i]
 		i++
 		return c, true
-	}
-	if len(legMeters) != len(events) {
-		return EvalResult{ArrivalSeconds: make([]float64, len(events))}
 	}
 	return EvaluateSchedule(events, coster, p)
 }

@@ -277,8 +277,11 @@ func (lg *LocationGrid) Near(p geo.Point, radiusMeters float64) []int64 {
 	dr := int(radiusMeters/(lg.cellLat*mLat)) + 1
 	mLng := mLat * math.Cos(p.Lat*math.Pi/180)
 	dc := int(radiusMeters/(lg.cellLng*mLng)) + 1
-	pr := int((p.Lat - lg.minLat) / lg.cellLat)
-	pc := int((p.Lng - lg.minLng) / lg.cellLng)
+	// Floor, not truncate: int() rounds toward zero, which would map a
+	// query just below the grid's min corner onto row/column 0 and shift
+	// the scanned window by one cell for out-of-bounds points.
+	pr := int(math.Floor((p.Lat - lg.minLat) / lg.cellLat))
+	pc := int(math.Floor((p.Lng - lg.minLng) / lg.cellLng))
 	type cand struct {
 		id int64
 		d  float64

@@ -262,6 +262,54 @@ func TestLocationGridSortedByDistance(t *testing.T) {
 	}
 }
 
+func TestLocationGridNearOutsideBounds(t *testing.T) {
+	min := geo.Point{Lat: 30.6, Lng: 104.0}
+	max := geo.Point{Lat: 30.7, Lng: 104.1}
+	lg := NewLocationGrid(min, max, 300)
+	// Taxis in the extreme corner cells of the grid.
+	atMin := geo.Point{Lat: 30.6001, Lng: 104.0001}
+	atMax := geo.Point{Lat: 30.6999, Lng: 104.0999}
+	lg.Update(1, atMin)
+	lg.Update(2, atMax)
+
+	// Query below/left of the min corner: the fractional cell offset is
+	// negative, where truncation (instead of floor) used to shift the
+	// scanned window. The corner taxi is ~150 m away and must be found.
+	below := geo.Point{Lat: 30.599, Lng: 103.999}
+	if got := lg.Near(below, 500); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Near below min corner = %v, want [1]", got)
+	}
+	// Query above/right of the max corner.
+	above := geo.Point{Lat: 30.701, Lng: 104.101}
+	if got := lg.Near(above, 500); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Near above max corner = %v, want [2]", got)
+	}
+	// Far outside: nothing within radius.
+	if got := lg.Near(geo.Point{Lat: 30.5, Lng: 103.9}, 500); len(got) != 0 {
+		t.Fatalf("Near far outside = %v, want none", got)
+	}
+}
+
+func TestLocationGridNearOnCellEdge(t *testing.T) {
+	min := geo.Point{Lat: 30.6, Lng: 104.0}
+	max := geo.Point{Lat: 30.7, Lng: 104.1}
+	lg := NewLocationGrid(min, max, 300)
+	// A query point exactly on a cell-boundary lat/lng (and on the grid's
+	// min corner itself) must behave like any interior point: taxis just
+	// either side of the edge are both within radius and both returned.
+	edge := geo.Point{Lat: min.Lat + 2*lg.cellLat, Lng: min.Lng + 2*lg.cellLng}
+	lg.Update(1, geo.Point{Lat: edge.Lat + lg.cellLat/4, Lng: edge.Lng})
+	lg.Update(2, geo.Point{Lat: edge.Lat - lg.cellLat/4, Lng: edge.Lng})
+	if got := lg.Near(edge, 500); len(got) != 2 {
+		t.Fatalf("Near on cell edge = %v, want both neighbours", got)
+	}
+	corner := geo.Point{Lat: min.Lat, Lng: min.Lng}
+	lg.Update(3, geo.Point{Lat: min.Lat + lg.cellLat/4, Lng: min.Lng})
+	if got := lg.Near(corner, 500); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Near on min corner = %v, want [3]", got)
+	}
+}
+
 func TestLocationGridConcurrent(t *testing.T) {
 	lg := NewLocationGrid(geo.Point{Lat: 30, Lng: 104}, geo.Point{Lat: 31, Lng: 105}, 300)
 	var wg sync.WaitGroup

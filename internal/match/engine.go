@@ -312,8 +312,14 @@ func (e *Engine) OnRequestDone(req *fleet.Request) {
 // Occupied candidate taxis need not be inside the disc *now* to make the
 // pickup — the schedule feasibility check re-validates timing — so
 // shrinking the disc below the configured γ only loses candidates.
+//
+// Deadline-boundary convention (shared with fleet.EvaluateSchedule): a
+// deadline is the last *feasible* instant — arrival exactly at the
+// deadline serves the request; only a strictly past deadline expires it.
+// A taxi already at the origin can thus still pick up at
+// pickupDeadline == now, so the comparison here is strict.
 func (e *Engine) searchRadius(req *fleet.Request, nowSeconds float64) float64 {
-	if req.PickupDeadline(e.cfg.SpeedMps).Seconds() <= nowSeconds {
+	if req.PickupDeadline(e.cfg.SpeedMps).Seconds() < nowSeconds {
 		return 0
 	}
 	return e.cfg.SearchRangeMeters

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -475,6 +476,161 @@ func TestDispatchExpiredRequest(t *testing.T) {
 	}
 }
 
+func TestDispatchExactlyAtPickupDeadline(t *testing.T) {
+	env := newTestEnv(t, nil)
+	o := env.vertexNear(t, 0.5, 0.5)
+	d := env.vertexNear(t, 0.7, 0.7)
+	direct, ok := env.e.BasicLegCost(o, d)
+	if !ok {
+		t.Fatal("unroutable o->d")
+	}
+	speed := env.e.Config().SpeedMps
+	// Inflate DirectMeters slightly so the delivery deadline keeps slack
+	// when dispatching at the last pickup instant; the boundary under test
+	// is the pickup deadline.
+	req := &fleet.Request{
+		ID:           1,
+		Origin:       o,
+		Dest:         d,
+		Deadline:     time.Duration(2.4 * direct / speed * float64(time.Second)),
+		DirectMeters: 1.2 * direct,
+		Passengers:   1,
+		OriginPt:     env.g.Point(o),
+		DestPt:       env.g.Point(d),
+	}
+	now := req.PickupDeadline(speed).Seconds()
+	taxi := fleet.NewTaxi(env.g, 1, 3, o)
+	env.e.AddTaxi(taxi, now)
+
+	// The deadline convention is inclusive: at pickupDeadline == now the
+	// search radius stays open and a taxi already at the origin serves the
+	// request with pickup arrival exactly at the deadline.
+	if r := env.e.searchRadius(req, now); r != env.e.Config().SearchRangeMeters {
+		t.Fatalf("searchRadius at exact pickup deadline = %v, want %v", r, env.e.Config().SearchRangeMeters)
+	}
+	a, ok := env.e.Dispatch(req, now, false)
+	if !ok {
+		t.Fatal("dispatch at exactly the pickup deadline failed")
+	}
+	if a.Taxi.ID != 1 {
+		t.Fatalf("dispatched taxi %d", a.Taxi.ID)
+	}
+	// Strictly past the deadline the request is expired: radius collapses
+	// and dispatch fails.
+	if r := env.e.searchRadius(req, now+1); r != 0 {
+		t.Fatalf("searchRadius past pickup deadline = %v, want 0", r)
+	}
+	if _, ok := env.e.Dispatch(req, now+1, false); ok {
+		t.Fatal("dispatch succeeded past the pickup deadline")
+	}
+}
+
+// pruneDeltas runs fn and returns how much each CandidateTaxis pruning
+// counter advanced during it.
+func pruneDeltas(env *testEnv, fn func()) (dir, capacity, reach int64) {
+	before := env.e.Stats()
+	fn()
+	after := env.e.Stats()
+	return after.PrunedByDirection - before.PrunedByDirection,
+		after.PrunedByCapacity - before.PrunedByCapacity,
+		after.PrunedByReachability - before.PrunedByReachability
+}
+
+func TestPruneCounterDirection(t *testing.T) {
+	env := newTestEnv(t, nil)
+	now := 0.0
+	req := env.request(1, env.vertexNear(t, 0.5, 0.4), env.vertexNear(t, 0.5, 0.95), now, 1.5)
+
+	// One occupied taxi heading the same way, one heading the opposite way:
+	// exactly the opposite-direction taxi trips rule 1.
+	tEast := fleet.NewTaxi(env.g, 10, 3, env.vertexNear(t, 0.5, 0.45))
+	assignRequest(t, env, tEast, env.request(100, env.vertexNear(t, 0.5, 0.5), env.vertexNear(t, 0.5, 0.9), now, 1.6), now)
+	tWest := fleet.NewTaxi(env.g, 11, 3, env.vertexNear(t, 0.5, 0.5))
+	assignRequest(t, env, tWest, env.request(101, env.vertexNear(t, 0.5, 0.45), env.vertexNear(t, 0.5, 0.05), now, 1.6), now)
+
+	dir, capacity, reach := pruneDeltas(env, func() {
+		if cands := env.e.CandidateTaxis(req, now); len(cands) != 1 || cands[0].ID != 10 {
+			t.Fatalf("candidates = %v, want just taxi 10", cands)
+		}
+	})
+	if dir != 1 || capacity != 0 || reach != 0 {
+		t.Fatalf("prune deltas (direction, capacity, reachability) = (%d, %d, %d), want (1, 0, 0)", dir, capacity, reach)
+	}
+}
+
+func TestPruneCounterCapacity(t *testing.T) {
+	env := newTestEnv(t, nil)
+	now := 0.0
+	// A capacity-1 taxi with its passenger aboard, moving the same
+	// direction as the probe request so rule 1 passes and rule 2 fires.
+	full := fleet.NewTaxi(env.g, 20, 1, env.vertexNear(t, 0.5, 0.52))
+	assignRequest(t, env, full, env.request(200, env.vertexNear(t, 0.5, 0.55), env.vertexNear(t, 0.5, 0.85), now, 1.6), now)
+	for !full.Empty() && full.OccupiedSeats() == 0 {
+		full.Advance(100)
+	}
+	if full.OccupiedSeats() != 1 {
+		t.Fatal("setup: passenger not aboard")
+	}
+
+	req := env.request(1, env.vertexNear(t, 0.5, 0.5), env.vertexNear(t, 0.5, 0.9), now+10, 1.5)
+	dir, capacity, reach := pruneDeltas(env, func() {
+		if cands := env.e.CandidateTaxis(req, now+10); len(cands) != 0 {
+			t.Fatalf("candidates = %v, want none", cands)
+		}
+	})
+	if dir != 0 || capacity != 1 || reach != 0 {
+		t.Fatalf("prune deltas (direction, capacity, reachability) = (%d, %d, %d), want (0, 1, 0)", dir, capacity, reach)
+	}
+}
+
+func TestPruneCounterReachability(t *testing.T) {
+	env := newTestEnv(t, nil)
+	o := env.vertexNear(t, 0.5, 0.5)
+	d := env.vertexNear(t, 0.9, 0.9)
+	// The taxi must sit in a different partition than the origin so the
+	// partition index reports no arrival there and rule 3 falls through to
+	// the straight-line lower bound.
+	tv := o
+	for _, f := range []struct{ lat, lng float64 }{{0.5, 0.7}, {0.5, 0.8}, {0.7, 0.5}, {0.8, 0.5}, {0.2, 0.5}} {
+		v := env.vertexNear(t, f.lat, f.lng)
+		if env.pt.PartitionOf(v) != env.pt.PartitionOf(o) {
+			tv = v
+			break
+		}
+	}
+	if tv == o {
+		t.Fatal("setup: no probe vertex outside the origin partition")
+	}
+	speed := env.e.Config().SpeedMps
+	dist := geo.Equirect(env.g.Point(o), env.g.Point(tv))
+	direct := env.e.Router().Cost(o, d)
+	// Pickup deadline at half the taxi's straight-line travel time to the
+	// origin: inside the search disc, empty (rules 1-2 pass), but even the
+	// distance lower bound says it cannot make the pickup.
+	pd := 0.5 * dist / speed
+	req := &fleet.Request{
+		ID:           1,
+		Origin:       o,
+		Dest:         d,
+		Deadline:     time.Duration((pd + direct/speed) * float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   1,
+		OriginPt:     env.g.Point(o),
+		DestPt:       env.g.Point(d),
+	}
+	taxi := fleet.NewTaxi(env.g, 30, 3, tv)
+	env.e.AddTaxi(taxi, 0)
+
+	dir, capacity, reach := pruneDeltas(env, func() {
+		if cands := env.e.CandidateTaxis(req, 0); len(cands) != 0 {
+			t.Fatalf("candidates = %v, want none", cands)
+		}
+	})
+	if dir != 0 || capacity != 0 || reach != 1 {
+		t.Fatalf("prune deltas (direction, capacity, reachability) = (%d, %d, %d), want (0, 0, 1)", dir, capacity, reach)
+	}
+}
+
 func TestTryServeOffline(t *testing.T) {
 	env := newTestEnv(t, nil)
 	now := 0.0
@@ -693,6 +849,43 @@ func BenchmarkDispatchProbabilistic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = env.e.Dispatch(req, now, true)
+	}
+}
+
+// BenchmarkDispatchQueueBatch measures one pending-queue retry round —
+// NextBatch, DispatchBatch, MarkServed — over a saturated queue. The
+// engine and fleet are rebuilt outside the timer each iteration so
+// committed schedules never accumulate across rounds and every
+// iteration dispatches the identical batch.
+func BenchmarkDispatchQueueBatch(b *testing.B) {
+	env := newTestEnv(b, nil)
+	reqs := seededWorkload(env, 24, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := NewEngine(env.pt, env.spx, env.e.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fresh := &testEnv{g: env.g, spx: env.spx, pt: env.pt, e: e}
+		placeFleet(fresh, 12, 42)
+		q := NewPendingQueue(len(reqs), e.Config().SpeedMps)
+		for _, r := range reqs {
+			if !q.Push(r, 0) {
+				b.Fatalf("request %d rejected at push", r.ID)
+			}
+		}
+		b.StartTimer()
+		batch := q.NextBatch()
+		rs := make([]*fleet.Request, len(batch))
+		for j, it := range batch {
+			rs[j] = it.Req
+		}
+		for _, o := range e.DispatchBatch(context.Background(), rs, 0, false) {
+			if o.Served {
+				q.MarkServed(o.Req.ID, 0)
+			}
+		}
 	}
 }
 

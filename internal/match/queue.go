@@ -1,0 +1,345 @@
+package match
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// PendingItem is one parked request in a PendingQueue: a request that got
+// no feasible taxi at submission and is waiting for fleet state to change.
+type PendingItem struct {
+	Req *fleet.Request
+	// EnqueuedAt is the simulation time (seconds) the request was parked.
+	EnqueuedAt float64
+	// Retries counts the batch re-dispatch rounds this request has been
+	// through so far.
+	Retries int
+
+	// pickupDeadline (absolute seconds) orders the heap and drives expiry;
+	// it is fixed at push time from the engine's speed.
+	pickupDeadline float64
+	index          int
+}
+
+// QueueStats is a point-in-time summary of a PendingQueue's lifecycle
+// counters (see DESIGN.md, "Pending-request queue").
+type QueueStats struct {
+	// Depth is the number of requests currently parked; Capacity the bound.
+	Depth    int
+	Capacity int
+	// Enqueued counts accepted pushes; Rejected pushes refused because the
+	// queue was full (backpressure).
+	Enqueued int64
+	Rejected int64
+	// Retries counts request re-dispatch attempts across batch rounds.
+	Retries int64
+	// Served counts queued requests that a retry round matched; Expired
+	// those evicted because their pickup deadline passed while queued.
+	Served  int64
+	Expired int64
+}
+
+// PendingQueue is the deadline-aware pending-request pool of the batched
+// re-dispatch subsystem: a capacity-bounded min-heap ordered by (pickup
+// deadline, request ID). Requests stay in the pool across retry rounds
+// until they are served (MarkServed) or their pickup deadline passes
+// strictly (ExpireBefore — the deadline itself is still dispatchable,
+// matching the engine's inclusive-deadline convention). It is safe for
+// concurrent use.
+type PendingQueue struct {
+	speedMps float64
+	capacity int
+
+	mu    sync.Mutex
+	items pendingHeap
+	byID  map[fleet.RequestID]*PendingItem
+	stats QueueStats
+
+	// Optional registry instruments (see InstrumentWith).
+	depthGauge *obs.Gauge
+	enqueued   *obs.Counter
+	rejected   *obs.Counter
+	retries    *obs.Counter
+	served     *obs.Counter
+	expired    *obs.Counter
+	waitSecs   *obs.Histogram
+}
+
+// NewPendingQueue creates a queue bounded to capacity requests. speedMps
+// converts delivery deadlines to pickup deadlines (it must match the
+// dispatching engine's speed so queue expiry agrees with dispatch expiry).
+func NewPendingQueue(capacity int, speedMps float64) *PendingQueue {
+	return &PendingQueue{
+		speedMps: speedMps,
+		capacity: capacity,
+		byID:     make(map[fleet.RequestID]*PendingItem),
+		stats:    QueueStats{Capacity: capacity},
+	}
+}
+
+// InstrumentWith registers the queue's instruments in reg under
+// mtshare_match_queue_* (depth gauge, enqueued/rejected/retries/served/
+// expired counters, and the queued-to-matched wait histogram in simulation
+// seconds) and returns the queue. Call it once, before concurrent use.
+func (q *PendingQueue) InstrumentWith(reg *obs.Registry) *PendingQueue {
+	if reg == nil {
+		return q
+	}
+	q.depthGauge = reg.Gauge("mtshare_match_queue_depth")
+	q.enqueued = reg.Counter("mtshare_match_queue_enqueued_total")
+	q.rejected = reg.Counter("mtshare_match_queue_rejected_total")
+	q.retries = reg.Counter("mtshare_match_queue_retries_total")
+	q.served = reg.Counter("mtshare_match_queue_served_total")
+	q.expired = reg.Counter("mtshare_match_queue_expired_total")
+	q.waitSecs = reg.Histogram("mtshare_match_queue_wait_seconds")
+	return q
+}
+
+// Capacity returns the queue bound.
+func (q *PendingQueue) Capacity() int { return q.capacity }
+
+// Len returns the number of parked requests.
+func (q *PendingQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// Push parks a request. It returns false — explicit backpressure, the
+// caller surfaces it as a terminal reject — when the queue is full or the
+// request's pickup deadline has already strictly passed; pushing a request
+// that is already parked is a no-op reporting true.
+func (q *PendingQueue) Push(req *fleet.Request, nowSeconds float64) bool {
+	pd := req.PickupDeadline(q.speedMps).Seconds()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byID[req.ID]; ok {
+		return true
+	}
+	if pd < nowSeconds || q.items.Len() >= q.capacity {
+		q.stats.Rejected++
+		if q.rejected != nil {
+			q.rejected.Inc()
+		}
+		return false
+	}
+	it := &PendingItem{Req: req, EnqueuedAt: nowSeconds, pickupDeadline: pd}
+	heap.Push(&q.items, it)
+	q.byID[req.ID] = it
+	q.stats.Enqueued++
+	if q.enqueued != nil {
+		q.enqueued.Inc()
+	}
+	q.setDepthLocked()
+	return true
+}
+
+// ExpireBefore evicts and returns every parked request whose pickup
+// deadline is strictly before nowSeconds, in (pickup deadline, request ID)
+// order. A request exactly at its deadline stays queued — it is still
+// dispatchable this instant.
+func (q *PendingQueue) ExpireBefore(nowSeconds float64) []*PendingItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*PendingItem
+	for q.items.Len() > 0 && q.items[0].pickupDeadline < nowSeconds {
+		it := heap.Pop(&q.items).(*PendingItem)
+		delete(q.byID, it.Req.ID)
+		out = append(out, it)
+	}
+	if len(out) > 0 {
+		q.stats.Expired += int64(len(out))
+		if q.expired != nil {
+			q.expired.Add(int64(len(out)))
+		}
+		q.setDepthLocked()
+	}
+	return out
+}
+
+// NextBatch returns the parked requests in (pickup deadline, request ID)
+// order — the deterministic evaluation and commit order of DispatchBatch —
+// and counts one retry against each. Items remain parked; the caller
+// reports matches back via MarkServed.
+func (q *PendingQueue) NextBatch() []*PendingItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.sortedLocked()
+	for _, it := range out {
+		it.Retries++
+	}
+	q.stats.Retries += int64(len(out))
+	if q.retries != nil && len(out) > 0 {
+		q.retries.Add(int64(len(out)))
+	}
+	return out
+}
+
+// Snapshot returns the parked requests in (pickup deadline, request ID)
+// order without mutating any lifecycle state (for stats endpoints).
+func (q *PendingQueue) Snapshot() []*PendingItem {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sortedLocked()
+}
+
+func (q *PendingQueue) sortedLocked() []*PendingItem {
+	out := make([]*PendingItem, len(q.items))
+	copy(out, q.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pickupDeadline != out[j].pickupDeadline {
+			return out[i].pickupDeadline < out[j].pickupDeadline
+		}
+		return out[i].Req.ID < out[j].Req.ID
+	})
+	return out
+}
+
+// MarkServed removes a matched request from the pool, recording its
+// queued-to-matched wait. It reports false when the request is not parked.
+func (q *PendingQueue) MarkServed(id fleet.RequestID, nowSeconds float64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.byID[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&q.items, it.index)
+	delete(q.byID, id)
+	q.stats.Served++
+	if q.served != nil {
+		q.served.Inc()
+	}
+	if q.waitSecs != nil {
+		q.waitSecs.Observe(nowSeconds - it.EnqueuedAt)
+	}
+	q.setDepthLocked()
+	return true
+}
+
+// Stats returns a snapshot of the queue's lifecycle counters.
+func (q *PendingQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Depth = q.items.Len()
+	return s
+}
+
+func (q *PendingQueue) setDepthLocked() {
+	if q.depthGauge != nil {
+		q.depthGauge.Set(float64(q.items.Len()))
+	}
+}
+
+// pendingHeap is a min-heap over (pickup deadline, request ID).
+type pendingHeap []*PendingItem
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].pickupDeadline != h[j].pickupDeadline {
+		return h[i].pickupDeadline < h[j].pickupDeadline
+	}
+	return h[i].Req.ID < h[j].Req.ID
+}
+func (h pendingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *pendingHeap) Push(x any) {
+	it := x.(*PendingItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// BatchOutcome is one request's result from DispatchBatch.
+type BatchOutcome struct {
+	Req        *fleet.Request
+	Assignment Assignment
+	// Served reports whether the request was matched and committed.
+	Served bool
+	// Conflict reports that the request's first evaluation picked a taxi
+	// an earlier commit of the same batch had already taken, forcing a
+	// re-dispatch against the updated fleet state.
+	Conflict bool
+}
+
+// DispatchBatch re-dispatches a set of pending requests as one round. The
+// requests are evaluated through the ordinary (internally parallel)
+// dispatch pipeline against the batch-start fleet state, then committed in
+// (pickup deadline, request ID) order. When two requests' evaluations pick
+// the same taxi, the later one re-dispatches against the updated fleet
+// state — the taxi may still win with a revised schedule, or a different
+// taxi takes over. The sequential evaluate-then-commit structure makes the
+// whole round deterministic at every Config.Parallelism level.
+//
+// Outcomes are returned in commit order. Requests that still found no taxi
+// are simply not served this round; eviction of expired requests is the
+// queue's job (ExpireBefore), not DispatchBatch's.
+func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSeconds float64, probabilistic bool) []BatchOutcome {
+	order := make([]*fleet.Request, len(reqs))
+	copy(order, reqs)
+	speed := e.cfg.SpeedMps
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := order[i].PickupDeadline(speed), order[j].PickupDeadline(speed)
+		if di != dj {
+			return di < dj
+		}
+		return order[i].ID < order[j].ID
+	})
+	out := make([]BatchOutcome, len(order))
+	// Phase 1: evaluate everything against the same fleet state (no
+	// commits interleave), each evaluation fanning across the worker pool.
+	for i, r := range order {
+		a, ok := e.DispatchContext(ctx, r, nowSeconds, probabilistic)
+		out[i] = BatchOutcome{Req: r, Assignment: a, Served: ok}
+	}
+	e.ins.batchRequests.Add(int64(len(order)))
+	// Phase 2: commit in order, re-dispatching on conflicts.
+	taken := make(map[int64]bool)
+	for i := range out {
+		o := &out[i]
+		if !o.Served {
+			continue
+		}
+		if taken[o.Assignment.Taxi.ID] {
+			o.Conflict = true
+			e.ins.batchConflicts.Inc()
+			if !e.redispatch(ctx, o, nowSeconds, probabilistic) {
+				continue
+			}
+		}
+		if e.Commit(o.Assignment, nowSeconds) != nil {
+			// The evaluation went stale under a concurrent commit outside
+			// the batch; one re-dispatch against live state settles it.
+			if !e.redispatch(ctx, o, nowSeconds, probabilistic) ||
+				e.Commit(o.Assignment, nowSeconds) != nil {
+				o.Served = false
+				continue
+			}
+		}
+		taken[o.Assignment.Taxi.ID] = true
+	}
+	return out
+}
+
+// redispatch re-evaluates a batch outcome's request against the current
+// fleet state, replacing its assignment.
+func (e *Engine) redispatch(ctx context.Context, o *BatchOutcome, nowSeconds float64, probabilistic bool) bool {
+	a, ok := e.DispatchContext(ctx, o.Req, nowSeconds, probabilistic)
+	o.Assignment, o.Served = a, ok
+	return ok
+}

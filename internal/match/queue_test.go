@@ -1,0 +1,198 @@
+package match
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// queueRequest builds a request whose pickup deadline is exactly pd
+// seconds (delivery deadline = pd + direct travel time).
+func queueRequest(id int64, pd, speed float64) *fleet.Request {
+	direct := 1000.0
+	return &fleet.Request{
+		ID:           fleet.RequestID(id),
+		Origin:       0,
+		Dest:         1,
+		Deadline:     time.Duration((pd + direct/speed) * float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   1,
+	}
+}
+
+func TestPendingQueueOrderAndBackpressure(t *testing.T) {
+	const speed = 10.0
+	q := NewPendingQueue(3, speed).InstrumentWith(obs.NewRegistry())
+	// Push out of deadline order; batches must come back sorted by
+	// (pickup deadline, request ID).
+	if !q.Push(queueRequest(3, 300, speed), 0) ||
+		!q.Push(queueRequest(1, 100, speed), 0) ||
+		!q.Push(queueRequest(2, 100, speed), 0) {
+		t.Fatal("push rejected below capacity")
+	}
+	// Full: explicit backpressure.
+	if q.Push(queueRequest(4, 50, speed), 0) {
+		t.Fatal("push accepted past capacity")
+	}
+	// Double-push of a parked request is a no-op, not a reject.
+	if !q.Push(queueRequest(1, 100, speed), 0) {
+		t.Fatal("re-push of parked request rejected")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	batch := q.NextBatch()
+	ids := make([]int64, len(batch))
+	for i, it := range batch {
+		ids[i] = int64(it.Req.ID)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("batch order = %v, want [1 2 3]", ids)
+	}
+	if batch[0].Retries != 1 {
+		t.Fatalf("Retries = %d after one batch", batch[0].Retries)
+	}
+	st := q.Stats()
+	if st.Enqueued != 3 || st.Rejected != 1 || st.Retries != 3 || st.Depth != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPendingQueueExpiryIsStrict(t *testing.T) {
+	const speed = 10.0
+	q := NewPendingQueue(8, speed)
+	q.Push(queueRequest(1, 100, speed), 0)
+	q.Push(queueRequest(2, 200, speed), 0)
+	// Exactly at request 1's pickup deadline nothing expires — the
+	// deadline instant is still dispatchable.
+	if exp := q.ExpireBefore(100); len(exp) != 0 {
+		t.Fatalf("expired %d at the exact deadline", len(exp))
+	}
+	// Strictly past it, request 1 (and only it) is evicted.
+	exp := q.ExpireBefore(100.5)
+	if len(exp) != 1 || exp[0].Req.ID != 1 {
+		t.Fatalf("expired = %v", exp)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after expiry", q.Len())
+	}
+	// A push whose pickup deadline already passed is refused outright.
+	if q.Push(queueRequest(3, 50, speed), 100.5) {
+		t.Fatal("accepted an already-expired request")
+	}
+	if st := q.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d", st.Expired)
+	}
+}
+
+func TestPendingQueueMarkServed(t *testing.T) {
+	const speed = 10.0
+	reg := obs.NewRegistry()
+	q := NewPendingQueue(8, speed).InstrumentWith(reg)
+	q.Push(queueRequest(1, 500, speed), 10)
+	if !q.MarkServed(1, 40) {
+		t.Fatal("MarkServed missed a parked request")
+	}
+	if q.MarkServed(1, 40) {
+		t.Fatal("MarkServed on an absent request reported true")
+	}
+	st := q.Stats()
+	if st.Served != 1 || st.Depth != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The wait histogram saw the 30 s queued-to-matched delay.
+	h := reg.Histogram("mtshare_match_queue_wait_seconds").Snapshot()
+	if h.Count != 1 || h.Sum != 30 {
+		t.Fatalf("wait histogram = %+v", h)
+	}
+	if g := reg.Gauge("mtshare_match_queue_depth").Value(); g != 0 {
+		t.Fatalf("depth gauge = %v", g)
+	}
+}
+
+func TestDispatchBatchServesAndResolvesConflicts(t *testing.T) {
+	env := newTestEnv(t, nil)
+	now := 0.0
+	// One taxi on the corridor both requests travel; the batch's first
+	// commit takes it, the second conflicts and re-dispatches — sharing
+	// the same taxi with a revised schedule.
+	taxi := fleet.NewTaxi(env.g, 1, 3, env.vertexNear(t, 0.2, 0.2))
+	env.e.AddTaxi(taxi, now)
+	r1 := env.request(1, env.vertexNear(t, 0.2, 0.2), env.vertexNear(t, 0.8, 0.8), now, 1.5)
+	r2 := env.request(2, env.vertexNear(t, 0.3, 0.3), env.vertexNear(t, 0.7, 0.7), now, 3.0)
+
+	out := env.e.DispatchBatch(context.Background(), []*fleet.Request{r2, r1}, now, false)
+	if len(out) != 2 {
+		t.Fatalf("outcomes = %d", len(out))
+	}
+	// Commit order is (pickup deadline, ID): r1 has the tighter slack.
+	if out[0].Req.ID != 1 || out[1].Req.ID != 2 {
+		t.Fatalf("commit order = [%d %d]", out[0].Req.ID, out[1].Req.ID)
+	}
+	if !out[0].Served || out[0].Conflict {
+		t.Fatalf("first outcome = %+v", out[0])
+	}
+	if !out[1].Served || !out[1].Conflict {
+		t.Fatalf("second outcome: served=%v conflict=%v, want a resolved conflict", out[1].Served, out[1].Conflict)
+	}
+	if len(taxi.Schedule()) != 4 {
+		t.Fatalf("schedule events = %d, want both requests aboard", len(taxi.Schedule()))
+	}
+	st := env.e.Stats()
+	if st.BatchRequests != 2 || st.BatchConflicts != 1 {
+		t.Fatalf("batch stats = %d requests, %d conflicts", st.BatchRequests, st.BatchConflicts)
+	}
+}
+
+func TestDispatchBatchDeterministicAcrossParallelism(t *testing.T) {
+	type result struct {
+		id     fleet.RequestID
+		taxi   int64
+		served bool
+		detour float64
+	}
+	run := func(par int) []result {
+		env := newTestEnv(t, func(c *Config) { c.Parallelism = par })
+		now := 0.0
+		for i := int64(1); i <= 6; i++ {
+			f := 0.2 + 0.1*float64(i)
+			env.e.AddTaxi(fleet.NewTaxi(env.g, i, 3, env.vertexNear(t, f, f)), now)
+		}
+		var reqs []*fleet.Request
+		for i := int64(1); i <= 8; i++ {
+			f := 0.15 + 0.08*float64(i)
+			reqs = append(reqs, env.request(i, env.vertexNear(t, f, 0.5), env.vertexNear(t, 0.9, 0.5), now, 1.4+0.05*float64(i)))
+		}
+		out := env.e.DispatchBatch(context.Background(), reqs, now, false)
+		res := make([]result, len(out))
+		for i, o := range out {
+			res[i] = result{id: o.Req.ID, served: o.Served}
+			if o.Served {
+				res[i].taxi = o.Assignment.Taxi.ID
+				res[i].detour = o.Assignment.DetourMeters
+			}
+		}
+		return res
+	}
+	seq := run(1)
+	for _, par := range []int{2, 4, 8} {
+		if got := run(par); len(got) != len(seq) || !equalResults(got, seq) {
+			t.Fatalf("parallelism %d diverged:\n got %+v\nwant %+v", par, got, seq)
+		}
+	}
+}
+
+func equalResults[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

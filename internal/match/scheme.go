@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dispatch"
@@ -69,6 +70,26 @@ func (s *Scheme) OnRequest(req *fleet.Request, nowSeconds float64) dispatch.Outc
 	out.Served = true
 	out.TaxiID = a.Taxi.ID
 	return out
+}
+
+// OnBatch implements dispatch.BatchDispatcher: the pending queue's
+// batch re-dispatch, evaluated through the engine's parallel candidate
+// pipeline and committed in deterministic (pickup deadline, request ID)
+// order with conflict resolution.
+func (s *Scheme) OnBatch(reqs []*fleet.Request, nowSeconds float64) []dispatch.BatchResult {
+	outs := s.DispatchBatch(context.Background(), reqs, nowSeconds, s.Probabilistic)
+	res := make([]dispatch.BatchResult, len(outs))
+	for i, o := range outs {
+		r := dispatch.BatchResult{Req: o.Req, Conflict: o.Conflict}
+		r.Out.Candidates = o.Assignment.Candidates
+		if o.Served {
+			r.Out.Served = true
+			r.Out.TaxiID = o.Assignment.Taxi.ID
+			s.noteIndexed(o.Assignment.Taxi)
+		}
+		res[i] = r
+	}
+	return res
 }
 
 // OnTaxiAdvanced refreshes a taxi's indexes when it crossed a partition

@@ -31,6 +31,11 @@ type EngineStats struct {
 	OfflineInsertions int64
 	// CruisePlans counts installed idle cruises.
 	CruisePlans int64
+	// BatchRequests counts requests evaluated through DispatchBatch, and
+	// BatchConflicts those whose winning taxi was taken by an earlier
+	// commit of the same batch (forcing a re-dispatch).
+	BatchRequests  int64
+	BatchConflicts int64
 	// Per-stage cumulative wall time of Dispatch: candidate search,
 	// schedule enumeration + routing (the parallel fan-out), and the
 	// winner's leg materialisation. Derived from the stage histograms'
@@ -53,6 +58,8 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.ProbabilisticFailures += o.ProbabilisticFailures
 	s.OfflineInsertions += o.OfflineInsertions
 	s.CruisePlans += o.CruisePlans
+	s.BatchRequests += o.BatchRequests
+	s.BatchConflicts += o.BatchConflicts
 	s.CandidateSearchNanos += o.CandidateSearchNanos
 	s.SchedulingNanos += o.SchedulingNanos
 	s.LegBuildNanos += o.LegBuildNanos
@@ -72,6 +79,8 @@ type instruments struct {
 	probabilisticFailures *obs.Counter
 	offlineInsertions     *obs.Counter
 	cruisePlans           *obs.Counter
+	batchRequests         *obs.Counter
+	batchConflicts        *obs.Counter
 
 	dispatchSeconds        *obs.Histogram
 	candidateSearchSeconds *obs.Histogram
@@ -92,6 +101,8 @@ func newInstruments(reg *obs.Registry) instruments {
 		probabilisticFailures: reg.Counter("mtshare_match_probabilistic_failures_total"),
 		offlineInsertions:     reg.Counter("mtshare_match_offline_insertions_total"),
 		cruisePlans:           reg.Counter("mtshare_match_cruise_plans_total"),
+		batchRequests:         reg.Counter("mtshare_match_batch_requests_total"),
+		batchConflicts:        reg.Counter("mtshare_match_batch_conflicts_total"),
 
 		dispatchSeconds:        reg.Histogram("mtshare_match_dispatch_seconds"),
 		candidateSearchSeconds: reg.Histogram("mtshare_match_candidate_search_seconds"),
@@ -116,6 +127,8 @@ func (e *Engine) Stats() EngineStats {
 		ProbabilisticFailures: e.ins.probabilisticFailures.Value(),
 		OfflineInsertions:     e.ins.offlineInsertions.Value(),
 		CruisePlans:           e.ins.cruisePlans.Value(),
+		BatchRequests:         e.ins.batchRequests.Value(),
+		BatchConflicts:        e.ins.batchConflicts.Value(),
 		CandidateSearchNanos:  toNanos(e.ins.candidateSearchSeconds),
 		SchedulingNanos:       toNanos(e.ins.schedulingSeconds),
 		LegBuildNanos:         toNanos(e.ins.legBuildSeconds),

@@ -74,6 +74,8 @@ func DiffEvents(rec, act *Event) []Divergence {
 		divs = fieldDiff(divs, i, "hail.served_by", rec.Hail.Out.ServedBy, act.Hail.Out.ServedBy)
 	case rec.Tick != nil:
 		divs = append(divs, diffRides(i, rec.Tick.Rides, act.Tick.Rides)...)
+		divs = append(divs, diffQueueMatches(i, rec.Tick.QueueMatched, act.Tick.QueueMatched)...)
+		divs = append(divs, diffSlice(i, "tick.queue_expired", rec.Tick.QueueExpired, act.Tick.QueueExpired)...)
 	case rec.Metrics != nil:
 		divs = append(divs, DiffCounters(i, rec.Metrics.Counters, act.Metrics.Counters)...)
 	}
@@ -101,6 +103,68 @@ func diffRides(i int64, rec, act []Ride) []Divergence {
 		divs = append(divs, Divergence{
 			Event:    i,
 			Field:    "tick.rides.len",
+			Recorded: fmt.Sprint(len(rec)),
+			Replayed: fmt.Sprint(len(act)),
+		})
+	}
+	return divs
+}
+
+func diffQueueMatches(i int64, rec, act []QueueMatch) []Divergence {
+	var divs []Divergence
+	n := len(rec)
+	if len(act) < n {
+		n = len(act)
+	}
+	for k := 0; k < n; k++ {
+		if rec[k] != act[k] {
+			divs = append(divs, Divergence{
+				Event:    i,
+				Field:    fmt.Sprintf("tick.queue_matched[%d]", k),
+				Recorded: renderQueueMatch(rec[k]),
+				Replayed: renderQueueMatch(act[k]),
+			})
+		}
+	}
+	if len(rec) != len(act) {
+		divs = append(divs, Divergence{
+			Event:    i,
+			Field:    "tick.queue_matched.len",
+			Recorded: fmt.Sprint(len(rec)),
+			Replayed: fmt.Sprint(len(act)),
+		})
+	}
+	return divs
+}
+
+func renderQueueMatch(m QueueMatch) string {
+	s := fmt.Sprintf("req=%d taxi=%d wait=%dns", m.Request, m.Taxi, m.WaitNanos)
+	if m.Conflict {
+		s += " conflict"
+	}
+	return s
+}
+
+func diffSlice(i int64, field string, rec, act []int64) []Divergence {
+	var divs []Divergence
+	n := len(rec)
+	if len(act) < n {
+		n = len(act)
+	}
+	for k := 0; k < n; k++ {
+		if rec[k] != act[k] {
+			divs = append(divs, Divergence{
+				Event:    i,
+				Field:    fmt.Sprintf("%s[%d]", field, k),
+				Recorded: fmt.Sprint(rec[k]),
+				Replayed: fmt.Sprint(act[k]),
+			})
+		}
+	}
+	if len(rec) != len(act) {
+		divs = append(divs, Divergence{
+			Event:    i,
+			Field:    field + ".len",
 			Recorded: fmt.Sprint(len(rec)),
 			Replayed: fmt.Sprint(len(act)),
 		})

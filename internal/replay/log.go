@@ -23,7 +23,13 @@ import (
 
 // Version is the current log format version. Decoder rejects logs whose
 // header declares a different major version.
-const Version = 1
+//
+// Version history:
+//   - 1: initial format.
+//   - 2: pending-request queue — Header gains queue_depth /
+//     retry_every_ticks, RequestOutcome.Err gains the "queued" and
+//     "queue_full" codes, TickEvent gains queue_matched / queue_expired.
+const Version = 2
 
 // Log kinds: a full facade run versus a scripted simulation's dispatch
 // stream (internal/sim records the latter for run-to-run diffing).
@@ -46,6 +52,9 @@ type Header struct {
 	SearchRangeMeters       float64 `json:"search_range_m,omitempty"`
 	MaxDirectionDiffDegrees float64 `json:"max_direction_deg,omitempty"`
 	Probabilistic           bool    `json:"probabilistic,omitempty"`
+	// Pending-request queue configuration (0 = queue disabled).
+	QueueDepth      int `json:"queue_depth,omitempty"`
+	RetryEveryTicks int `json:"retry_every_ticks,omitempty"`
 	// GraphFingerprint is the hex fingerprint of the road graph the run
 	// used; replay refuses to diff against a different graph.
 	GraphFingerprint string `json:"graph_fp,omitempty"`
@@ -126,7 +135,10 @@ type RequestEvent struct {
 
 // RequestOutcome is the recorded result of a dispatch: the error code
 // (empty on success), the assignment identifiers, and the decision
-// quantities the replayer diffs.
+// quantities the replayer diffs. With the pending queue enabled, an
+// unmatched request parks instead of failing: Err is "queued" (the
+// request ID is still assigned) or "queue_full" when backpressure
+// rejected it.
 type RequestOutcome struct {
 	Err             string  `json:"err,omitempty"`
 	Request         int64   `json:"request,omitempty"`
@@ -153,10 +165,25 @@ type HailOutcome struct {
 	ServedBy int64  `json:"served_by,omitempty"`
 }
 
-// TickEvent records one Advance call and the ride events it fired.
+// TickEvent records one Advance call and the ride events it fired, plus
+// — when the pending queue is enabled — the queued requests the tick's
+// retry round matched and those it evicted as expired.
 type TickEvent struct {
-	DNanos int64  `json:"d_ns"`
-	Rides  []Ride `json:"rides,omitempty"`
+	DNanos       int64        `json:"d_ns"`
+	Rides        []Ride       `json:"rides,omitempty"`
+	QueueMatched []QueueMatch `json:"queue_matched,omitempty"`
+	QueueExpired []int64      `json:"queue_expired,omitempty"`
+}
+
+// QueueMatch is one queued request matched by a tick's batch re-dispatch.
+type QueueMatch struct {
+	Request int64 `json:"request"`
+	Taxi    int64 `json:"taxi"`
+	// WaitNanos is the queued-to-matched delay in simulation time.
+	WaitNanos int64 `json:"wait_ns,omitempty"`
+	// Conflict marks a match that needed re-dispatch after an earlier
+	// commit of the same batch took its first-choice taxi.
+	Conflict bool `json:"conflict,omitempty"`
 }
 
 // Ride is one pickup or dropoff fired during a tick.

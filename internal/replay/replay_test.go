@@ -135,10 +135,10 @@ func TestDecoderErrors(t *testing.T) {
 		"empty":       "",
 		"bad header":  "not json\n",
 		"bad version": `{"version":9,"kind":"system"}` + "\n",
-		"bad kind":    `{"version":1,"kind":"wat"}` + "\n",
-		"bad event":   `{"version":1,"kind":"system"}` + "\n" + "garbage\n",
-		"no payload":  `{"version":1,"kind":"system"}` + "\n" + `{"i":0}` + "\n",
-		"bad faults":  `{"version":1,"kind":"system","faults":{"seed":1,"cancel_every":-2}}` + "\n",
+		"bad kind":    `{"version":2,"kind":"wat"}` + "\n",
+		"bad event":   `{"version":2,"kind":"system"}` + "\n" + "garbage\n",
+		"no payload":  `{"version":2,"kind":"system"}` + "\n" + `{"i":0}` + "\n",
+		"bad faults":  `{"version":2,"kind":"system","faults":{"seed":1,"cancel_every":-2}}` + "\n",
 	} {
 		_, _, err := ReadAll(strings.NewReader(log))
 		if err == nil {
@@ -147,7 +147,7 @@ func TestDecoderErrors(t *testing.T) {
 	}
 	// Blank lines are tolerated.
 	h, evs, err := ReadAll(strings.NewReader(
-		"\n" + `{"version":1,"kind":"system","seed":1}` + "\n\n" + `{"i":0,"tick":{"d_ns":5}}` + "\n\n"))
+		"\n" + `{"version":2,"kind":"system","seed":1}` + "\n\n" + `{"i":0,"tick":{"d_ns":5}}` + "\n\n"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -45,6 +46,16 @@ type Config struct {
 	Probabilistic bool
 	Seed          int64
 
+	// QueueDepth bounds the pending-request queue. When positive, a ride
+	// request that finds no feasible taxi parks for batched re-dispatch
+	// on later movement ticks (the response reports "queued": true)
+	// instead of failing terminally; a full queue rejects. Zero disables
+	// queueing. /v1/queue reports the queue's live state.
+	QueueDepth int
+	// RetryEveryTicks runs the batch re-dispatch every Nth movement tick
+	// (default 1). Expired requests are evicted on every tick regardless.
+	RetryEveryTicks int
+
 	// Metrics receives the engine's instruments; nil allocates a private
 	// registry served at /v1/metrics either way.
 	Metrics *obs.Registry
@@ -71,6 +82,11 @@ type Server struct {
 	nextTaxi   int64
 	nextReq    int64
 	requests   map[fleet.RequestID]*reqStatus
+	// Pending-request queue (nil when Config.QueueDepth is 0), serviced
+	// at the top of every movement tick; tickCount counts those ticks.
+	queue      *match.PendingQueue
+	retryEvery int
+	tickCount  int64
 	// stopped is guarded by mu. Handlers decide the 503 and run their
 	// engine mutation inside one mu critical section, so once Stop (which
 	// sets stopped under mu) returns, no new mutation can start — an
@@ -87,6 +103,8 @@ type reqStatus struct {
 	Req       *fleet.Request
 	TaxiID    int64
 	Served    bool
+	Queued    bool
+	Expired   bool
 	PickedUp  bool
 	Delivered bool
 	Fare      float64
@@ -159,6 +177,15 @@ func New(cfg Config) (*Server, error) {
 		requests: make(map[fleet.RequestID]*reqStatus),
 		stop:     make(chan struct{}),
 	}
+	if cfg.QueueDepth > 0 {
+		// InstrumentWith surfaces the queue's depth gauge and lifecycle
+		// counters (mtshare_match_queue_*) on the /v1/metrics registry.
+		s.queue = match.NewPendingQueue(cfg.QueueDepth, eng.Config().SpeedMps).InstrumentWith(s.reg)
+		s.retryEvery = cfg.RetryEveryTicks
+		if s.retryEvery <= 0 {
+			s.retryEvery = 1
+		}
+	}
 	for i := 0; i < cfg.InitialTaxis; i++ {
 		s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
 	}
@@ -202,6 +229,7 @@ func (s *Server) advance(dt float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nowSeconds += dt
+	s.serviceQueueLocked()
 	speed := s.engine.Config().SpeedMps
 	for _, t := range s.taxis {
 		visits := t.Advance(speed * dt)
@@ -226,6 +254,43 @@ func (s *Server) advance(dt float64) {
 	}
 }
 
+// serviceQueueLocked runs one movement tick of pending-queue
+// maintenance under mu: evict requests whose pickup deadline strictly
+// passed, then — when the retry interval is due — re-dispatch the
+// parked batch in deterministic (pickup deadline, request ID) order.
+func (s *Server) serviceQueueLocked() {
+	if s.queue == nil {
+		return
+	}
+	s.tickCount++
+	for _, it := range s.queue.ExpireBefore(s.nowSeconds) {
+		if st := s.requests[it.Req.ID]; st != nil {
+			st.Expired = true
+		}
+		s.engine.OnRequestDone(it.Req)
+	}
+	if s.tickCount%int64(s.retryEvery) != 0 {
+		return
+	}
+	batch := s.queue.NextBatch()
+	if len(batch) == 0 {
+		return
+	}
+	reqs := make([]*fleet.Request, len(batch))
+	for i, it := range batch {
+		reqs[i] = it.Req
+	}
+	for _, o := range s.engine.DispatchBatch(context.Background(), reqs, s.nowSeconds, s.cfg.Probabilistic) {
+		if !o.Served || !s.queue.MarkServed(o.Req.ID, s.nowSeconds) {
+			continue
+		}
+		if st := s.requests[o.Req.ID]; st != nil {
+			st.Served = true
+			st.TaxiID = o.Assignment.Taxi.ID
+		}
+	}
+}
+
 func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
 	s.nextTaxi++
 	v, _ := s.spx.NearestVertex(p)
@@ -245,6 +310,7 @@ func (s *Server) Handler() http.Handler {
 		"/requests": s.handleRequests,
 		"/hails":    s.handleHails,
 		"/stats":    s.handleStats,
+		"/queue":    s.handleQueue,
 		"/metrics":  s.handleMetrics,
 	}
 	for path, h := range routes {
@@ -373,6 +439,8 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 type requestJSON struct {
 	ID            int64   `json:"id"`
 	Served        bool    `json:"served"`
+	Queued        bool    `json:"queued,omitempty"`
+	Expired       bool    `json:"expired,omitempty"`
 	TaxiID        int64   `json:"taxi_id,omitempty"`
 	PickedUp      bool    `json:"picked_up"`
 	Delivered     bool    `json:"delivered"`
@@ -399,6 +467,7 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, requestJSON{
 			ID: id, Served: st.Served, TaxiID: st.TaxiID,
+			Queued: st.Queued && !st.Served && !st.Expired, Expired: st.Expired,
 			PickedUp: st.PickedUp, Delivered: st.Delivered, FareEstimate: st.Fare,
 		})
 	case http.MethodPost:
@@ -466,10 +535,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 	a, ok := s.engine.DispatchContext(r.Context(), req, s.nowSeconds, s.cfg.Probabilistic)
 	out := requestJSON{ID: int64(req.ID), Candidates: a.Candidates}
 	if !ok {
+		s.parkUnservedLocked(st, &out)
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	if err := s.engine.Commit(a, s.nowSeconds); err != nil {
+		s.parkUnservedLocked(st, &out)
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
@@ -490,6 +561,48 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 	}
 	out.FareEstimate = s.pay.Tariff.Fare(direct)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// parkUnservedLocked pushes an unserved online request into the pending
+// queue (when enabled) and flags the response accordingly. A refused
+// push (already-expired deadline or a full queue) leaves the request
+// terminally unserved.
+func (s *Server) parkUnservedLocked(st *reqStatus, out *requestJSON) {
+	if s.queue == nil {
+		return
+	}
+	if s.queue.Push(st.Req, s.nowSeconds) {
+		st.Queued = true
+		out.Queued = true
+	}
+}
+
+// handleQueue reports the pending queue's live state. With the queue
+// disabled it answers {"enabled": false} so clients can feature-detect.
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	s.mu.Lock()
+	enabled := s.queue != nil
+	var qs match.QueueStats
+	if enabled {
+		qs = s.queue.Stats()
+	}
+	retry := s.retryEvery
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"enabled":           enabled,
+		"depth":             qs.Depth,
+		"capacity":          qs.Capacity,
+		"retry_every_ticks": retry,
+		"enqueued":          qs.Enqueued,
+		"rejected":          qs.Rejected,
+		"retries":           qs.Retries,
+		"served":            qs.Served,
+		"expired":           qs.Expired,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

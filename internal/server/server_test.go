@@ -565,3 +565,78 @@ func TestServerStopMidFlight(t *testing.T) {
 	// Stop is idempotent.
 	s.Stop()
 }
+
+// TestServerQueueLifecycle drives a request through the HTTP pending
+// queue: parked with "queued": true when no taxi can serve it, visible
+// in /v1/queue and the metrics gauges, then served by a movement tick's
+// batch re-dispatch after a taxi registers.
+func TestServerQueueLifecycle(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 0, Capacity: 3,
+		Speedup: 50, Seed: 1, QueueDepth: 4, RetryEveryTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// With the queue disabled, /v1/queue must still answer.
+	plain := newTestServer(t)
+	rec, out := do(t, plain.Handler(), http.MethodGet, "/v1/queue", nil)
+	if rec.Code != http.StatusOK || string(out["enabled"]) != "false" {
+		t.Fatalf("queue-less server: %d %s", rec.Code, rec.Body)
+	}
+
+	// No fleet: the request parks.
+	rec, out = do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+		"pickup":  cityPoint(s, 0.3, 0.3),
+		"dropoff": cityPoint(s, 0.7, 0.7),
+		"rho":     1.8,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/requests = %d: %s", rec.Code, rec.Body)
+	}
+	if string(out["served"]) != "false" || string(out["queued"]) != "true" {
+		t.Fatalf("unserved request not queued: %s", rec.Body)
+	}
+	var reqID int64
+	if err := json.Unmarshal(out["id"], &reqID); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, out = do(t, h, http.MethodGet, "/v1/queue", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/queue = %d", rec.Code)
+	}
+	if string(out["enabled"]) != "true" || string(out["depth"]) != "1" ||
+		string(out["capacity"]) != "4" || string(out["enqueued"]) != "1" {
+		t.Fatalf("queue state: %s", rec.Body)
+	}
+
+	// GET of the parked request reports queued, and the depth gauge is
+	// on the metrics surface.
+	rec, out = do(t, h, http.MethodGet, fmt.Sprintf("/v1/requests?id=%d", reqID), nil)
+	if rec.Code != http.StatusOK || string(out["queued"]) != "true" {
+		t.Fatalf("GET parked request: %d %s", rec.Code, rec.Body)
+	}
+	rec, _ = do(t, h, http.MethodGet, "/v1/metrics", nil)
+	for _, want := range []string{"mtshare_match_queue_depth 1", "mtshare_match_queue_enqueued_total 1"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, rec.Body)
+		}
+	}
+
+	// A taxi registers at the pickup; the next movement tick's batch
+	// re-dispatch serves the parked request.
+	rec, _ = do(t, h, http.MethodPost, "/v1/taxis", cityPoint(s, 0.3, 0.3))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /v1/taxis = %d", rec.Code)
+	}
+	s.advance(0.1)
+	rec, out = do(t, h, http.MethodGet, fmt.Sprintf("/v1/requests?id=%d", reqID), nil)
+	if rec.Code != http.StatusOK || string(out["served"]) != "true" || string(out["queued"]) == "true" {
+		t.Fatalf("request after retry: %d %s", rec.Code, rec.Body)
+	}
+	rec, out = do(t, h, http.MethodGet, "/v1/queue", nil)
+	if string(out["depth"]) != "0" || string(out["served"]) != "1" {
+		t.Fatalf("queue after retry: %s", rec.Body)
+	}
+}

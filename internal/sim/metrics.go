@@ -19,6 +19,15 @@ type Metrics struct {
 	ServedOffline int
 	Delivered     int
 
+	// Pending-queue outcomes (all zero when the queue is disabled):
+	// requests that parked after a failed dispatch, the subset a retry
+	// round eventually served, the subset that expired parked, and the
+	// mean queued-to-matched wait over the served subset.
+	Queued           int
+	ServedFromQueue  int
+	ExpiredInQueue   int
+	MeanQueueWaitMin float64
+
 	// Response time over online dispatch attempts (wall clock), the
 	// paper's Figs. 7/11 metric.
 	MeanResponseMs float64
@@ -75,13 +84,14 @@ func (e *Engine) collectMetrics() *Metrics {
 		m.MeanOccupancy = m.PassengerMeters / m.TaxiMeters
 	}
 	var (
-		respNs    []float64
-		candSum   float64
-		candCount int
-		detourSum float64
-		waitSum   float64
-		delivered int
-		speTotal  = e.params.SpeedMps
+		respNs       []float64
+		candSum      float64
+		candCount    int
+		detourSum    float64
+		waitSum      float64
+		queueWaitSum float64
+		delivered    int
+		speTotal     = e.params.SpeedMps
 	)
 	for _, rec := range e.records {
 		m.Records = append(m.Records, rec)
@@ -100,6 +110,15 @@ func (e *Engine) collectMetrics() *Metrics {
 				m.ServedOffline++
 			} else {
 				m.ServedOnline++
+			}
+		}
+		if rec.Queued {
+			m.Queued++
+			if rec.ServedFromQueue {
+				m.ServedFromQueue++
+				queueWaitSum += rec.QueueWaitSeconds
+			} else if rec.Expired {
+				m.ExpiredInQueue++
 			}
 		}
 		if rec.Delivered {
@@ -125,6 +144,9 @@ func (e *Engine) collectMetrics() *Metrics {
 	if delivered > 0 {
 		m.MeanDetourMin = detourSum / float64(delivered) / 60
 		m.MeanWaitingMin = waitSum / float64(delivered) / 60
+	}
+	if m.ServedFromQueue > 0 {
+		m.MeanQueueWaitMin = queueWaitSum / float64(m.ServedFromQueue) / 60
 	}
 	if m.TotalRegularFare > 0 {
 		m.FareSaving = 1 - m.TotalPaid/m.TotalRegularFare

@@ -123,3 +123,77 @@ func deterministicName(name string) bool {
 	}
 	return false
 }
+
+// recordQueueRun is recordRun with the pending queue enabled and a
+// deliberately small fleet, so dispatch failures park and the log
+// exercises queued outcomes and batch re-dispatch.
+func recordQueueRun(t *testing.T, w *world, parallelism int) []byte {
+	t.Helper()
+	reqs := w.peakRequests(t, 0)
+	params := DefaultParams()
+	params.Parallelism = parallelism
+	params.QueueDepth = 24
+	params.RetryEveryTicks = 2
+	var buf bytes.Buffer
+	params.RecordTo = &buf
+	params.RecordSeed = 3
+	eng, err := NewEngine(w.g, w.mtShare(t, false), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 8 * 3600.0
+	eng.PlaceTaxis(8, 3, 1, start)
+	eng.Run(reqs, start)
+	if err := eng.RecordErr(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimQueueRecordingDeterministic is the queue-enabled analogue of
+// TestSimRecordingDeterministic: with the pending queue active (batch
+// re-dispatch every other tick), sequential and fully parallel runs of
+// the same workload must still produce byte-identical logs — and the
+// workload must actually exercise the queue, or the test proves nothing.
+func TestSimQueueRecordingDeterministic(t *testing.T) {
+	w := newWorld(t)
+	seqLog := recordQueueRun(t, w, 1)
+
+	h, evs, err := replay.ReadAll(bytes.NewReader(seqLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueDepth != 24 || h.RetryEveryTicks != 2 {
+		t.Fatalf("header queue config: depth %d, retry %d", h.QueueDepth, h.RetryEveryTicks)
+	}
+	var queued, matched, expired int
+	for _, ev := range evs {
+		switch {
+		case ev.Request != nil && ev.Request.Out.Err == "queued":
+			queued++
+		case ev.Tick != nil:
+			matched += len(ev.Tick.QueueMatched)
+			expired += len(ev.Tick.QueueExpired)
+		}
+	}
+	if queued == 0 || matched+expired == 0 {
+		t.Fatalf("workload did not exercise the queue: %d queued, %d matched, %d expired", queued, matched, expired)
+	}
+	if last := evs[len(evs)-1]; last.Metrics == nil ||
+		last.Metrics.Counters["mtshare_sim_queue_enqueued_total"] != int64(queued) ||
+		last.Metrics.Counters["mtshare_sim_queue_served_total"] != int64(matched) ||
+		last.Metrics.Counters["mtshare_sim_queue_expired_total"] != int64(expired) {
+		t.Fatalf("sealed queue counters disagree with the event stream (queued %d, matched %d, expired %d): %v",
+			queued, matched, expired, last.Metrics)
+	}
+
+	parLog := recordQueueRun(t, w, 0)
+	if bytes.Equal(seqLog, parLog) {
+		return
+	}
+	divs, err := replay.CompareLogs(bytes.NewReader(seqLog), bytes.NewReader(parLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Fatalf("sequential and parallel queue-enabled logs differ (%d divergences); first: %v", len(divs), divs[0])
+}

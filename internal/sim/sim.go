@@ -21,6 +21,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/fleet"
 	"repro/internal/index"
+	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/payment"
 	"repro/internal/replay"
@@ -52,6 +53,17 @@ type Params struct {
 	// order afterwards, so every parallelism level produces an identical
 	// simulation.
 	Parallelism int
+
+	// QueueDepth bounds the pending-request queue. When positive, an
+	// online request that finds no feasible taxi parks for batched
+	// re-dispatch on later ticks instead of failing terminally; when the
+	// queue is full the request is rejected (backpressure). Zero (the
+	// default) disables queueing.
+	QueueDepth int
+	// RetryEveryTicks runs the queue's batch re-dispatch every Nth tick
+	// (default 1 — every tick). Expired requests are evicted on every
+	// tick regardless.
+	RetryEveryTicks int
 
 	// Metrics receives the simulation's instruments under mtshare_sim_*
 	// (ticks, tick latency, request lifecycle, roadside encounters). nil
@@ -97,6 +109,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("sim: MaxDrainSeconds negative")
 	case p.Parallelism < 0:
 		return fmt.Errorf("sim: Parallelism negative")
+	case p.QueueDepth < 0:
+		return fmt.Errorf("sim: QueueDepth negative")
+	case p.RetryEveryTicks < 0:
+		return fmt.Errorf("sim: RetryEveryTicks negative")
+	case p.RetryEveryTicks > 0 && p.QueueDepth == 0:
+		return fmt.Errorf("sim: RetryEveryTicks requires QueueDepth > 0")
 	}
 	return nil
 }
@@ -116,6 +134,14 @@ type RequestRecord struct {
 	ServedOffline bool
 	Delivered     bool
 	Expired       bool
+	// Queued marks a request that parked in the pending queue after its
+	// initial dispatch failed; QueueRetries counts its batch re-dispatch
+	// rounds and QueueWaitSeconds the queued-to-matched delay (0 until
+	// matched). ServedFromQueue marks a queued request a retry served.
+	Queued           bool
+	ServedFromQueue  bool
+	QueueRetries     int
+	QueueWaitSeconds float64
 	// Times are absolute simulation seconds.
 	AssignSeconds  float64
 	PickupSeconds  float64
@@ -170,6 +196,13 @@ type Engine struct {
 	records map[fleet.RequestID]*RequestRecord
 	pending []*fleet.Request // offline, released, not yet served/expired
 
+	// Pending-request queue (nil when Params.QueueDepth is 0): online
+	// requests whose dispatch failed wait here for batched re-dispatch
+	// every retryEvery ticks. tickCount counts completed ticks.
+	queue      *match.PendingQueue
+	retryEvery int
+	tickCount  int64
+
 	// Aggregates.
 	driverIncome    float64
 	totalPaid       float64
@@ -197,6 +230,15 @@ type simInstruments struct {
 	encounters       *obs.Counter
 	tickSeconds      *obs.Histogram
 	dispatchSeconds  *obs.Histogram
+	// Pending-queue lifecycle. All counters are a pure function of the
+	// event stream, so they land in the recorded deterministic counters;
+	// the depth gauge is excluded (gauges never record).
+	queueDepth    *obs.Gauge
+	queueEnqueued *obs.Counter
+	queueRejected *obs.Counter
+	queueRetries  *obs.Counter
+	queueServed   *obs.Counter
+	queueExpired  *obs.Counter
 }
 
 func newSimInstruments(reg *obs.Registry) simInstruments {
@@ -207,6 +249,12 @@ func newSimInstruments(reg *obs.Registry) simInstruments {
 		encounters:       reg.Counter("mtshare_sim_encounters_total"),
 		tickSeconds:      reg.Histogram("mtshare_sim_tick_seconds"),
 		dispatchSeconds:  reg.Histogram("mtshare_sim_dispatch_seconds"),
+		queueDepth:       reg.Gauge("mtshare_sim_queue_depth"),
+		queueEnqueued:    reg.Counter("mtshare_sim_queue_enqueued_total"),
+		queueRejected:    reg.Counter("mtshare_sim_queue_rejected_total"),
+		queueRetries:     reg.Counter("mtshare_sim_queue_retries_total"),
+		queueServed:      reg.Counter("mtshare_sim_queue_served_total"),
+		queueExpired:     reg.Counter("mtshare_sim_queue_expired_total"),
 	}
 }
 
@@ -231,12 +279,21 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		reg:      reg,
 		ins:      newSimInstruments(reg),
 	}
+	if params.QueueDepth > 0 {
+		e.queue = match.NewPendingQueue(params.QueueDepth, params.SpeedMps)
+		e.retryEvery = params.RetryEveryTicks
+		if e.retryEvery == 0 {
+			e.retryEvery = 1
+		}
+	}
 	if params.RecordTo != nil {
 		rec, err := replay.NewEncoder(params.RecordTo, replay.Header{
 			Version:          replay.Version,
 			Kind:             replay.KindSim,
 			Seed:             params.RecordSeed,
 			SpeedKmh:         params.SpeedMps * 3.6,
+			QueueDepth:       params.QueueDepth,
+			RetryEveryTicks:  params.RetryEveryTicks,
 			GraphFingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
 		})
 		if err != nil {
@@ -308,6 +365,10 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 	dt := e.params.TickSeconds
 	for {
 		tickStart := time.Now()
+		// 0. Pending-queue maintenance: evict requests whose pickup
+		// deadline passed, then — when the retry interval is due —
+		// re-dispatch the parked batch before this tick's releases.
+		qMatched, qExpired := e.serviceQueue(now)
 		// 1. Release requests due by now.
 		for next < len(reqs) && reqs[next].ReleaseAt.Seconds() <= now {
 			r := reqs[next]
@@ -320,7 +381,7 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 			e.dispatchOnline(r, now, false)
 		}
 		// 2. Move taxis, firing events.
-		e.advanceTaxis(now, dt)
+		e.advanceTaxis(now, dt, qMatched, qExpired)
 		// 3. Roadside encounters with offline requests.
 		e.handleEncounters(now + dt)
 		// 4. Expire hopeless offline requests.
@@ -332,7 +393,7 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 
 		now += dt
 		if next >= len(reqs) && now > lastRelease {
-			if e.allTaxisIdle() || now > lastRelease+e.params.MaxDrainSeconds {
+			if (e.allTaxisIdle() && e.queueLen() == 0) || now > lastRelease+e.params.MaxDrainSeconds {
 				break
 			}
 		}
@@ -345,6 +406,94 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 		}}
 	})
 	return e.collectMetrics()
+}
+
+// queueLen returns the pending queue's depth (0 when disabled).
+func (e *Engine) queueLen() int {
+	if e.queue == nil {
+		return 0
+	}
+	return e.queue.Stats().Depth
+}
+
+// requestDropper lets a scheme clean per-request index state when a
+// queued request expires without ever being committed (the match
+// engine's mobility clusters hold the request from dispatch time).
+type requestDropper interface{ OnRequestDone(req *fleet.Request) }
+
+// serviceQueue runs one tick of pending-queue maintenance: evict every
+// parked request whose pickup deadline strictly passed, then — when the
+// retry interval is due — re-dispatch the remaining batch through the
+// scheme. Returns the tick's matches and evictions for the replay log.
+func (e *Engine) serviceQueue(now float64) (matched []replay.QueueMatch, expired []int64) {
+	if e.queue == nil {
+		return nil, nil
+	}
+	e.tickCount++
+	for _, it := range e.queue.ExpireBefore(now) {
+		if rec := e.records[it.Req.ID]; rec != nil {
+			rec.Expired = true
+			rec.QueueRetries = it.Retries
+		}
+		if d, ok := e.scheme.(requestDropper); ok {
+			d.OnRequestDone(it.Req)
+		}
+		e.ins.queueExpired.Inc()
+		expired = append(expired, int64(it.Req.ID))
+	}
+	defer func() { e.ins.queueDepth.Set(float64(e.queueLen())) }()
+	if e.tickCount%int64(e.retryEvery) != 0 {
+		return matched, expired
+	}
+	batch := e.queue.NextBatch()
+	if len(batch) == 0 {
+		return matched, expired
+	}
+	e.ins.queueRetries.Add(int64(len(batch)))
+	reqs := make([]*fleet.Request, len(batch))
+	items := make(map[fleet.RequestID]*match.PendingItem, len(batch))
+	for i, it := range batch {
+		reqs[i] = it.Req
+		items[it.Req.ID] = it
+	}
+	for _, r := range e.batchDispatch(reqs, now) {
+		if !r.Out.Served || !e.queue.MarkServed(r.Req.ID, now) {
+			continue
+		}
+		it := items[r.Req.ID]
+		wait := now - it.EnqueuedAt
+		if rec := e.records[r.Req.ID]; rec != nil {
+			rec.Served = true
+			rec.ServedFromQueue = true
+			rec.AssignSeconds = now
+			rec.QueueRetries = it.Retries
+			rec.QueueWaitSeconds = wait
+			rec.Candidates = r.Out.Candidates
+		}
+		e.ins.requestsServed.Inc()
+		e.ins.queueServed.Inc()
+		matched = append(matched, replay.QueueMatch{
+			Request:   int64(r.Req.ID),
+			Taxi:      r.Out.TaxiID,
+			WaitNanos: int64(wait * float64(time.Second)),
+			Conflict:  r.Conflict,
+		})
+	}
+	return matched, expired
+}
+
+// batchDispatch routes a retry batch through the scheme: natively when
+// it implements dispatch.BatchDispatcher, otherwise per-request in the
+// batch's deterministic (pickup deadline, request ID) order.
+func (e *Engine) batchDispatch(reqs []*fleet.Request, now float64) []dispatch.BatchResult {
+	if bd, ok := e.scheme.(dispatch.BatchDispatcher); ok {
+		return bd.OnBatch(reqs, now)
+	}
+	res := make([]dispatch.BatchResult, len(reqs))
+	for i, r := range reqs {
+		res[i] = dispatch.BatchResult{Req: r, Out: e.scheme.OnRequest(r, now)}
+	}
+	return res
 }
 
 func (e *Engine) allTaxisIdle() bool {
@@ -366,11 +515,25 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 	rec.ResponseNanos = time.Since(t0).Nanoseconds()
 	e.ins.dispatchSeconds.Observe(float64(rec.ResponseNanos) / 1e9)
 	rec.Candidates = out.Candidates
-	e.record(func(i int64) replay.Event {
-		errCode := ""
-		if !out.Served {
-			errCode = "no_taxi"
+	errCode := ""
+	if !out.Served {
+		errCode = "no_taxi"
+		// Online requests park in the pending queue for batched
+		// re-dispatch instead of failing terminally; a full queue is an
+		// explicit backpressure rejection.
+		if !r.Offline && e.queue != nil {
+			if e.queue.Push(r, now) {
+				errCode = "queued"
+				rec.Queued = true
+				e.ins.queueEnqueued.Inc()
+				e.ins.queueDepth.Set(float64(e.queueLen()))
+			} else {
+				errCode = "queue_full"
+				e.ins.queueRejected.Inc()
+			}
 		}
+	}
+	e.record(func(i int64) replay.Event {
 		return replay.Event{I: i, Request: &replay.RequestEvent{
 			Pickup:  replay.Point{Lat: r.OriginPt.Lat, Lng: r.OriginPt.Lng},
 			Dropoff: replay.Point{Lat: r.DestPt.Lat, Lng: r.DestPt.Lng},
@@ -407,7 +570,7 @@ type tickOutcome struct {
 // engine-level consequences — request records, settlement episodes, grid
 // updates, scheme callbacks — are applied afterwards in fleet order, so
 // the simulation is deterministic at every parallelism level.
-func (e *Engine) advanceTaxis(now, dt float64) {
+func (e *Engine) advanceTaxis(now, dt float64, qMatched []replay.QueueMatch, qExpired []int64) {
 	distance := e.params.SpeedMps * dt
 	outs := make([]tickOutcome, len(e.taxis))
 	advance := func(i int) {
@@ -468,8 +631,10 @@ func (e *Engine) advanceTaxis(now, dt float64) {
 	}
 	e.record(func(i int64) replay.Event {
 		return replay.Event{I: i, Tick: &replay.TickEvent{
-			DNanos: int64(dt * float64(time.Second)),
-			Rides:  rides,
+			DNanos:       int64(dt * float64(time.Second)),
+			Rides:        rides,
+			QueueMatched: qMatched,
+			QueueExpired: qExpired,
 		}}
 	})
 }

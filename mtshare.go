@@ -71,6 +71,19 @@ type Options struct {
 	// idle taxis.
 	Probabilistic bool
 
+	// QueueDepth bounds the pending-request queue. When positive, a
+	// request that finds no feasible taxi is parked (SubmitRequest returns
+	// ErrQueued) and re-dispatched in deterministic batches on Advance
+	// ticks until it is served or its pickup deadline passes; when the
+	// queue is full the request is rejected with ErrQueueFull. Zero (the
+	// default) disables queueing: dispatch failures return
+	// ErrNoTaxiAvailable immediately.
+	QueueDepth int
+	// RetryEveryTicks runs the queue's batch re-dispatch on every Nth
+	// Advance call (default 1 — every tick). Expired requests are evicted
+	// on every tick regardless.
+	RetryEveryTicks int
+
 	// History supplies the trips mined for transition patterns. When nil
 	// a synthetic workday is generated.
 	History []Trip
@@ -153,6 +166,15 @@ func (o Options) Validate() error {
 	if o.TraceSampleEvery < 0 {
 		return fail("trace sample rate %d must not be negative", o.TraceSampleEvery)
 	}
+	if o.QueueDepth < 0 {
+		return fail("queue depth %d must not be negative", o.QueueDepth)
+	}
+	if o.RetryEveryTicks < 0 {
+		return fail("retry interval %d ticks must not be negative", o.RetryEveryTicks)
+	}
+	if o.RetryEveryTicks > 0 && o.QueueDepth == 0 {
+		return fail("RetryEveryTicks requires QueueDepth > 0")
+	}
 	if o.RecordTo != nil && o.History != nil {
 		return fail("recording requires the synthetic history; custom History is not serialised into the log")
 	}
@@ -180,6 +202,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = def.Seed
 	}
+	if o.QueueDepth > 0 && o.RetryEveryTicks == 0 {
+		o.RetryEveryTicks = 1
+	}
 	return o
 }
 
@@ -198,6 +223,13 @@ type System struct {
 	nextReq  RequestID
 	requests map[RequestID]*fleet.Request
 	closed   bool
+
+	// Pending-request queue (nil when Options.QueueDepth is 0): requests
+	// that found no taxi wait here for batched re-dispatch every
+	// retryEvery Advance ticks. ticks counts Advance calls.
+	queue      *match.PendingQueue
+	retryEvery int
+	ticks      int64
 
 	// Record/replay state: the log encoder (nil when not recording),
 	// the fault plan and its router layer (nil without faults), and the
@@ -299,6 +331,10 @@ func New(opts Options) (*System, error) {
 		faults:      opts.Faults,
 		faultRouter: faultRouter,
 	}
+	if opts.QueueDepth > 0 {
+		s.queue = match.NewPendingQueue(opts.QueueDepth, cfg.SpeedMps).InstrumentWith(engine.Metrics())
+		s.retryEvery = opts.RetryEveryTicks
+	}
 	if opts.RecordTo != nil {
 		rec, err := replay.NewEncoder(opts.RecordTo, replay.Header{
 			Version:                 replay.Version,
@@ -311,6 +347,8 @@ func New(opts Options) (*System, error) {
 			SearchRangeMeters:       opts.SearchRangeMeters,
 			MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
 			Probabilistic:           opts.Probabilistic,
+			QueueDepth:              opts.QueueDepth,
+			RetryEveryTicks:         opts.RetryEveryTicks,
 			GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),
 			Faults:                  opts.Faults,
 		})
@@ -349,6 +387,10 @@ func errCode(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrQueued):
+		return "queued"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
 	case errors.Is(err, ErrNoTaxiAvailable):
 		return "no_taxi"
 	case errors.Is(err, ErrInvalidRequest):
@@ -499,6 +541,15 @@ func (s *System) submitRequest(ctx context.Context, pickup, dropoff Point, flexi
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
+		// With the pending queue enabled the request parks for batched
+		// re-dispatch instead of failing; a full queue is an explicit,
+		// terminal backpressure signal.
+		if s.queue != nil {
+			if s.queue.Push(req, s.now) {
+				return out, ErrQueued
+			}
+			return out, ErrQueueFull
+		}
 		return out, ErrNoTaxiAvailable
 	}
 	if err := s.engine.Commit(a, s.now); err != nil {
@@ -616,12 +667,46 @@ type RideEvent struct {
 	At     time.Duration
 }
 
+// QueueMatchEvent reports a queued request matched by a tick's batch
+// re-dispatch round.
+type QueueMatchEvent struct {
+	Request RequestID
+	Taxi    TaxiID
+	// Wait is the time the request spent queued before matching.
+	Wait time.Duration
+	// Conflict marks a match that re-dispatched after an earlier commit
+	// of the same batch took its first-choice taxi.
+	Conflict bool
+}
+
+// QueueOutcome reports one Advance tick's pending-queue maintenance:
+// the requests its re-dispatch round matched and those evicted because
+// their pickup deadline passed while queued (the expired terminal
+// outcome). Both lists are in deterministic (pickup deadline, request
+// ID) order.
+type QueueOutcome struct {
+	Matched []QueueMatchEvent
+	Expired []RequestID
+}
+
 // Advance moves the world forward by d: taxis drive their planned routes,
 // firing pickups and deliveries. Idle taxis cruise toward likely demand
 // when the system runs in probabilistic mode. Taxis advance in ID order,
 // so the ride-event sequence is deterministic for a given call history.
+// With the pending queue enabled, each tick first evicts expired queued
+// requests and — every Options.RetryEveryTicks ticks — re-dispatches the
+// rest as a batch; use AdvanceWithQueue to observe those outcomes.
 func (s *System) Advance(d time.Duration) []RideEvent {
+	events, _ := s.AdvanceWithQueue(d)
+	return events
+}
+
+// AdvanceWithQueue is Advance, additionally reporting what the tick's
+// queue maintenance did. With the queue disabled the QueueOutcome is
+// always empty.
+func (s *System) AdvanceWithQueue(d time.Duration) ([]RideEvent, QueueOutcome) {
 	i := s.beginEvent()
+	qo := s.serviceQueue()
 	events := s.advance(d)
 	if s.rec != nil && !s.recDone {
 		rides := make([]replay.Ride, len(events))
@@ -633,9 +718,93 @@ func (s *System) Advance(d time.Duration) []RideEvent {
 				AtNanos: int64(ev.At),
 			}
 		}
-		s.record(replay.Event{I: i, Tick: &replay.TickEvent{DNanos: int64(d), Rides: rides}})
+		tick := &replay.TickEvent{DNanos: int64(d), Rides: rides}
+		for _, m := range qo.Matched {
+			tick.QueueMatched = append(tick.QueueMatched, replay.QueueMatch{
+				Request:   int64(m.Request),
+				Taxi:      int64(m.Taxi),
+				WaitNanos: int64(m.Wait),
+				Conflict:  m.Conflict,
+			})
+		}
+		for _, id := range qo.Expired {
+			tick.QueueExpired = append(tick.QueueExpired, int64(id))
+		}
+		s.record(replay.Event{I: i, Tick: tick})
 	}
-	return events
+	return events, qo
+}
+
+// serviceQueue runs one tick of pending-queue maintenance: evict every
+// request whose pickup deadline strictly passed, then — when the retry
+// interval is due — re-dispatch the remaining batch through the engine.
+func (s *System) serviceQueue() QueueOutcome {
+	var out QueueOutcome
+	if s.queue == nil {
+		return out
+	}
+	s.ticks++
+	for _, it := range s.queue.ExpireBefore(s.now) {
+		out.Expired = append(out.Expired, RequestID(it.Req.ID))
+		s.engine.OnRequestDone(it.Req)
+	}
+	if s.ticks%int64(s.retryEvery) != 0 {
+		return out
+	}
+	batch := s.queue.NextBatch()
+	if len(batch) == 0 {
+		return out
+	}
+	enqueuedAt := make(map[fleet.RequestID]float64, len(batch))
+	reqs := make([]*fleet.Request, len(batch))
+	for i, it := range batch {
+		reqs[i] = it.Req
+		enqueuedAt[it.Req.ID] = it.EnqueuedAt
+	}
+	for _, o := range s.engine.DispatchBatch(context.Background(), reqs, s.now, s.scheme.Probabilistic) {
+		if !o.Served {
+			continue
+		}
+		s.queue.MarkServed(o.Req.ID, s.now)
+		out.Matched = append(out.Matched, QueueMatchEvent{
+			Request:  RequestID(o.Req.ID),
+			Taxi:     TaxiID(o.Assignment.Taxi.ID),
+			Wait:     time.Duration((s.now - enqueuedAt[o.Req.ID]) * float64(time.Second)),
+			Conflict: o.Conflict,
+		})
+	}
+	return out
+}
+
+// QueueStats summarises the pending queue's lifecycle counters. Enabled
+// is false (and every field zero) when Options.QueueDepth was 0.
+type QueueStats struct {
+	Enabled  bool
+	Depth    int
+	Capacity int
+	Enqueued int64
+	Rejected int64
+	Retries  int64
+	Served   int64
+	Expired  int64
+}
+
+// QueueStats returns a snapshot of the pending queue.
+func (s *System) QueueStats() QueueStats {
+	if s.queue == nil {
+		return QueueStats{}
+	}
+	qs := s.queue.Stats()
+	return QueueStats{
+		Enabled:  true,
+		Depth:    qs.Depth,
+		Capacity: qs.Capacity,
+		Enqueued: qs.Enqueued,
+		Rejected: qs.Rejected,
+		Retries:  qs.Retries,
+		Served:   qs.Served,
+		Expired:  qs.Expired,
+	}
 }
 
 func (s *System) advance(d time.Duration) []RideEvent {

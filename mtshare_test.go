@@ -273,3 +273,94 @@ func TestAdvanceClock(t *testing.T) {
 		t.Fatalf("Now = %v", s.Now())
 	}
 }
+
+// TestQueueLifecycle walks a request through the full pending-queue
+// lifecycle: parked on dispatch failure (ErrQueued), backpressure when
+// the queue fills (ErrQueueFull), then served by a later tick's batch
+// re-dispatch once a taxi appears.
+func TestQueueLifecycle(t *testing.T) {
+	s, err := New(Options{Seed: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// No fleet yet: requests park instead of failing outright.
+	a1, err := s.SubmitRequest(ctx, at(s, 0.2, 0.2), at(s, 0.6, 0.6), 1.8)
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("first request: err = %v, want ErrQueued", err)
+	}
+	if a1.Request == 0 {
+		t.Fatal("queued request carries no ID")
+	}
+	a2, err := s.SubmitRequest(ctx, at(s, 0.25, 0.2), at(s, 0.6, 0.65), 1.8)
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("second request: err = %v, want ErrQueued", err)
+	}
+	if _, err := s.SubmitRequest(ctx, at(s, 0.3, 0.3), at(s, 0.7, 0.7), 1.8); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third request: err = %v, want ErrQueueFull", err)
+	}
+	qs := s.QueueStats()
+	if !qs.Enabled || qs.Capacity != 2 || qs.Depth != 2 || qs.Enqueued != 2 || qs.Rejected != 1 {
+		t.Fatalf("after filling: %+v", qs)
+	}
+
+	// One empty tick: the retry round runs, finds no taxi, and the
+	// requests stay parked (so their eventual waits are positive).
+	if _, qo := s.AdvanceWithQueue(time.Second); len(qo.Matched) != 0 || len(qo.Expired) != 0 {
+		t.Fatalf("tick with no fleet: %+v", qo)
+	}
+
+	// A taxi appears near the pickups; the next retry rounds drain the
+	// queue via batch re-dispatch.
+	if _, err := s.AddTaxi(at(s, 0.2, 0.2), 4); err != nil {
+		t.Fatal(err)
+	}
+	var matched []QueueMatchEvent
+	for i := 0; i < 3 && len(matched) < 2; i++ {
+		_, qo := s.AdvanceWithQueue(time.Second)
+		matched = append(matched, qo.Matched...)
+	}
+	if len(matched) != 2 {
+		t.Fatalf("queue matched %d requests, want 2: %+v", len(matched), matched)
+	}
+	seen := map[RequestID]bool{}
+	for _, m := range matched {
+		seen[m.Request] = true
+		if m.Wait <= 0 {
+			t.Fatalf("match %+v reports no wait time", m)
+		}
+	}
+	if !seen[a1.Request] || !seen[a2.Request] {
+		t.Fatalf("matched %v, want requests %d and %d", matched, a1.Request, a2.Request)
+	}
+	qs = s.QueueStats()
+	if qs.Depth != 0 || qs.Served != 2 {
+		t.Fatalf("after draining: %+v", qs)
+	}
+}
+
+// TestQueueExpiry pins the eviction side: a parked request whose pickup
+// deadline passes without a taxi is evicted with a distinct terminal
+// outcome, not retried forever.
+func TestQueueExpiry(t *testing.T) {
+	s, err := New(Options{Seed: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.SubmitRequest(context.Background(), at(s, 0.3, 0.3), at(s, 0.7, 0.7), 1.3)
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("err = %v, want ErrQueued", err)
+	}
+	// First tick moves the clock past every deadline; the second tick's
+	// queue maintenance (which runs before taxis advance) evicts.
+	s.AdvanceWithQueue(2 * time.Hour)
+	_, qo := s.AdvanceWithQueue(time.Second)
+	if len(qo.Expired) != 1 || qo.Expired[0] != a.Request {
+		t.Fatalf("expired %v, want [%d]", qo.Expired, a.Request)
+	}
+	qs := s.QueueStats()
+	if qs.Depth != 0 || qs.Expired != 1 {
+		t.Fatalf("after expiry: %+v", qs)
+	}
+}

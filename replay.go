@@ -78,6 +78,8 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		SearchRangeMeters:       h.SearchRangeMeters,
 		MaxDirectionDiffDegrees: h.MaxDirectionDiffDegrees,
 		Probabilistic:           h.Probabilistic,
+		QueueDepth:              h.QueueDepth,
+		RetryEveryTicks:         h.RetryEveryTicks,
 		Seed:                    h.Seed,
 		Faults:                  h.Faults,
 		RecordTo:                &buf,
@@ -163,7 +165,10 @@ var ScenarioNames = []string{"uniform", "peakhour"}
 //   - "uniform": a 12x12 city (seed 7), 8 taxis, six rounds of
 //     uniformly random requests plus street hails with 30 s ticks.
 //   - "peakhour": a 12x12 city (seed 8), 10 taxis, the 08:00-09:00
-//     window of a synthetic workday trace submitted in release order.
+//     window of a synthetic workday trace submitted in release order,
+//     with the pending queue enabled (depth 16, retry every 2nd tick) so
+//     the golden log covers queued/expired outcomes and batch
+//     re-dispatch.
 //
 // An optional fault plan is threaded into the run (and the log header),
 // exercising the deterministic fault-injection layer.
@@ -218,6 +223,8 @@ func recordPeakHour(w io.Writer, faults *FaultPlan) error {
 		SyntheticCityRows: 12,
 		SyntheticCityCols: 12,
 		Seed:              8,
+		QueueDepth:        16,
+		RetryEveryTicks:   2,
 		RecordTo:          w,
 		Faults:            faults,
 	})

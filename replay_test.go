@@ -185,7 +185,7 @@ func TestReplayUnsealedPrefix(t *testing.T) {
 
 func TestReplayRejects(t *testing.T) {
 	// A sim-kind log cannot drive a System replay.
-	simLog := `{"version":1,"kind":"sim","seed":1}` + "\n"
+	simLog := `{"version":2,"kind":"sim","seed":1}` + "\n"
 	if _, err := Replay(strings.NewReader(simLog)); err == nil || !strings.Contains(err.Error(), "kind") {
 		t.Fatalf("sim log accepted: %v", err)
 	}
