@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"ablate-reorder", (*Lab).AblationReorder},
 		{"ablate-probtradeoff", (*Lab).AblationProbTradeoff},
 		{"ablate-queue", (*Lab).AblationQueue},
+		{"ablate-landmark", (*Lab).AblationLandmark},
 		{"verify", (*Lab).Verify},
 	}
 }

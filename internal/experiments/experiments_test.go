@@ -361,3 +361,37 @@ func TestVerifyRendersAllClaims(t *testing.T) {
 		}
 	}
 }
+
+// TestAblationLandmark pins the oracle's acceptance claim: the experiment
+// itself errors unless served/rejected counts are identical with the
+// screen on and off at every parallelism level, so a passing run IS the
+// parity proof; here we additionally require that the enabled rows pruned
+// work and that both arms of the knob are present.
+func TestAblationLandmark(t *testing.T) {
+	l := testLab(t)
+	r, err := l.AblationLandmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 parallelism levels x oracle on/off)", len(r.Rows))
+	}
+	on, off := 0, 0
+	for _, row := range r.Rows {
+		switch row[1] {
+		case "on":
+			on++
+			if row[4] == "0" {
+				t.Fatalf("oracle-on row evaluated nothing: %v", row)
+			}
+		case "off":
+			off++
+			if row[4] != "0" || row[5] != "0" {
+				t.Fatalf("oracle-off row screened: %v", row)
+			}
+		}
+	}
+	if on != 3 || off != 3 {
+		t.Fatalf("rows split %d on / %d off, want 3/3", on, off)
+	}
+}

@@ -456,3 +456,83 @@ func (l *Lab) AblationPartitionFilter() (*Result, error) {
 	})
 	return r, nil
 }
+
+// AblationLandmark A/B-tests the landmark lower-bound candidate screen:
+// the oracle must prune work (lb pruned > 0) without changing a single
+// outcome — identical served and rejected counts with the oracle on and
+// off, at every dispatch parallelism level. The experiment *enforces* that
+// parity and errors on any mismatch, so a regression in the oracle's
+// admissibility cannot hide in a table.
+//
+// It drives sim engines directly rather than going through Lab.Run:
+// Lab.Parallelism is not part of the scenario memo key, and the sweep
+// needs one fresh engine per (parallelism, oracle) cell anyway.
+func (l *Lab) AblationLandmark() (*Result, error) {
+	r := &Result{
+		ID: "ablate-landmark", Title: "Landmark lower-bound candidate screen vs exact-only evaluation (peak, mT-Share)",
+		Header: []string{"parallelism", "oracle", "served", "rejected", "lb evaluated", "lb pruned", "prune ratio"},
+		Notes: []string{
+			"the oracle screens candidates with an admissible lower bound before exact schedule evaluation; pruning is lossless, so every row of one parallelism level must agree on served/rejected",
+		},
+	}
+	pt, err := l.World.Partitioning("bipartite", l.World.Scale.Kappa)
+	if err != nil {
+		return nil, err
+	}
+	win := PeakWindow()
+	start := win.From.Seconds()
+	type cell struct {
+		served, rejected int
+	}
+	var baseline *cell
+	prunedTotal := int64(0)
+	for _, par := range []int{1, 2, 4} {
+		for _, disable := range []bool{false, true} {
+			cfg := match.DefaultConfig()
+			cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+			cfg.Parallelism = par
+			cfg.DisableLandmarkLB = disable
+			eng, err := match.NewEngine(pt, l.World.Spx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scheme := match.NewScheme(eng, false)
+			params := sim.DefaultParams()
+			params.Parallelism = par
+			se, err := sim.NewEngine(l.World.G, scheme, params)
+			if err != nil {
+				return nil, err
+			}
+			se.PlaceTaxis(l.World.Scale.DefaultTaxis, l.World.Scale.Capacity, l.World.Scale.Seed, start)
+			reqs := l.World.Requests(win, l.World.Scale.Rho, 0)
+			m := se.Run(reqs, start)
+			st := eng.Stats()
+			c := cell{served: m.Served, rejected: m.Requests - m.Served}
+			if baseline == nil {
+				baseline = &c
+			} else if c != *baseline {
+				return nil, fmt.Errorf("experiments: ablate-landmark parity broken: parallelism=%d oracle=%v served/rejected %d/%d, expected %d/%d — the lower bound pruned a feasible candidate",
+					par, !disable, c.served, c.rejected, baseline.served, baseline.rejected)
+			}
+			label := "on"
+			ratio := 0.0
+			if disable {
+				label = "off"
+			} else {
+				prunedTotal += st.LBPruned
+				if st.LBEvaluated > 0 {
+					ratio = float64(st.LBPruned) / float64(st.LBEvaluated)
+				}
+			}
+			r.Rows = append(r.Rows, []string{
+				fi(par), label, fi(c.served), fi(c.rejected),
+				fi(int(st.LBEvaluated)), fi(int(st.LBPruned)), f3(ratio),
+			})
+		}
+	}
+	if prunedTotal == 0 {
+		return nil, fmt.Errorf("experiments: ablate-landmark pruned nothing — the screen is dead weight on this workload")
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("parity held: every cell served %d and rejected %d", baseline.served, baseline.rejected))
+	return r, nil
+}

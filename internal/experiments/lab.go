@@ -58,6 +58,9 @@ type Scenario struct {
 	// RetryEveryTicks sets the retry cadence (0 = every tick).
 	QueueDepth      int
 	RetryEveryTicks int
+	// DisableLandmarkLB turns off the landmark lower-bound candidate
+	// screen for mT-Share engines (the ablate-landmark experiment).
+	DisableLandmarkLB bool
 }
 
 func (sc Scenario) window() Window {
@@ -175,6 +178,7 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		cfg.Lambda = sc.Lambda
 		cfg.ExhaustiveReorder = sc.Reorder
 		cfg.ProbMaxLegInflation = sc.ProbInflation
+		cfg.DisableLandmarkLB = sc.DisableLandmarkLB
 		cfg.Parallelism = l.Parallelism
 		if l.TraceEvery > 0 {
 			cfg.Tracer = obs.NewTracer(l.TraceEvery, l.TraceHandler)

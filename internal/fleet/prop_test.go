@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/roadnet"
+)
+
+// This file is the property layer over the insertion machinery: random
+// request streams are committed through BestInsertion exactly the way the
+// dispatch engine commits them, and every committed schedule is
+// re-checked by an independent walker that knows nothing about
+// EvaluateSchedule's internals. A failure reports the seed plus a
+// delta-minimized request list, so the reproducer is a handful of
+// requests rather than a 60-request stream.
+
+// propRequest is one generated request in a reproducer-friendly form.
+type propRequest struct {
+	ID         int64
+	O, D       roadnet.VertexID
+	ReleaseSec float64
+	Flex       float64
+	Passengers int
+}
+
+func (pr propRequest) String() string {
+	return fmt.Sprintf("{ID:%d O:%d D:%d Release:%gs Flex:%g Pax:%d}",
+		pr.ID, pr.O, pr.D, pr.ReleaseSec, pr.Flex, pr.Passengers)
+}
+
+func (pr propRequest) build(coster LegCoster, speed float64) *Request {
+	direct, _ := coster(pr.O, pr.D)
+	release := time.Duration(pr.ReleaseSec * float64(time.Second))
+	return &Request{
+		ID:           RequestID(pr.ID),
+		ReleaseAt:    release,
+		Origin:       pr.O,
+		Dest:         pr.D,
+		Deadline:     release + time.Duration(direct/speed*pr.Flex*float64(time.Second)),
+		DirectMeters: direct,
+		Passengers:   pr.Passengers,
+	}
+}
+
+// propStream generates n random requests over the graph. Flexibility is
+// drawn tight (down to 1.05) so many streams probe the deadline boundary,
+// and multi-passenger requests probe the capacity boundary.
+func propStream(g *roadnet.Graph, rng *rand.Rand, n int) []propRequest {
+	nv := g.NumVertices()
+	out := make([]propRequest, 0, n)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		o := roadnet.VertexID(rng.Intn(nv))
+		d := roadnet.VertexID(rng.Intn(nv))
+		if o == d {
+			continue
+		}
+		clock += rng.Float64() * 40
+		out = append(out, propRequest{
+			ID:         int64(i + 1),
+			O:          o,
+			D:          d,
+			ReleaseSec: clock,
+			Flex:       1.05 + rng.Float64()*0.95,
+			Passengers: 1 + rng.Intn(3),
+		})
+	}
+	return out
+}
+
+// checkCommitted independently verifies the three invariants of a
+// committed schedule under the params it was committed with: occupancy
+// never exceeds capacity (and never goes negative), every pickup and
+// dropoff meets its (inclusive) deadline, and no dropoff precedes its own
+// pickup. The arithmetic mirrors EvaluateSchedule leg by leg so exact
+// float comparison is valid, but the bookkeeping is written from scratch.
+func checkCommitted(events []Event, coster LegCoster, p EvalParams) error {
+	seats := p.OnboardSeats
+	droppedBeforePickup := make(map[RequestID]bool)
+	pickedUp := make(map[RequestID]bool)
+	at := p.Start
+	meters := p.LeadMeters
+	for i, e := range events {
+		leg, ok := coster(at, e.Vertex())
+		if !ok {
+			return fmt.Errorf("event %d: unroutable leg %d->%d", i, at, e.Vertex())
+		}
+		meters += leg
+		at = e.Vertex()
+		t := p.NowSeconds + meters/p.SpeedMps
+		switch e.Kind {
+		case Pickup:
+			if droppedBeforePickup[e.Req.ID] {
+				return fmt.Errorf("event %d: pickup of request %d after its dropoff", i, e.Req.ID)
+			}
+			pickedUp[e.Req.ID] = true
+			if pd := e.Req.PickupDeadline(p.SpeedMps).Seconds(); t > pd {
+				return fmt.Errorf("event %d: pickup of request %d at t=%g past pickup deadline %g", i, e.Req.ID, t, pd)
+			}
+			seats += e.Req.Passengers
+			if seats > p.Capacity {
+				return fmt.Errorf("event %d: %d seats occupied, capacity %d", i, seats, p.Capacity)
+			}
+		case Dropoff:
+			if !pickedUp[e.Req.ID] {
+				// Legal only when the passenger is already onboard (their
+				// pickup happened before this schedule window).
+				droppedBeforePickup[e.Req.ID] = true
+			}
+			if dl := e.Req.Deadline.Seconds(); t > dl {
+				return fmt.Errorf("event %d: dropoff of request %d at t=%g past deadline %g", i, e.Req.ID, t, dl)
+			}
+			seats -= e.Req.Passengers
+			if seats < 0 {
+				return fmt.Errorf("event %d: negative occupancy %d", i, seats)
+			}
+		}
+	}
+	return nil
+}
+
+// runPropStream replays a request stream through BestInsertion against a
+// single taxi, popping events whose committed arrival has passed (the
+// taxi "executes" its plan between requests), and re-checks every
+// committed schedule. Returns the first invariant violation, or nil.
+func runPropStream(g *roadnet.Graph, reqs []propRequest, capacity int) error {
+	const speed = 10.0
+	cache := map[roadnet.VertexID]*roadnet.SSSPResult{}
+	coster := func(u, v roadnet.VertexID) (float64, bool) {
+		sp := cache[u]
+		if sp == nil {
+			sp = g.SSSP(u)
+			cache[u] = sp
+		}
+		d := sp.Dist[v]
+		return d, !math.IsInf(d, 1)
+	}
+	start := roadnet.VertexID(0)
+	onboard := 0
+	var schedule []Event
+	var arrivals []float64
+	for _, pr := range reqs {
+		now := pr.ReleaseSec
+		// Execute the plan up to now: pop events whose committed arrival
+		// has passed, moving the taxi and its seat count.
+		for len(schedule) > 0 && arrivals[0] <= now {
+			e := schedule[0]
+			start = e.Vertex()
+			if e.Kind == Pickup {
+				onboard += e.Req.Passengers
+			} else {
+				onboard -= e.Req.Passengers
+			}
+			schedule = schedule[1:]
+			arrivals = arrivals[1:]
+		}
+		req := pr.build(coster, speed)
+		p := EvalParams{
+			NowSeconds:   now,
+			SpeedMps:     speed,
+			Start:        start,
+			Capacity:     capacity,
+			OnboardSeats: onboard,
+		}
+		best, ev, ok := BestInsertion(schedule, req, coster, p, false)
+		if !ok {
+			continue
+		}
+		if err := checkCommitted(best, coster, p); err != nil {
+			return err
+		}
+		schedule = best
+		arrivals = ev.ArrivalSeconds
+	}
+	return nil
+}
+
+// minimizeStream shrinks a failing request stream by repeatedly dropping
+// requests while the violation persists (greedy ddmin), so the reported
+// reproducer is close to minimal.
+func minimizeStream(g *roadnet.Graph, reqs []propRequest, capacity int) []propRequest {
+	cur := append([]propRequest(nil), reqs...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			trial := append(append([]propRequest(nil), cur[:i]...), cur[i+1:]...)
+			if runPropStream(g, trial, capacity) != nil {
+				cur = trial
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// TestScheduleInsertionInvariants is the satellite property test: many
+// seeded random request streams, every committed schedule re-verified by
+// an independent checker. On failure it prints the seed and the minimized
+// request list — paste the list into runPropStream to reproduce.
+func TestScheduleInsertionInvariants(t *testing.T) {
+	g, err := roadnet.GenerateCity(roadnet.DefaultCityParams(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 2 + rng.Intn(3)
+		reqs := propStream(g, rng, 60)
+		if err := runPropStream(g, reqs, capacity); err != nil {
+			min := minimizeStream(g, reqs, capacity)
+			t.Fatalf("seed %d capacity %d: %v\nminimized reproducer (%d of %d requests): %v",
+				seed, capacity, err, len(min), len(reqs), min)
+		}
+	}
+}
+
+// TestCheckCommittedCatchesViolations proves the independent checker has
+// teeth: hand-built schedules that break each invariant must be rejected,
+// otherwise a green property test means nothing.
+func TestCheckCommittedCatchesViolations(t *testing.T) {
+	g := testGraph()
+	coster := func(u, v roadnet.VertexID) (float64, bool) {
+		d, _, ok := g.ShortestPath(u, v)
+		return d, ok
+	}
+	p := EvalParams{NowSeconds: 0, SpeedMps: 10, Start: 0, Capacity: 1}
+	roomy := testRequest(g, 1, 1, 3, 0, time.Hour)
+	second := testRequest(g, 2, 1, 3, 0, time.Hour)
+	late := testRequest(g, 3, 1, 3, 0, 150*time.Second) // direct needs 200 s
+
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"capacity exceeded", []Event{
+			{Kind: Pickup, Req: roomy}, {Kind: Pickup, Req: second},
+			{Kind: Dropoff, Req: roomy}, {Kind: Dropoff, Req: second},
+		}},
+		{"dropoff before pickup then pickup", []Event{
+			{Kind: Dropoff, Req: roomy}, {Kind: Pickup, Req: roomy},
+		}},
+		{"deadline violated", []Event{
+			{Kind: Pickup, Req: late}, {Kind: Dropoff, Req: late},
+		}},
+	}
+	for _, tc := range cases {
+		if err := checkCommitted(tc.events, coster, p); err == nil {
+			t.Errorf("%s: checker accepted an invalid schedule", tc.name)
+		}
+	}
+	// And a valid schedule must pass.
+	good := []Event{{Kind: Pickup, Req: roomy}, {Kind: Dropoff, Req: roomy}}
+	if err := checkCommitted(good, coster, p); err != nil {
+		t.Errorf("checker rejected a valid schedule: %v", err)
+	}
+}

@@ -55,6 +55,54 @@ func (a *candResult) better(b *candResult) bool {
 	return a.taxi.ID < b.taxi.ID
 }
 
+// lbDeadlineEpsilon pads the lower-bound deadline comparisons against
+// floating-point rounding: the oracle's bound is mathematically <= the
+// exact leg costs, but is computed through a different float expression,
+// so a borderline candidate gets the benefit of the doubt rather than an
+// unsound prune. One microsecond of simulated time is far below any
+// schedule-relevant scale.
+const lbDeadlineEpsilon = 1e-6
+
+// screenCandidateLB applies the landmark lower-bound screen (the oracle's
+// reason to exist): using only precomputed offsets, it proves — when it
+// returns true — that no insertion of req into t's schedule can meet the
+// request's deadlines, so exact schedule evaluation (and every router
+// query it would issue) is skipped.
+//
+// The proof obligation is losslessness. Every insertion candidate routes
+// t from params.Start through zero or more events to req.Origin and later
+// to req.Dest, over legs costed by exact (or partition-filtered, hence >=
+// exact) shortest paths, so by the triangle inequality:
+//
+//	arrival(pickup)  >= now + (lead + d(start, origin)) / speed
+//	arrival(dropoff) >= now + (lead + d(start, origin) + d(origin, dest)) / speed
+//
+// EstimateLB underestimates d(start, origin), and DirectMeters is exactly
+// d(origin, dest) (falling back to the oracle when unset). EvaluateSchedule
+// rejects any schedule whose pickup or dropoff arrival strictly exceeds
+// its deadline, so a candidate whose lower-bounded arrival already does is
+// infeasible in every insertion — pruning it cannot change the winner.
+func (e *Engine) screenCandidateLB(req *fleet.Request, params fleet.EvalParams) bool {
+	t0 := time.Now()
+	defer e.ins.lbEstimateSeconds.ObserveSince(t0)
+	e.ins.lbEvaluated.Inc()
+	lbPickup := e.oracle.EstimateLB(params.Start, req.Origin)
+	minPickup := params.NowSeconds + (params.LeadMeters+lbPickup)/params.SpeedMps
+	if minPickup > req.PickupDeadline(params.SpeedMps).Seconds()+lbDeadlineEpsilon {
+		e.ins.lbPruned.Inc()
+		return true
+	}
+	direct := req.DirectMeters
+	if direct <= 0 {
+		direct = e.oracle.EstimateLB(req.Origin, req.Dest)
+	}
+	if minPickup+direct/params.SpeedMps > req.Deadline.Seconds()+lbDeadlineEpsilon {
+		e.ins.lbPruned.Inc()
+		return true
+	}
+	return false
+}
+
 // evalCandidate runs the per-candidate half of Alg. 1 for one taxi: it
 // enumerates schedule instances (insertion-only, exhaustive reorder, or
 // probabilistic) and keeps the feasible one with the minimum travel cost.
@@ -64,6 +112,9 @@ func (a *candResult) better(b *candResult) bool {
 func (e *Engine) evalCandidate(t *fleet.Taxi, req *fleet.Request, nowSeconds float64, probabilistic bool) candResult {
 	res := candResult{taxi: t}
 	params := t.EvalParamsAt(nowSeconds, e.cfg.SpeedMps)
+	if e.oracle != nil && e.screenCandidateLB(req, params) {
+		return res
+	}
 	if probabilistic && e.ProbEnabled(t) {
 		for _, cand := range fleet.InsertionCandidates(t.Schedule(), req) {
 			legs, eval, ok := e.ProbabilisticPlan(cand, t, nowSeconds)
@@ -191,6 +242,11 @@ func (e *Engine) DispatchContext(ctx context.Context, req *fleet.Request, nowSec
 	}
 	e.ins.schedulingSeconds.ObserveSince(t1)
 	sps.End()
+	if e.oracle != nil {
+		if ev := e.ins.lbEvaluated.Value(); ev > 0 {
+			e.ins.lbPruneRatio.Set(float64(e.ins.lbPruned.Value()) / float64(ev))
+		}
+	}
 	if win < 0 {
 		return best, false
 	}

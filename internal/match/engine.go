@@ -62,6 +62,14 @@ type Config struct {
 	ExhaustiveReorder bool
 	ReorderBudget     int
 
+	// DisableLandmarkLB turns off the landmark distance oracle: no offset
+	// precompute at engine construction and no lower-bound screening of
+	// candidates before exact schedule evaluation. The zero value keeps
+	// the oracle on. Screening is lossless (the bound is admissible, so a
+	// pruned candidate could never have produced a feasible schedule);
+	// the knob exists for baselines and the ablate-landmark A/B run.
+	DisableLandmarkLB bool
+
 	// ProbMaxLegInflation additionally bounds each probabilistic leg to
 	// this factor of its shortest-path cost — the probability-versus-
 	// detour trade-off the paper defers to future work. 0 disables the
@@ -161,6 +169,11 @@ type Engine struct {
 	clusters *mobcluster.Clusters
 	pindex   *index.PartitionIndex
 
+	// oracle is the landmark lower-bound distance estimator screening
+	// candidates before exact schedule evaluation; nil when
+	// Config.DisableLandmarkLB is set.
+	oracle *partition.Oracle
+
 	// mu guards the taxi registry and serialises fleet-state access:
 	// Dispatch evaluates candidates under the read lock while Commit
 	// installs plans under the write lock, so concurrent dispatching,
@@ -223,9 +236,16 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 		tracer:      cfg.Tracer,
 		ins:         newInstruments(reg),
 	}
+	if !cfg.DisableLandmarkLB {
+		e.oracle = partition.NewOracle(pt, cfg.parallelism())
+	}
 	e.rawRouter.Warm(pt.Landmarks())
 	return e, nil
 }
+
+// LandmarkOracle returns the engine's landmark lower-bound estimator, or
+// nil when Config.DisableLandmarkLB turned it off.
+func (e *Engine) LandmarkOracle() *partition.Oracle { return e.oracle }
 
 // Metrics returns the registry holding the engine's instruments (and
 // those of its router and partition index). Serve it via

@@ -36,6 +36,11 @@ type EngineStats struct {
 	// commit of the same batch (forcing a re-dispatch).
 	BatchRequests  int64
 	BatchConflicts int64
+	// LBEvaluated counts candidates screened by the landmark lower-bound
+	// oracle, and LBPruned those it proved infeasible (skipping exact
+	// schedule evaluation). Both stay 0 with Config.DisableLandmarkLB.
+	LBEvaluated int64
+	LBPruned    int64
 	// Per-stage cumulative wall time of Dispatch: candidate search,
 	// schedule enumeration + routing (the parallel fan-out), and the
 	// winner's leg materialisation. Derived from the stage histograms'
@@ -60,6 +65,8 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.CruisePlans += o.CruisePlans
 	s.BatchRequests += o.BatchRequests
 	s.BatchConflicts += o.BatchConflicts
+	s.LBEvaluated += o.LBEvaluated
+	s.LBPruned += o.LBPruned
 	s.CandidateSearchNanos += o.CandidateSearchNanos
 	s.SchedulingNanos += o.SchedulingNanos
 	s.LegBuildNanos += o.LegBuildNanos
@@ -81,12 +88,17 @@ type instruments struct {
 	cruisePlans           *obs.Counter
 	batchRequests         *obs.Counter
 	batchConflicts        *obs.Counter
+	lbEvaluated           *obs.Counter
+	lbPruned              *obs.Counter
+
+	lbPruneRatio *obs.Gauge
 
 	dispatchSeconds        *obs.Histogram
 	candidateSearchSeconds *obs.Histogram
 	schedulingSeconds      *obs.Histogram
 	legBuildSeconds        *obs.Histogram
 	commitSeconds          *obs.Histogram
+	lbEstimateSeconds      *obs.Histogram
 }
 
 func newInstruments(reg *obs.Registry) instruments {
@@ -103,12 +115,17 @@ func newInstruments(reg *obs.Registry) instruments {
 		cruisePlans:           reg.Counter("mtshare_match_cruise_plans_total"),
 		batchRequests:         reg.Counter("mtshare_match_batch_requests_total"),
 		batchConflicts:        reg.Counter("mtshare_match_batch_conflicts_total"),
+		lbEvaluated:           reg.Counter("mtshare_match_lb_evaluated_total"),
+		lbPruned:              reg.Counter("mtshare_match_lb_pruned_total"),
+
+		lbPruneRatio: reg.Gauge("mtshare_match_lb_prune_ratio"),
 
 		dispatchSeconds:        reg.Histogram("mtshare_match_dispatch_seconds"),
 		candidateSearchSeconds: reg.Histogram("mtshare_match_candidate_search_seconds"),
 		schedulingSeconds:      reg.Histogram("mtshare_match_scheduling_seconds"),
 		legBuildSeconds:        reg.Histogram("mtshare_match_leg_build_seconds"),
 		commitSeconds:          reg.Histogram("mtshare_match_commit_seconds"),
+		lbEstimateSeconds:      reg.Histogram("mtshare_match_lb_estimate_seconds"),
 	}
 }
 
@@ -129,6 +146,8 @@ func (e *Engine) Stats() EngineStats {
 		CruisePlans:           e.ins.cruisePlans.Value(),
 		BatchRequests:         e.ins.batchRequests.Value(),
 		BatchConflicts:        e.ins.batchConflicts.Value(),
+		LBEvaluated:           e.ins.lbEvaluated.Value(),
+		LBPruned:              e.ins.lbPruned.Value(),
 		CandidateSearchNanos:  toNanos(e.ins.candidateSearchSeconds),
 		SchedulingNanos:       toNanos(e.ins.schedulingSeconds),
 		LegBuildNanos:         toNanos(e.ins.legBuildSeconds),

@@ -111,17 +111,24 @@ func (cs *Clusters) NumClusters() int {
 }
 
 // bestLocked returns the cluster with the highest similarity to v that
-// clears lambda, or nil. Ties break toward the oldest cluster for
-// determinism. Callers hold at least the read lock.
+// clears lambda — inclusively: similarity exactly at λ qualifies, matching
+// CompatibleTaxis and the paper's cos ≥ λ convention (Eq. 1). Ties break
+// toward the oldest cluster for determinism. A zero-magnitude vector
+// (origin == destination, direction undefined) matches nothing.
+// Callers hold at least the read lock.
 func (cs *Clusters) bestLocked(v geo.MobilityVector) *cluster {
+	if v.IsZero() {
+		return nil
+	}
 	var best *cluster
-	bestSim := cs.lambda
+	bestSim := 0.0
 	for _, c := range cs.byID {
 		sim := geo.CosineSimilarity(v, c.general())
-		if sim > bestSim || (sim == bestSim && best != nil && c.id < best.id) {
-			if sim >= cs.lambda {
-				best, bestSim = c, sim
-			}
+		if sim < cs.lambda {
+			continue
+		}
+		if best == nil || sim > bestSim || (sim == bestSim && c.id < best.id) {
+			best, bestSim = c, sim
 		}
 	}
 	return best
@@ -149,6 +156,12 @@ func (cs *Clusters) Best(v geo.MobilityVector) (ClusterID, bool) {
 func (cs *Clusters) CompatibleTaxis(v geo.MobilityVector) []int64 {
 	cs.mu.RLock()
 	defer cs.mu.RUnlock()
+	// A degenerate vector has no direction to be compatible with; without
+	// this guard, CosineSimilarity's 0-for-zero-norm convention would make
+	// it "compatible" with every cluster whenever λ ≤ 0.
+	if v.IsZero() {
+		return nil
+	}
 	var out []int64
 	for _, c := range cs.byID {
 		if len(c.taxis) == 0 {
@@ -166,6 +179,8 @@ func (cs *Clusters) CompatibleTaxis(v geo.MobilityVector) []int64 {
 
 // AddRequest inserts a ride request's mobility vector, joining the most
 // similar cluster or forming a new one, and returns the cluster joined.
+// A zero-magnitude vector always forms its own singleton cluster — its
+// direction is undefined, so it neither joins nor attracts anything.
 // Re-adding an existing ID first removes the old membership.
 func (cs *Clusters) AddRequest(id int64, v geo.MobilityVector) ClusterID {
 	cs.mu.Lock()

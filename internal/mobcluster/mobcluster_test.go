@@ -340,3 +340,100 @@ func TestCompatibleTaxisUnionAcrossClusters(t *testing.T) {
 		t.Fatalf("zero vector matched: %v", out)
 	}
 }
+
+// exactNorth builds a vector whose tangent-plane displacement is exactly
+// (dx=0, dy=0.25): 30.0 and 0.25 are exact binary floats, so the dy
+// subtraction, the squared norm (0.0625) and its square root (0.25) are
+// all exact — cosine similarity against an identical vector is exactly
+// 1.0, and against an exact-east vector exactly 0.0. That lets the
+// threshold tests probe λ equality without tolerance fudge.
+func exactNorth(olng float64) geo.MobilityVector {
+	return geo.MobilityVector{OriginLat: 30.0, OriginLng: olng, DestLat: 30.25, DestLng: olng}
+}
+
+func exactEast(olng float64) geo.MobilityVector {
+	return geo.MobilityVector{OriginLat: 30.0, OriginLng: olng, DestLat: 30.0, DestLng: olng + 0.25}
+}
+
+// TestExactThresholdLambdaOne: with λ = 1.0, a request whose similarity to
+// an existing cluster is exactly 1.0 must join it (inclusive threshold,
+// Eq. 1 cos ≥ λ), while any strictly smaller similarity must split. This
+// is the regression test for bestLocked's old strict-inequality bug: a
+// first candidate at exactly λ was never selected.
+func TestExactThresholdLambdaOne(t *testing.T) {
+	// Sanity: the constructed similarities are exactly 1 and exactly 0.
+	if s := geo.CosineSimilarity(exactNorth(104.0), exactNorth(104.1)); s != 1.0 {
+		t.Fatalf("constructed same-direction similarity = %v, want exactly 1.0", s)
+	}
+	if s := geo.CosineSimilarity(exactNorth(104.0), exactEast(104.0)); s != 0.0 {
+		t.Fatalf("constructed orthogonal similarity = %v, want exactly 0.0", s)
+	}
+
+	cs := New(1.0)
+	c1 := cs.AddRequest(1, exactNorth(104.0))
+	if c2 := cs.AddRequest(2, exactNorth(104.1)); c2 != c1 {
+		t.Fatalf("similarity exactly at lambda=1 split: cluster %d vs %d", c2, c1)
+	}
+	// The other side of the threshold: a slightly rotated vector has
+	// similarity < 1 and must form its own cluster.
+	tilted := geo.MobilityVector{OriginLat: 30.0, OriginLng: 104.2, DestLat: 30.25, DestLng: 104.2001}
+	if c3 := cs.AddRequest(3, tilted); c3 == c1 {
+		t.Fatal("similarity below lambda=1 joined the cluster")
+	}
+}
+
+// TestExactThresholdLambdaZero probes λ = 0 with an exactly-orthogonal
+// pair (similarity exactly 0.0): at the threshold it must match; with λ
+// nudged above zero it must not.
+func TestExactThresholdLambdaZero(t *testing.T) {
+	cs := New(0.0)
+	c1 := cs.AddRequest(1, exactEast(104.0))
+	if cid, ok := cs.Best(exactNorth(104.0)); !ok || cid != c1 {
+		t.Fatalf("similarity exactly at lambda=0 rejected: ok=%v cid=%d", ok, cid)
+	}
+	if c2 := cs.AddRequest(2, exactNorth(104.0)); c2 != c1 {
+		t.Fatalf("orthogonal request with lambda=0 split: cluster %d vs %d", c2, c1)
+	}
+
+	above := New(1e-9)
+	a1 := above.AddRequest(1, exactEast(104.0))
+	if _, ok := above.Best(exactNorth(104.0)); ok {
+		t.Fatal("similarity 0 cleared lambda=1e-9")
+	}
+	if a2 := above.AddRequest(2, exactNorth(104.0)); a2 == a1 {
+		t.Fatal("orthogonal request joined despite lambda above 0")
+	}
+}
+
+// TestZeroVectorNeverClusters pins the degenerate-request convention: a
+// zero-magnitude mobility vector (origin == destination) has no direction,
+// so it forms a singleton cluster, Best reports no match, and
+// CompatibleTaxis returns nothing — even when λ ≤ 0 would otherwise let
+// CosineSimilarity's 0-for-zero-norm convention match everything.
+func TestZeroVectorNeverClusters(t *testing.T) {
+	zero := geo.MobilityVector{OriginLat: 30.0, OriginLng: 104.0, DestLat: 30.0, DestLng: 104.0}
+	if s := geo.CosineSimilarity(zero, north); s != 0 {
+		t.Fatalf("zero-vector similarity = %v, want 0 (defined, not NaN)", s)
+	}
+	for _, lambda := range []float64{-1, 0, 0.707} {
+		cs := New(lambda)
+		cs.AddRequest(1, north)
+		cs.UpdateTaxi(10, north)
+		if _, ok := cs.Best(zero); ok {
+			t.Fatalf("lambda=%v: Best matched a zero vector", lambda)
+		}
+		if out := cs.CompatibleTaxis(zero); out != nil {
+			t.Fatalf("lambda=%v: CompatibleTaxis matched a zero vector: %v", lambda, out)
+		}
+		c1, _ := cs.RequestCluster(1)
+		if cz := cs.AddRequest(2, zero); cz == c1 {
+			t.Fatalf("lambda=%v: zero vector joined a real cluster", lambda)
+		}
+		// A second zero vector forms yet another singleton rather than
+		// pairing with the first one.
+		cz1, _ := cs.RequestCluster(2)
+		if cz2 := cs.AddRequest(3, zero); cz2 == cz1 {
+			t.Fatalf("lambda=%v: two zero vectors clustered together", lambda)
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Header struct {
 	SearchRangeMeters       float64 `json:"search_range_m,omitempty"`
 	MaxDirectionDiffDegrees float64 `json:"max_direction_deg,omitempty"`
 	Probabilistic           bool    `json:"probabilistic,omitempty"`
+	// DisableLandmarkLB records whether the landmark lower-bound oracle
+	// was off for the run. Screening is lossless, so this cannot change
+	// outcomes — but the lb counters land in the sealed metrics snapshot,
+	// and a replay must reproduce them bit for bit.
+	DisableLandmarkLB bool `json:"disable_landmark_lb,omitempty"`
 	// Pending-request queue configuration (0 = queue disabled).
 	QueueDepth      int `json:"queue_depth,omitempty"`
 	RetryEveryTicks int `json:"retry_every_ticks,omitempty"`

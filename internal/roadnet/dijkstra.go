@@ -92,6 +92,40 @@ func (g *Graph) SSSP(src VertexID) *SSSPResult {
 	return &SSSPResult{Source: src, Dist: dist, Parent: parent}
 }
 
+// ReverseSSSP runs Dijkstra's algorithm from src over the reversed graph:
+// Dist[v] is the cost of the shortest path from v *to* src (whereas
+// SSSP's Dist[v] is src-to-v). The landmark distance oracle uses it to
+// precompute vertex-to-landmark offsets on directed road networks, where
+// d(v, L) and d(L, v) differ. Parent links are on the reversed graph:
+// Parent[v] is the successor of v on its shortest path toward src.
+func (g *Graph) ReverseSSSP(src VertexID) *SSSPResult {
+	n := len(g.pts)
+	dist := make([]float64, n)
+	parent := make([]VertexID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = Invalid
+	}
+	dist[src] = 0
+	q := pq{{v: src, prio: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.prio > dist[it.v] {
+			continue // stale entry
+		}
+		// g.in[v] holds the incoming arcs of v with Arc.To being the arc's
+		// source vertex, so relaxing them walks shortest paths backwards.
+		for _, a := range g.in[it.v] {
+			if nd := it.prio + a.Cost; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = it.v
+				heap.Push(&q, pqItem{v: a.To, prio: nd})
+			}
+		}
+	}
+	return &SSSPResult{Source: src, Dist: dist, Parent: parent}
+}
+
 // ShortestPath returns the min-cost path from src to dst and its cost using
 // Dijkstra with early termination. ok is false when dst is unreachable.
 func (g *Graph) ShortestPath(src, dst VertexID) (cost float64, path []VertexID, ok bool) {

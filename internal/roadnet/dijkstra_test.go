@@ -202,6 +202,49 @@ func TestAStarMatchesDijkstra(t *testing.T) {
 	}
 }
 
+func TestReverseSSSPLine(t *testing.T) {
+	// The line graph is directed 0→1→2→3→4, so the reverse tree from the
+	// sink holds distances *into* it and the source is unreachable from
+	// everything.
+	g := lineGraph(5)
+	res := g.ReverseSSSP(4)
+	for i := 0; i < 5; i++ {
+		if want := float64(4-i) * 100; res.Dist[i] != want {
+			t.Fatalf("ReverseSSSP Dist[%d] = %v, want %v", i, res.Dist[i], want)
+		}
+	}
+	from0 := g.ReverseSSSP(0)
+	if from0.Reachable(1) || from0.Reachable(4) {
+		t.Fatal("ReverseSSSP(0) reports vertices that cannot reach 0 as reachable")
+	}
+}
+
+func TestReverseSSSPMatchesForward(t *testing.T) {
+	// d(v → src) from the reverse tree must equal SSSP(v).Dist[src] for
+	// every vertex, including on a graph with asymmetric costs.
+	g := gridGraph(5)
+	rng := rand.New(rand.NewSource(17))
+	// Perturb: add a few one-way shortcuts so forward and reverse
+	// distances genuinely differ.
+	n := g.NumVertices()
+	for i := 0; i < 10; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, 50+rng.Float64()*200)
+		}
+	}
+	for _, src := range []VertexID{0, VertexID(n / 2), VertexID(n - 1)} {
+		rev := g.ReverseSSSP(src)
+		for v := 0; v < n; v++ {
+			want := g.SSSP(VertexID(v)).Dist[src]
+			if rev.Dist[v] != want && !(math.IsInf(rev.Dist[v], 1) && math.IsInf(want, 1)) {
+				t.Fatalf("ReverseSSSP(%d).Dist[%d] = %v, forward %v", src, v, rev.Dist[v], want)
+			}
+		}
+	}
+}
+
 func TestSSSPTriangleInequalityProperty(t *testing.T) {
 	// For any u, v, w: dist(u,w) <= dist(u,v) + dist(v,w).
 	g := gridGraph(6)

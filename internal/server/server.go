@@ -44,7 +44,11 @@ type Config struct {
 	// Probabilistic enables mT-Share_pro behaviour: probabilistic routing
 	// for taxis with spare seats and demand-seeking cruising when idle.
 	Probabilistic bool
-	Seed          int64
+	// DisableLandmarkLB turns off the landmark lower-bound candidate
+	// screen (lossless; see match.Config.DisableLandmarkLB). The
+	// mtshare_match_lb_* instruments on /v1/metrics stay at zero.
+	DisableLandmarkLB bool
+	Seed              int64
 
 	// QueueDepth bounds the pending-request queue. When positive, a ride
 	// request that finds no feasible taxi parks for batched re-dispatch
@@ -156,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	mcfg := match.DefaultConfig()
+	mcfg.DisableLandmarkLB = cfg.DisableLandmarkLB
 	mcfg.Metrics = cfg.Metrics
 	if cfg.TraceSampleEvery > 0 {
 		mcfg.Tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceHandler)

@@ -71,6 +71,13 @@ type Options struct {
 	// idle taxis.
 	Probabilistic bool
 
+	// DisableLandmarkLB turns off the landmark distance oracle that
+	// screens candidate taxis with an admissible lower bound before exact
+	// schedule evaluation. The oracle is lossless — assignments are
+	// identical with it on or off — so the knob exists for baselines and
+	// the ablate-landmark A/B comparison, not for correctness.
+	DisableLandmarkLB bool
+
 	// QueueDepth bounds the pending-request queue. When positive, a
 	// request that finds no feasible taxi is parked (SubmitRequest returns
 	// ErrQueued) and re-dispatched in deterministic batches on Advance
@@ -298,6 +305,7 @@ func New(opts Options) (*System, error) {
 	cfg := match.DefaultConfig()
 	cfg.SpeedMps = opts.SpeedKmh * 1000 / 3600
 	cfg.Lambda = geo.CosOfDegrees(opts.MaxDirectionDiffDegrees)
+	cfg.DisableLandmarkLB = opts.DisableLandmarkLB
 	cfg.Metrics = opts.Metrics
 	if opts.TraceSampleEvery > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceSampleEvery, opts.TraceHandler)
@@ -347,6 +355,7 @@ func New(opts Options) (*System, error) {
 			SearchRangeMeters:       opts.SearchRangeMeters,
 			MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
 			Probabilistic:           opts.Probabilistic,
+			DisableLandmarkLB:       opts.DisableLandmarkLB,
 			QueueDepth:              opts.QueueDepth,
 			RetryEveryTicks:         opts.RetryEveryTicks,
 			GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),

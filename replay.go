@@ -78,6 +78,7 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		SearchRangeMeters:       h.SearchRangeMeters,
 		MaxDirectionDiffDegrees: h.MaxDirectionDiffDegrees,
 		Probabilistic:           h.Probabilistic,
+		DisableLandmarkLB:       h.DisableLandmarkLB,
 		QueueDepth:              h.QueueDepth,
 		RetryEveryTicks:         h.RetryEveryTicks,
 		Seed:                    h.Seed,
