@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"ablate-probtradeoff", (*Lab).AblationProbTradeoff},
 		{"ablate-queue", (*Lab).AblationQueue},
 		{"ablate-landmark", (*Lab).AblationLandmark},
+		{"ablate-ch", (*Lab).AblationCH},
 		{"verify", (*Lab).Verify},
 	}
 }

@@ -395,3 +395,41 @@ func TestAblationLandmark(t *testing.T) {
 		t.Fatalf("rows split %d on / %d off, want 3/3", on, off)
 	}
 }
+
+// TestAblationCH pins the hierarchy's acceptance claim the same way: the
+// experiment hard-errors unless served/rejected counts AND every
+// per-request outcome record are bit-identical with the CH on and off at
+// parallelism 1, 2 and 4, so a passing run IS the parity proof. Here we
+// additionally require both arms of the knob to be present and the
+// enabled rows to have actually routed through the hierarchy.
+func TestAblationCH(t *testing.T) {
+	l := testLab(t)
+	r, err := l.AblationCH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 parallelism levels x ch on/off)", len(r.Rows))
+	}
+	on, off := 0, 0
+	for _, row := range r.Rows {
+		switch row[1] {
+		case "on":
+			on++
+			if row[4] == "0" {
+				t.Fatalf("ch-on row never queried the hierarchy: %v", row)
+			}
+		case "off":
+			off++
+			if row[4] != "0" {
+				t.Fatalf("ch-off row queried the hierarchy: %v", row)
+			}
+			if row[5] == "0" {
+				t.Fatalf("ch-off row never fell back to bidirectional Dijkstra: %v", row)
+			}
+		}
+	}
+	if on != 3 || off != 3 {
+		t.Fatalf("rows split %d on / %d off, want 3/3", on, off)
+	}
+}

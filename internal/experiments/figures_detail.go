@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/match"
 	"repro/internal/sim"
@@ -417,6 +419,7 @@ func (l *Lab) AblationPartitionFilter() (*Result, error) {
 	}
 	cfg := match.DefaultConfig()
 	cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+	cfg.CH = l.World.CH(0)
 	eng, err := match.NewEngine(pt, l.World.Spx, cfg)
 	if err != nil {
 		return nil, err
@@ -492,6 +495,7 @@ func (l *Lab) AblationLandmark() (*Result, error) {
 			cfg.SearchRangeMeters = l.World.Scale.GammaMeters
 			cfg.Parallelism = par
 			cfg.DisableLandmarkLB = disable
+			cfg.CH = l.World.CH(par)
 			eng, err := match.NewEngine(pt, l.World.Spx, cfg)
 			if err != nil {
 				return nil, err
@@ -534,5 +538,122 @@ func (l *Lab) AblationLandmark() (*Result, error) {
 		return nil, fmt.Errorf("experiments: ablate-landmark pruned nothing — the screen is dead weight on this workload")
 	}
 	r.Notes = append(r.Notes, fmt.Sprintf("parity held: every cell served %d and rejected %d", baseline.served, baseline.rejected))
+	return r, nil
+}
+
+// chRecordSig is the per-request outcome signature AblationCH compares
+// across cells: who was served, from where, and the bit patterns of the
+// decision times. ResponseNanos is deliberately absent — it is wall
+// clock, not simulation outcome.
+type chRecordSig struct {
+	ID                      fleet.RequestID
+	Served, FromQueue, Exp  bool
+	Assign, Pickup, Dropoff uint64
+}
+
+// AblationCH A/B-tests the contraction-hierarchy routing backend: the
+// hierarchy answers cold routing queries exactly (bit-identical costs to
+// Dijkstra), so toggling it must not change a single outcome. The
+// experiment *enforces* that at parallelism 1, 2 and 4 — served and
+// rejected counts must match across every cell, and every per-request
+// record (served/queued/expired flags plus the Float64bits of the
+// assign/pickup/dropoff times) must be identical between the CH-on and
+// CH-off runs. Any mismatch is a hard error: an inexact shortcut cannot
+// hide in a table. A vacuousness guard additionally requires the CH-on
+// cells to have actually routed through the hierarchy.
+//
+// Like AblationLandmark, it drives sim engines directly: the sweep needs
+// one fresh engine per (parallelism, backend) cell.
+func (l *Lab) AblationCH() (*Result, error) {
+	r := &Result{
+		ID: "ablate-ch", Title: "Contraction-hierarchy routing backend vs bidirectional Dijkstra (peak, mT-Share)",
+		Header: []string{"parallelism", "ch", "served", "rejected", "ch queries", "bidir queries"},
+		Notes: []string{
+			"the CH serves exact shortest-path costs, so every cell must agree on served/rejected counts and on every per-request outcome record, bit for bit",
+		},
+	}
+	pt, err := l.World.Partitioning("bipartite", l.World.Scale.Kappa)
+	if err != nil {
+		return nil, err
+	}
+	win := PeakWindow()
+	start := win.From.Seconds()
+	var (
+		baseSigs            []chRecordSig
+		baseServed, baseRej int
+		haveBase            bool
+		chQueriesTotal      int64
+	)
+	for _, par := range []int{1, 2, 4} {
+		for _, disable := range []bool{false, true} {
+			cfg := match.DefaultConfig()
+			cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+			cfg.Parallelism = par
+			cfg.DisableCH = disable
+			if !disable {
+				cfg.CH = l.World.CH(par)
+			}
+			eng, err := match.NewEngine(pt, l.World.Spx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scheme := match.NewScheme(eng, false)
+			params := sim.DefaultParams()
+			params.Parallelism = par
+			se, err := sim.NewEngine(l.World.G, scheme, params)
+			if err != nil {
+				return nil, err
+			}
+			se.PlaceTaxis(l.World.Scale.DefaultTaxis, l.World.Scale.Capacity, l.World.Scale.Seed, start)
+			reqs := l.World.Requests(win, l.World.Scale.Rho, 0)
+			m := se.Run(reqs, start)
+			sigs := make([]chRecordSig, len(m.Records))
+			for i, rec := range m.Records {
+				sigs[i] = chRecordSig{
+					ID: rec.Req.ID, Served: rec.Served, FromQueue: rec.ServedFromQueue, Exp: rec.Expired,
+					Assign:  math.Float64bits(rec.AssignSeconds),
+					Pickup:  math.Float64bits(rec.PickupSeconds),
+					Dropoff: math.Float64bits(rec.DropoffSeconds),
+				}
+			}
+			served, rejected := m.Served, m.Requests-m.Served
+			if !haveBase {
+				baseSigs, baseServed, baseRej, haveBase = sigs, served, rejected, true
+			} else {
+				if served != baseServed || rejected != baseRej {
+					return nil, fmt.Errorf("experiments: ablate-ch parity broken: parallelism=%d ch=%v served/rejected %d/%d, expected %d/%d — the hierarchy changed a dispatch outcome",
+						par, !disable, served, rejected, baseServed, baseRej)
+				}
+				if len(sigs) != len(baseSigs) {
+					return nil, fmt.Errorf("experiments: ablate-ch parity broken: parallelism=%d ch=%v produced %d records, expected %d",
+						par, !disable, len(sigs), len(baseSigs))
+				}
+				for i := range sigs {
+					if sigs[i] != baseSigs[i] {
+						return nil, fmt.Errorf("experiments: ablate-ch schedule divergence: parallelism=%d ch=%v record %d (request %d) differs from baseline — the hierarchy returned an inexact cost",
+							par, !disable, i, sigs[i].ID)
+					}
+				}
+			}
+			rs := eng.Router().Stats()
+			label := "on"
+			if disable {
+				label = "off"
+				if rs.CHQueries != 0 {
+					return nil, fmt.Errorf("experiments: ablate-ch: CH disabled yet %d queries hit the hierarchy", rs.CHQueries)
+				}
+			} else {
+				chQueriesTotal += rs.CHQueries
+			}
+			r.Rows = append(r.Rows, []string{
+				fi(par), label, fi(served), fi(rejected),
+				fi(int(rs.CHQueries)), fi(int(rs.BidirQueries)),
+			})
+		}
+	}
+	if chQueriesTotal == 0 {
+		return nil, fmt.Errorf("experiments: ablate-ch never routed through the hierarchy — the backend is dead weight on this workload")
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("parity held: every cell served %d and rejected %d with byte-identical schedules", baseServed, baseRej))
 	return r, nil
 }

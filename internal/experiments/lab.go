@@ -61,6 +61,10 @@ type Scenario struct {
 	// DisableLandmarkLB turns off the landmark lower-bound candidate
 	// screen for mT-Share engines (the ablate-landmark experiment).
 	DisableLandmarkLB bool
+	// DisableCH turns off the contraction-hierarchy routing backend for
+	// mT-Share engines (the ablate-ch experiment); cold routing queries
+	// fall back to bidirectional Dijkstra. Exact either way.
+	DisableCH bool
 }
 
 func (sc Scenario) window() Window {
@@ -163,6 +167,7 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		mcfg := match.DefaultConfig()
 		mcfg.SearchRangeMeters = sc.Gamma
 		mcfg.Lambda = sc.Lambda
+		mcfg.CH = l.World.CH(l.Parallelism)
 		eng, err := match.NewEngine(pt, l.World.Spx, mcfg)
 		if err != nil {
 			return nil, err
@@ -179,6 +184,12 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		cfg.ExhaustiveReorder = sc.Reorder
 		cfg.ProbMaxLegInflation = sc.ProbInflation
 		cfg.DisableLandmarkLB = sc.DisableLandmarkLB
+		cfg.DisableCH = sc.DisableCH
+		if !sc.DisableCH {
+			// Share the lab-wide CH: preprocessing is the expensive part
+			// and the hierarchy is immutable, so scenarios reuse one copy.
+			cfg.CH = l.World.CH(l.Parallelism)
+		}
 		cfg.Parallelism = l.Parallelism
 		if l.TraceEvery > 0 {
 			cfg.Tracer = obs.NewTracer(l.TraceEvery, l.TraceHandler)

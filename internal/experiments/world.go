@@ -33,6 +33,9 @@ type World struct {
 
 	mu    sync.Mutex
 	parts map[string]*partition.Partitioning
+
+	chOnce sync.Once
+	ch     *roadnet.CH
 }
 
 // BuildWorld constructs the experiment substrate for a scale.
@@ -125,6 +128,18 @@ func (w *World) Partitioning(kind string, kappa int) (*partition.Partitioning, e
 	}
 	w.parts[key] = pt
 	return pt, nil
+}
+
+// CH returns (building on first use) the world's contraction hierarchy.
+// Preprocessing is the expensive part of the CH backend, and the result
+// is a pure function of the graph — bit-identical at every parallelism
+// level — so every scenario of a lab shares one instance. parallelism
+// only affects the wall time of the first call.
+func (w *World) CH(parallelism int) *roadnet.CH {
+	w.chOnce.Do(func() {
+		w.ch = roadnet.BuildCH(w.G, parallelism)
+	})
+	return w.ch
 }
 
 // Window identifies an evaluation slice of a trace.

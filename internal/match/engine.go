@@ -70,6 +70,22 @@ type Config struct {
 	// the knob exists for baselines and the ablate-landmark A/B run.
 	DisableLandmarkLB bool
 
+	// DisableCH turns off the contraction-hierarchy routing backend: no
+	// hierarchy is built at engine construction and the router's cold
+	// queries fall back to bidirectional Dijkstra. The zero value keeps
+	// the CH on. Both backends return bit-identical costs (the CH unpacks
+	// paths and re-folds original edge costs), so the knob changes
+	// latency, never dispatch outcomes; it exists for baselines and the
+	// ablate-ch A/B run.
+	DisableCH bool
+
+	// CH, when set (and DisableCH is not), attaches a prebuilt hierarchy
+	// over the partitioning's graph instead of contracting it again —
+	// shared-world experiments and benchmarks build one CH per graph.
+	// NewEngine stores the hierarchy it attached back into this field,
+	// so Engine.Config() round-trips reuse it instead of rebuilding.
+	CH *roadnet.CH
+
 	// ProbMaxLegInflation additionally bounds each probabilistic leg to
 	// this factor of its shortest-path cost — the probability-versus-
 	// detour trade-off the paper defers to future work. 0 disables the
@@ -214,7 +230,14 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 		reg = obs.NewRegistry()
 	}
 	g := pt.Graph()
-	raw := roadnet.NewRouter(g, cfg.RouterCacheTrees).InstrumentWith(reg)
+	raw := roadnet.NewRouter(g, cfg.RouterCacheTrees)
+	if !cfg.DisableCH {
+		if cfg.CH == nil {
+			cfg.CH = roadnet.BuildCH(g, cfg.parallelism())
+		}
+		raw.AttachCH(cfg.CH)
+	}
+	raw.InstrumentWith(reg)
 	var router roadnet.PathRouter = raw
 	if cfg.RouterWrap != nil {
 		router = cfg.RouterWrap(raw)

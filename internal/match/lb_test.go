@@ -219,6 +219,7 @@ func BenchmarkDispatchLandmarkLB(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.SearchRangeMeters = 6000
 			cfg.RouterCacheTrees = 4096
+			cfg.CH = bigWorldCH(b)
 			cfg.DisableLandmarkLB = tc.disable
 			e, err := NewEngine(pt, spx, cfg)
 			if err != nil {

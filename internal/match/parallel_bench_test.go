@@ -77,6 +77,7 @@ func BenchmarkDispatchParallel(b *testing.B) {
 			// Large enough that steady-state scheduling is not dominated
 			// by LRU thrash recomputing evicted trees.
 			cfg.RouterCacheTrees = 4096
+			cfg.CH = bigWorldCH(b)
 			e, err := NewEngine(pt, spx, cfg)
 			if err != nil {
 				b.Fatal(err)

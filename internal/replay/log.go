@@ -57,6 +57,11 @@ type Header struct {
 	// outcomes — but the lb counters land in the sealed metrics snapshot,
 	// and a replay must reproduce them bit for bit.
 	DisableLandmarkLB bool `json:"disable_landmark_lb,omitempty"`
+	// DisableCH records whether the contraction-hierarchy routing backend
+	// was off for the run. The CH is exact (bit-identical costs), so this
+	// cannot change outcomes either; omitempty keeps existing golden logs
+	// (recorded before the knob existed, CH on by default) readable.
+	DisableCH bool `json:"disable_ch,omitempty"`
 	// Pending-request queue configuration (0 = queue disabled).
 	QueueDepth      int `json:"queue_depth,omitempty"`
 	RetryEveryTicks int `json:"retry_every_ticks,omitempty"`

@@ -1,0 +1,832 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CH is a contraction hierarchy over a Graph: a preprocessing structure
+// that answers exact point-to-point shortest-path queries in microseconds
+// by searching only "upward" arcs of a precomputed vertex ordering
+// (Geisberger et al.; the many-to-many taxi-sharing engines in the related
+// work build on the same structure). The paper assumes O(1) distance
+// queries from a precomputed all-pairs table (§V-A4); a CH delivers the
+// same effect at city scale in linear-ish memory.
+//
+// Determinism contract: construction is a pure function of the graph and
+// is bit-identical at every parallelism level. Node order uses integer
+// priorities (edge difference + contracted neighbors) with (priority,
+// VertexID) tie-breaks, adjacency is kept in ID-sorted slices (never
+// ranged-over maps), witness searches use ID tie-broken heaps, and
+// parallel sections fan independent computations over a worker pool whose
+// results are merged in index order.
+//
+// Exactness contract: ShortestPath unpacks the shortcut arcs to the full
+// vertex path and recomputes the cost as a left-to-right fold of original
+// edge costs — the same float association Dijkstra's relaxation produces —
+// so returned costs are bit-identical to Graph.ShortestPath/SSSP, not
+// merely equal within rounding. CH-internal sums (shortcut costs) are used
+// only to order the search, never returned.
+//
+// CH is immutable after construction and safe for concurrent use.
+type CH struct {
+	g    *Graph
+	rank []int32 // rank[v] = contraction order of v (0 = first contracted)
+	// up[v] holds the arcs (v -> w) of the remaining graph at the moment v
+	// was contracted: every w outranks v, so these are the upward arcs the
+	// forward query search relaxes. down[v] holds the arcs (w -> v) at the
+	// same moment (Arc.to = w), relaxed by the backward search climbing
+	// from the destination. Both are sorted by target ID.
+	up   [][]chArc
+	down [][]chArc
+
+	shortcuts    int
+	buildSeconds float64
+}
+
+// chArc is one arc of the hierarchy: target vertex, travel cost, and the
+// contracted middle vertex for shortcuts (Invalid for original edges).
+type chArc struct {
+	to   VertexID
+	mid  VertexID
+	cost float64
+}
+
+// chWitnessSettleCap bounds each witness search. Truncation is
+// conservative: an unfound witness adds a (possibly redundant) shortcut,
+// which costs memory, never correctness. The cap is generous because
+// spurious shortcuts densify the remaining graph and feed back into every
+// later simulation — a tight cap makes large builds *slower*, not faster.
+const chWitnessSettleCap = 1024
+
+// CHStats describes a built hierarchy.
+type CHStats struct {
+	Vertices int
+	// UpArcs/DownArcs count the arcs of the upward/downward search graphs;
+	// every arc of the contracted graph appears in exactly one of the two.
+	UpArcs   int
+	DownArcs int
+	// Shortcuts counts hierarchy arcs that are contractions (mid set)
+	// rather than original road edges.
+	Shortcuts    int
+	BuildSeconds float64
+	MemoryBytes  int64
+}
+
+// Stats returns construction statistics.
+func (ch *CH) Stats() CHStats {
+	st := CHStats{
+		Vertices:     len(ch.rank),
+		Shortcuts:    ch.shortcuts,
+		BuildSeconds: ch.buildSeconds,
+		MemoryBytes:  ch.MemoryBytes(),
+	}
+	for v := range ch.up {
+		st.UpArcs += len(ch.up[v])
+		st.DownArcs += len(ch.down[v])
+	}
+	return st
+}
+
+// MemoryBytes reports the heap footprint of the hierarchy's arc arrays
+// and rank table.
+func (ch *CH) MemoryBytes() int64 {
+	var arcs int64
+	for v := range ch.up {
+		arcs += int64(len(ch.up[v]) + len(ch.down[v]))
+	}
+	const arcBytes = 16 // to(4) + mid(4) + cost(8)
+	const sliceHeader = 24
+	return arcs*arcBytes + int64(len(ch.rank))*(4+2*sliceHeader)
+}
+
+// Graph returns the graph the hierarchy was built over.
+func (ch *CH) Graph() *Graph { return ch.g }
+
+// chHeap is a value-type binary min-heap keyed by (prio, v). The explicit
+// vertex tie-break keeps pop order — and with it witness truncation and
+// query meeting choices — deterministic even on graphs with exactly tied
+// costs (unit-cost grids).
+type chHeap []chHeapItem
+
+type chHeapItem struct {
+	prio float64
+	v    VertexID
+}
+
+func (h chHeapItem) less(o chHeapItem) bool {
+	if h.prio != o.prio {
+		return h.prio < o.prio
+	}
+	return h.v < o.v
+}
+
+func (h *chHeap) push(it chHeapItem) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].less(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *chHeap) pop() chHeapItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q[l].less(q[m]) {
+			m = l
+		}
+		if r < n && q[r].less(q[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// chBuilder holds the mutable remaining graph during contraction. Arcs are
+// kept in ID-sorted slices with at most one (minimum-cost) arc per ordered
+// vertex pair, so every iteration order in the build is deterministic.
+type chBuilder struct {
+	g   *Graph
+	n   int
+	out [][]chArc // out[v] sorted by to; in[v].to is the arc's source
+	in  [][]chArc
+
+	rank    []int32
+	next    int32
+	delNbrs []int32 // contracted-neighbor count per vertex
+	prio    []int64
+
+	up        [][]chArc
+	down      [][]chArc
+	shortcuts int
+}
+
+// chShortcut is a pending shortcut discovered by simulating a contraction;
+// the middle vertex is the vertex being contracted.
+type chShortcut struct {
+	from, to VertexID
+	cost     float64
+}
+
+// chWS is one worker's witness-search workspace: a dense distance array
+// reset via the touched list, so repeated small searches stay
+// allocation-free.
+type chWS struct {
+	dist    []float64
+	touched []VertexID
+	heap    chHeap
+}
+
+func newChWS(n int) *chWS {
+	ws := &chWS{dist: make([]float64, n)}
+	for i := range ws.dist {
+		ws.dist[i] = math.Inf(1)
+	}
+	return ws
+}
+
+func (ws *chWS) reset() {
+	for _, v := range ws.touched {
+		ws.dist[v] = math.Inf(1)
+	}
+	ws.touched = ws.touched[:0]
+	ws.heap = ws.heap[:0]
+}
+
+// chParallelDo fans fn(worker, i) for i in [0, n) over min(par, n)
+// workers pulling indexes from an atomic counter — the repo's standard
+// deterministic fan-out: every index is computed exactly once into its own
+// slot, so results are independent of scheduling.
+func chParallelDo(n, par int, fn func(worker, i int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BuildCH contracts g into a hierarchy. parallelism bounds the witness-
+// search worker pool (<= 0 uses all CPUs); the result is bit-identical at
+// every level. Build time is near-linear in graph size; the ~214k-vertex
+// Chengdu-scale city contracts in about 2.5 minutes
+// (BenchmarkChengduCHRouting reports the measured build-s), a one-time
+// cost amortised over every query the world ever answers.
+func BuildCH(g *Graph, parallelism int) *CH {
+	t0 := time.Now()
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	b := &chBuilder{
+		g: g, n: n,
+		out: make([][]chArc, n), in: make([][]chArc, n),
+		rank: make([]int32, n), delNbrs: make([]int32, n),
+		prio: make([]int64, n),
+		up:   make([][]chArc, n), down: make([][]chArc, n),
+	}
+	for v := 0; v < n; v++ {
+		b.out[v] = collapseArcs(g.Out(VertexID(v)), VertexID(v))
+		b.in[v] = collapseArcs(g.In(VertexID(v)), VertexID(v))
+	}
+
+	// Workspaces are per worker; the contraction loop below is single-
+	// threaded, so they are reused freely there.
+	wss := make([]*chWS, parallelism)
+	for i := range wss {
+		wss[i] = newChWS(n)
+	}
+
+	// Initial priorities: one independent contraction simulation per
+	// vertex, fanned over the pool and merged by index.
+	chParallelDo(n, parallelism, func(w, i int) {
+		v := VertexID(i)
+		b.prio[v] = b.priority(v, len(b.simulate(v, wss[w])))
+	})
+
+	var q chPrioHeap
+	q.items = make([]chPrioItem, 0, n)
+	for v := 0; v < n; v++ {
+		q.items = append(q.items, chPrioItem{prio: b.prio[v], v: VertexID(v)})
+	}
+	q.init()
+
+	for len(q.items) > 0 {
+		it := q.pop()
+		v := it.v
+		// Cheap reinsert: simulating never removes arcs, so the priority is
+		// at least -degree + contracted-neighbors. When that bound already
+		// loses the (priority, ID) order to the heap top, skip the witness
+		// searches entirely — the pop order stays deterministic because the
+		// bound is a pure function of the remaining graph.
+		if lb := b.priority(v, 0); len(q.items) > 0 &&
+			q.items[0].less(chPrioItem{prio: lb, v: v}) {
+			q.push(chPrioItem{prio: lb, v: v})
+			continue
+		}
+		// Lazy update: always re-simulate against the current remaining
+		// graph. Witness searches exclude v, so a contraction anywhere can
+		// invalidate an earlier simulation even when v's own adjacency is
+		// untouched — the removed vertex may have carried the only
+		// v-avoiding witness path. Stale queue priorities are harmless
+		// (this recheck reinserts when v no longer wins the (priority, ID)
+		// order), but stale shortcut lists would lose connectivity.
+		scs := b.simulatePar(v, wss, parallelism)
+		b.prio[v] = b.priority(v, len(scs))
+		upd := chPrioItem{prio: b.prio[v], v: v}
+		if len(q.items) > 0 && q.items[0].less(upd) {
+			q.push(upd)
+			continue
+		}
+		b.contract(v, scs)
+	}
+
+	ch := &CH{g: g, rank: b.rank, up: b.up, down: b.down, buildSeconds: time.Since(t0).Seconds()}
+	for v := range ch.up {
+		for _, a := range ch.up[v] {
+			if a.mid != Invalid {
+				ch.shortcuts++
+			}
+		}
+		for _, a := range ch.down[v] {
+			if a.mid != Invalid {
+				ch.shortcuts++
+			}
+		}
+	}
+	return ch
+}
+
+// collapseArcs turns a raw adjacency list into the builder's canonical
+// form: self-loops dropped, parallel arcs collapsed to the cheapest, sorted
+// by target ID.
+func collapseArcs(arcs []Arc, self VertexID) []chArc {
+	if len(arcs) == 0 {
+		return nil
+	}
+	out := make([]chArc, 0, len(arcs))
+	for _, a := range arcs {
+		if a.To == self {
+			continue
+		}
+		out = append(out, chArc{to: a.To, mid: Invalid, cost: a.Cost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].to != out[j].to {
+			return out[i].to < out[j].to
+		}
+		return out[i].cost < out[j].cost
+	})
+	// Keep the first (cheapest) arc per target.
+	w := 0
+	for i := range out {
+		if w > 0 && out[w-1].to == out[i].to {
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w]
+}
+
+// priority is the node-ordering heuristic: edge difference (shortcuts the
+// contraction would add minus arcs it removes) plus the count of already
+// contracted neighbors, all integers so the order is exact.
+func (b *chBuilder) priority(v VertexID, shortcuts int) int64 {
+	return int64(shortcuts) - int64(len(b.in[v])+len(b.out[v])) + int64(b.delNbrs[v])
+}
+
+// simulate computes the shortcuts contracting v would require right now:
+// for every in-neighbor u a witness search (a cost-bounded Dijkstra in the
+// remaining graph that avoids v) decides, per out-neighbor w, whether the
+// path u->v->w is dispensable. The searches are independent per
+// in-neighbor; simulatePar fans them over the worker pool and both
+// variants assemble the shortcut list in (in-neighbor, out-neighbor)
+// sorted order, so the result is identical either way.
+func (b *chBuilder) simulate(v VertexID, ws *chWS) []chShortcut {
+	ins := b.in[v]
+	perIn := make([][]chShortcut, len(ins))
+	for i := range ins {
+		perIn[i] = b.simulateIn(v, i, ws)
+	}
+	return mergeShortcuts(perIn)
+}
+
+// simulatePar is simulate with the per-in-neighbor witness searches fanned
+// over min(par, in-degree) workers, each owning its workspace; results land
+// in index-addressed slots and merge in order — bit-identical to the
+// sequential variant at every parallelism level.
+func (b *chBuilder) simulatePar(v VertexID, wss []*chWS, par int) []chShortcut {
+	ins := b.in[v]
+	if par > len(wss) {
+		par = len(wss)
+	}
+	if par <= 1 || len(ins) < 4 {
+		return b.simulate(v, wss[0])
+	}
+	perIn := make([][]chShortcut, len(ins))
+	chParallelDo(len(ins), par, func(w, i int) {
+		perIn[i] = b.simulateIn(v, i, wss[w])
+	})
+	return mergeShortcuts(perIn)
+}
+
+// simulateIn runs the witness search for the i-th in-neighbor of v and
+// returns the shortcuts that neighbor needs, in out-neighbor order.
+func (b *chBuilder) simulateIn(v VertexID, i int, ws *chWS) []chShortcut {
+	u := b.in[v][i]
+	outs := b.out[v]
+	if len(outs) == 0 {
+		return nil
+	}
+	maxOut := 0.0
+	targets := 0
+	for _, a := range outs {
+		if a.to == u.to {
+			continue
+		}
+		targets++
+		if a.cost > maxOut {
+			maxOut = a.cost
+		}
+	}
+	if targets == 0 {
+		return nil
+	}
+	b.witness(ws, u.to, v, u.cost, maxOut, outs, targets)
+	var scs []chShortcut
+	for _, w := range outs {
+		if w.to == u.to {
+			continue
+		}
+		sc := u.cost + w.cost
+		if ws.dist[w.to] <= sc {
+			continue // witness path at most as expensive: shortcut dispensable
+		}
+		scs = append(scs, chShortcut{from: u.to, to: w.to, cost: sc})
+	}
+	return scs
+}
+
+func mergeShortcuts(perIn [][]chShortcut) []chShortcut {
+	var all []chShortcut
+	for _, scs := range perIn {
+		all = append(all, scs...)
+	}
+	return all
+}
+
+// witness runs the bounded Dijkstra from src (the in-neighbor, reached at
+// uCost) in the remaining graph, skipping excluded, stopping once the
+// frontier exceeds uCost+maxOut, the settle cap trips, or — the common
+// case — every out-neighbor target is already dominated (dist[w] <=
+// uCost+cost(v,w) means the u->v->w shortcut is dispensable, and labels
+// only shrink). Tentative labels left in ws.dist are upper bounds on real
+// remaining-graph paths, so comparing them against a shortcut cost is
+// always safe.
+func (b *chBuilder) witness(ws *chWS, src, excluded VertexID, uCost, maxOut float64, outs []chArc, targets int) {
+	ws.reset()
+	ws.dist[src] = 0
+	ws.touched = append(ws.touched, src)
+	ws.heap.push(chHeapItem{prio: 0, v: src})
+	maxCost := uCost + maxOut
+	pending := targets
+	settled := 0
+	for len(ws.heap) > 0 && pending > 0 {
+		it := ws.heap.pop()
+		if it.prio > ws.dist[it.v] {
+			continue
+		}
+		settled++
+		if settled > chWitnessSettleCap {
+			break
+		}
+		// A settled target's distance is final — witnessed or not, its
+		// shortcut decision cannot change, so count it off and stop once
+		// every target is decided.
+		if k := findChArc(outs, it.v); k >= 0 && it.v != src {
+			pending--
+		}
+		for _, a := range b.out[it.v] {
+			if a.to == excluded {
+				continue
+			}
+			nd := it.prio + a.cost
+			if nd < ws.dist[a.to] && nd <= maxCost {
+				if math.IsInf(ws.dist[a.to], 1) {
+					ws.touched = append(ws.touched, a.to)
+				}
+				ws.dist[a.to] = nd
+				ws.heap.push(chHeapItem{prio: nd, v: a.to})
+			}
+		}
+	}
+}
+
+// contract removes v from the remaining graph: snapshot its arcs as the
+// upward/downward search arcs, splice it out of every neighbor's adjacency,
+// and install the freshly simulated shortcuts.
+func (b *chBuilder) contract(v VertexID, scs []chShortcut) {
+	ins, outs := b.in[v], b.out[v]
+	b.up[v] = append([]chArc(nil), outs...)
+	b.down[v] = append([]chArc(nil), ins...)
+	b.rank[v] = b.next
+	b.next++
+
+	// Neighbors = sorted union of in- and out-neighbor IDs; count each once.
+	i, j := 0, 0
+	for i < len(ins) || j < len(outs) {
+		switch {
+		case j >= len(outs) || (i < len(ins) && ins[i].to < outs[j].to):
+			removeChArc(&b.out[ins[i].to], v)
+			b.delNbrs[ins[i].to]++
+			i++
+		case i >= len(ins) || outs[j].to < ins[i].to:
+			removeChArc(&b.in[outs[j].to], v)
+			b.delNbrs[outs[j].to]++
+			j++
+		default: // both in- and out-neighbor
+			removeChArc(&b.out[ins[i].to], v)
+			removeChArc(&b.in[outs[j].to], v)
+			b.delNbrs[ins[i].to]++
+			i++
+			j++
+		}
+	}
+	for _, sc := range scs {
+		b.upsertShortcut(sc, v)
+	}
+	b.out[v], b.in[v] = nil, nil
+}
+
+// upsertShortcut installs sc (middle vertex mid) into the remaining graph
+// unless an arc at most as cheap already connects the pair. Out- and
+// in-lists are updated together so they stay mirror images.
+func (b *chBuilder) upsertShortcut(sc chShortcut, mid VertexID) {
+	outList := &b.out[sc.from]
+	k := findChArc(*outList, sc.to)
+	if k >= 0 && (*outList)[k].cost <= sc.cost {
+		return
+	}
+	arc := chArc{to: sc.to, mid: mid, cost: sc.cost}
+	if k >= 0 {
+		(*outList)[k] = arc
+	} else {
+		insertChArc(outList, arc)
+	}
+	inList := &b.in[sc.to]
+	inArc := chArc{to: sc.from, mid: mid, cost: sc.cost}
+	if k2 := findChArc(*inList, sc.from); k2 >= 0 {
+		(*inList)[k2] = inArc
+	} else {
+		insertChArc(inList, inArc)
+	}
+}
+
+// findChArc binary-searches an ID-sorted arc list, returning the index of
+// the arc to `to` or -1.
+func findChArc(list []chArc, to VertexID) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if list[m].to < to {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo < len(list) && list[lo].to == to {
+		return lo
+	}
+	return -1
+}
+
+func insertChArc(list *[]chArc, a chArc) {
+	l := *list
+	lo, hi := 0, len(l)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if l[m].to < a.to {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	l = append(l, chArc{})
+	copy(l[lo+1:], l[lo:])
+	l[lo] = a
+	*list = l
+}
+
+func removeChArc(list *[]chArc, to VertexID) {
+	if k := findChArc(*list, to); k >= 0 {
+		l := *list
+		copy(l[k:], l[k+1:])
+		*list = l[:len(l)-1]
+	}
+}
+
+// chPrioHeap is the contraction queue: a binary min-heap over integer
+// priorities with VertexID tie-breaks.
+type chPrioHeap struct {
+	items []chPrioItem
+}
+
+type chPrioItem struct {
+	prio int64
+	v    VertexID
+}
+
+func (a chPrioItem) less(b chPrioItem) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.v < b.v
+}
+
+func (q *chPrioHeap) init() {
+	n := len(q.items)
+	for i := n/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+func (q *chPrioHeap) push(it chPrioItem) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.items[i].less(q.items[p]) {
+			break
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+func (q *chPrioHeap) pop() chPrioItem {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items = q.items[:n]
+	q.down(0)
+	return top
+}
+
+func (q *chPrioHeap) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q.items[l].less(q.items[m]) {
+			m = l
+		}
+		if r < n && q.items[r].less(q.items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		q.items[i], q.items[m] = q.items[m], q.items[i]
+		i = m
+	}
+}
+
+// chParent records how a query search reached a vertex: the predecessor on
+// the hierarchy arc and the arc's middle vertex for unpacking.
+type chParent struct {
+	v   VertexID
+	mid VertexID
+}
+
+// ShortestPath answers an exact point-to-point query: a bidirectional
+// Dijkstra over the upward arcs from src and the (reversed) downward arcs
+// from dst, followed by shortcut unpacking. It returns the exact cost
+// (bit-identical to Graph.ShortestPath, see the type comment), the full
+// vertex path, the number of settled search vertices (the instrument the
+// Router observes), and ok=false when dst is unreachable.
+func (ch *CH) ShortestPath(src, dst VertexID) (cost float64, path []VertexID, settled int, ok bool) {
+	if src == dst {
+		return 0, []VertexID{src}, 0, true
+	}
+	fDist := map[VertexID]float64{src: 0}
+	bDist := map[VertexID]float64{dst: 0}
+	fPar := map[VertexID]chParent{}
+	bPar := map[VertexID]chParent{}
+	var fHeap, bHeap chHeap
+	fHeap.push(chHeapItem{prio: 0, v: src})
+	bHeap.push(chHeapItem{prio: 0, v: dst})
+
+	best := math.Inf(1)
+	meet := Invalid
+
+	consider := func(v VertexID, total float64) {
+		if total < best || (total == best && v < meet) {
+			best = total
+			meet = v
+		}
+	}
+
+	// Each side runs until its own frontier can no longer improve best.
+	for len(fHeap) > 0 || len(bHeap) > 0 {
+		fOpen := len(fHeap) > 0 && fHeap[0].prio < best
+		bOpen := len(bHeap) > 0 && bHeap[0].prio < best
+		if !fOpen && !bOpen {
+			break
+		}
+		// Alternate by smaller frontier key; forward wins exact ties so the
+		// settle order is deterministic.
+		forward := fOpen && (!bOpen || fHeap[0].prio <= bHeap[0].prio)
+		if forward {
+			it := fHeap.pop()
+			if it.prio > fDist[it.v] {
+				continue
+			}
+			settled++
+			if bd, okB := bDist[it.v]; okB {
+				consider(it.v, it.prio+bd)
+			}
+			for _, a := range ch.up[it.v] {
+				nd := it.prio + a.cost
+				if d, seen := fDist[a.to]; !seen || nd < d {
+					fDist[a.to] = nd
+					fPar[a.to] = chParent{v: it.v, mid: a.mid}
+					fHeap.push(chHeapItem{prio: nd, v: a.to})
+				}
+			}
+		} else {
+			it := bHeap.pop()
+			if it.prio > bDist[it.v] {
+				continue
+			}
+			settled++
+			if fd, okF := fDist[it.v]; okF {
+				consider(it.v, fd+it.prio)
+			}
+			for _, a := range ch.down[it.v] {
+				nd := it.prio + a.cost
+				if d, seen := bDist[a.to]; !seen || nd < d {
+					bDist[a.to] = nd
+					bPar[a.to] = chParent{v: it.v, mid: a.mid}
+					bHeap.push(chHeapItem{prio: nd, v: a.to})
+				}
+			}
+		}
+	}
+	if meet == Invalid {
+		return math.Inf(1), nil, settled, false
+	}
+
+	// Forward hierarchy hops src -> meet, in reverse.
+	type hop struct {
+		from, to, mid VertexID
+	}
+	var rev []hop
+	for v := meet; v != src; {
+		p := fPar[v]
+		rev = append(rev, hop{from: p.v, to: v, mid: p.mid})
+		v = p.v
+	}
+	path = append(path, src)
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = ch.appendUnpack(rev[i].from, rev[i].to, rev[i].mid, path)
+	}
+	// Backward hops meet -> dst: bPar[x] = (y, mid) means real arc x -> y.
+	for v := meet; v != dst; {
+		p := bPar[v]
+		path = ch.appendUnpack(v, p.v, p.mid, path)
+		v = p.v
+	}
+	// Exact cost: left fold of original edge costs in path order — the
+	// association Dijkstra's dist[v] = dist[u] + cost accumulates.
+	return pathFoldCost(ch.g, path), path, settled, true
+}
+
+// pathFoldCost recomputes a path's cost as the left-to-right fold of
+// original edge costs — the float association Dijkstra's relaxation
+// produces, so exact backends (CH, bidirectional search) return costs
+// bit-identical to Graph.ShortestPath. Panics on a broken path: callers
+// pass paths they just computed over g.
+func pathFoldCost(g *Graph, path []VertexID) float64 {
+	cost := 0.0
+	for i := 1; i < len(path); i++ {
+		c, ok := g.EdgeCost(path[i-1], path[i])
+		if !ok {
+			panic(fmt.Sprintf("roadnet: exact path uses a missing edge (%d,%d)", path[i-1], path[i]))
+		}
+		cost += c
+	}
+	return cost
+}
+
+// Cost returns the exact shortest-path cost, or +Inf when unreachable.
+func (ch *CH) Cost(src, dst VertexID) float64 {
+	c, _, _, ok := ch.ShortestPath(src, dst)
+	if !ok {
+		return math.Inf(1)
+	}
+	return c
+}
+
+// appendUnpack appends the real vertices of the hierarchy arc from->to
+// (excluding from, including to). A shortcut recurses into its two halves,
+// which were arcs of the remaining graph when mid was contracted and are
+// therefore recorded in down[mid] (from->mid) and up[mid] (mid->to).
+func (ch *CH) appendUnpack(from, to, mid VertexID, out []VertexID) []VertexID {
+	if mid == Invalid {
+		return append(out, to)
+	}
+	k := findChArc(ch.down[mid], from)
+	if k < 0 {
+		panic(fmt.Sprintf("roadnet: CH shortcut (%d,%d) lost its left half at %d", from, to, mid))
+	}
+	out = ch.appendUnpack(from, mid, ch.down[mid][k].mid, out)
+	k = findChArc(ch.up[mid], to)
+	if k < 0 {
+		panic(fmt.Sprintf("roadnet: CH shortcut (%d,%d) lost its right half at %d", from, to, mid))
+	}
+	return ch.appendUnpack(mid, to, ch.up[mid][k].mid, out)
+}

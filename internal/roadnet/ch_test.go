@@ -1,0 +1,208 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCHExactOnCity is the core correctness guarantee: CH queries return
+// bit-identical costs to point-to-point Dijkstra on generated cities
+// (continuous edge-cost noise makes the shortest path unique, so the
+// unpacked-path left fold reproduces Dijkstra's float association exactly),
+// and the returned paths are valid edge walks whose PathCost equals the
+// returned cost.
+func TestCHExactOnCity(t *testing.T) {
+	for _, size := range []int{12, 20} {
+		p := DefaultCityParams(size, size)
+		p.Seed = int64(size)
+		g, err := GenerateCity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := BuildCH(g, 0)
+		rng := rand.New(rand.NewSource(int64(size) * 7))
+		n := g.NumVertices()
+		for i := 0; i < 200; i++ {
+			u := VertexID(rng.Intn(n))
+			v := VertexID(rng.Intn(n))
+			want, wantPath, wantOK := g.ShortestPath(u, v)
+			got, path, _, ok := ch.ShortestPath(u, v)
+			if ok != wantOK {
+				t.Fatalf("size %d: CH(%d,%d) ok=%v, Dijkstra ok=%v", size, u, v, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			if got != want {
+				t.Fatalf("size %d: CH cost(%d,%d) = %v (bits %x), Dijkstra = %v (bits %x)",
+					size, u, v, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("size %d: path endpoints %d..%d for query (%d,%d)", size, path[0], path[len(path)-1], u, v)
+			}
+			pc, err := g.PathCost(path)
+			if err != nil {
+				t.Fatalf("size %d: unpacked path uses a missing edge: %v", size, err)
+			}
+			if pc != got {
+				t.Fatalf("size %d: PathCost %v != returned cost %v", size, pc, got)
+			}
+			if len(path) != len(wantPath) {
+				t.Fatalf("size %d: CH path length %d, Dijkstra %d for (%d,%d)", size, len(path), len(wantPath), u, v)
+			}
+		}
+	}
+}
+
+// TestCHExactOnUnitGrid exercises the massive-tie regime: on a unit-cost
+// grid every equal-length path ties exactly, so this checks the heap and
+// witness tie-breaks keep the structure deterministic and the costs exact
+// (integer sums are exact in float64 regardless of the path chosen).
+func TestCHExactOnUnitGrid(t *testing.T) {
+	g := gridGraph(8)
+	ch := BuildCH(g, 0)
+	n := g.NumVertices()
+	for u := 0; u < n; u += 3 {
+		for v := 0; v < n; v += 5 {
+			want, _, wantOK := g.ShortestPath(VertexID(u), VertexID(v))
+			got, _, _, ok := ch.ShortestPath(VertexID(u), VertexID(v))
+			if ok != wantOK {
+				t.Fatalf("(%d,%d): ok=%v want %v", u, v, ok, wantOK)
+			}
+			if ok && got != want {
+				t.Fatalf("(%d,%d): CH %v, Dijkstra %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCHDeterministicAcrossParallelism pins the headline determinism
+// contract: the upward/downward arc sets and the contraction order are
+// bit-identical no matter how many witness-search workers built them.
+func TestCHDeterministicAcrossParallelism(t *testing.T) {
+	p := DefaultCityParams(16, 16)
+	p.Seed = 5
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BuildCH(g, 1)
+	for _, par := range []int{2, 4, 8} {
+		other := BuildCH(g, par)
+		if !reflect.DeepEqual(base.rank, other.rank) {
+			t.Fatalf("parallelism %d: contraction order differs from sequential build", par)
+		}
+		if !reflect.DeepEqual(base.up, other.up) {
+			t.Fatalf("parallelism %d: upward arc sets differ from sequential build", par)
+		}
+		if !reflect.DeepEqual(base.down, other.down) {
+			t.Fatalf("parallelism %d: downward arc sets differ from sequential build", par)
+		}
+		if base.shortcuts != other.shortcuts {
+			t.Fatalf("parallelism %d: %d shortcuts vs %d sequential", par, other.shortcuts, base.shortcuts)
+		}
+	}
+}
+
+// TestCHDeterministicOnTiedGrid repeats the parallelism-invariance check on
+// the unit-cost grid, where every cost comparison ties and only the ID
+// tie-breaks keep the build deterministic.
+func TestCHDeterministicOnTiedGrid(t *testing.T) {
+	g := gridGraph(7)
+	base := BuildCH(g, 1)
+	for _, par := range []int{2, 4} {
+		other := BuildCH(g, par)
+		if !reflect.DeepEqual(base.up, other.up) || !reflect.DeepEqual(base.down, other.down) {
+			t.Fatalf("parallelism %d: arc sets differ on the tied grid", par)
+		}
+		if !reflect.DeepEqual(base.rank, other.rank) {
+			t.Fatalf("parallelism %d: contraction order differs on the tied grid", par)
+		}
+	}
+}
+
+// TestCHUnreachable checks directed unreachability: on a one-way line the
+// reverse query must report ok=false with an infinite cost.
+func TestCHUnreachable(t *testing.T) {
+	g := lineGraph(4)
+	ch := BuildCH(g, 1)
+	if c, _, _, ok := ch.ShortestPath(0, 3); !ok || math.IsInf(c, 1) {
+		t.Fatalf("forward line query failed: cost=%v ok=%v", c, ok)
+	}
+	c, path, _, ok := ch.ShortestPath(3, 0)
+	if ok || path != nil {
+		t.Fatalf("reverse line query should be unreachable, got cost=%v path=%v", c, path)
+	}
+	if !math.IsInf(ch.Cost(3, 0), 1) {
+		t.Fatal("Cost on unreachable pair should be +Inf")
+	}
+}
+
+// TestCHSelfQuery pins the trivial case.
+func TestCHSelfQuery(t *testing.T) {
+	g := gridGraph(3)
+	ch := BuildCH(g, 1)
+	c, path, settled, ok := ch.ShortestPath(4, 4)
+	if !ok || c != 0 || len(path) != 1 || path[0] != 4 || settled != 0 {
+		t.Fatalf("self query: cost=%v path=%v settled=%d ok=%v", c, path, settled, ok)
+	}
+}
+
+// TestCHStats checks the stats surface: a contracted city must report its
+// vertices, a positive arc count, shortcuts, build time, and a memory
+// footprint consistent with the arc totals.
+func TestCHStats(t *testing.T) {
+	p := DefaultCityParams(12, 12)
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := BuildCH(g, 2)
+	st := ch.Stats()
+	if st.Vertices != g.NumVertices() {
+		t.Fatalf("stats vertices %d != graph %d", st.Vertices, g.NumVertices())
+	}
+	if st.UpArcs == 0 || st.DownArcs == 0 {
+		t.Fatalf("no search arcs recorded: %+v", st)
+	}
+	if st.Shortcuts <= 0 {
+		t.Fatalf("a city-scale contraction should add shortcuts, got %d", st.Shortcuts)
+	}
+	if st.BuildSeconds <= 0 {
+		t.Fatal("build time not recorded")
+	}
+	if want := ch.MemoryBytes(); st.MemoryBytes != want || want <= 0 {
+		t.Fatalf("stats memory %d, MemoryBytes() %d", st.MemoryBytes, want)
+	}
+	// Every hierarchy arc is either an original edge or a counted shortcut.
+	if st.Shortcuts > st.UpArcs+st.DownArcs {
+		t.Fatalf("shortcuts %d exceed total arcs %d", st.Shortcuts, st.UpArcs+st.DownArcs)
+	}
+}
+
+// TestCHSettledFarBelowDijkstra quantifies why the hierarchy exists: the
+// query search space must be a small fraction of the graph, where plain
+// Dijkstra settles a constant fraction of all vertices.
+func TestCHSettledFarBelowDijkstra(t *testing.T) {
+	p := DefaultCityParams(30, 30)
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := BuildCH(g, 0)
+	rng := rand.New(rand.NewSource(3))
+	n := g.NumVertices()
+	total := 0
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		_, _, settled, _ := ch.ShortestPath(u, v)
+		total += settled
+	}
+	if mean := float64(total) / queries; mean > float64(n)/4 {
+		t.Fatalf("mean settled %v on %d vertices — hierarchy is not pruning the search", mean, n)
+	}
+}

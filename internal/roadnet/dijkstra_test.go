@@ -148,6 +148,69 @@ func TestRestrictedShortestPathEndpointsAlwaysAllowed(t *testing.T) {
 	}
 }
 
+// TestRestrictedShortestPathExcludedDestination pins the endpoint
+// override: an allowed set that excludes the destination (and only the
+// destination) must not make it unreachable — src and dst are usable by
+// definition, so the result matches the unrestricted query bit for bit.
+func TestRestrictedShortestPathExcludedDestination(t *testing.T) {
+	p := DefaultCityParams(8, 8)
+	p.Seed = 17
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := VertexID(3), VertexID(g.NumVertices()-2)
+	want, wantPath, wok := g.ShortestPath(src, dst)
+	if !wok {
+		t.Fatalf("%d->%d unreachable in connected city", src, dst)
+	}
+	got, path, ok := g.RestrictedShortestPath(src, dst, func(v VertexID) bool { return v != dst })
+	if !ok {
+		t.Fatal("excluding the destination from the allowed set made it unreachable")
+	}
+	if got != want {
+		t.Fatalf("restricted cost %v != unrestricted %v", got, want)
+	}
+	if len(path) != len(wantPath) || path[len(path)-1] != dst {
+		t.Fatalf("restricted path %v, want %v", path, wantPath)
+	}
+}
+
+// TestWeightedShortestPathZeroWeights pins the degenerate weighting: an
+// all-zero vertex weight function must reduce WeightedShortestPath to the
+// plain shortest path, bit for bit, with and without an allowed set.
+func TestWeightedShortestPathZeroWeights(t *testing.T) {
+	p := DefaultCityParams(8, 8)
+	p.Seed = 18
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := func(VertexID) float64 { return 0 }
+	rng := rand.New(rand.NewSource(18))
+	n := g.NumVertices()
+	for i := 0; i < 25; i++ {
+		src := VertexID(rng.Intn(n))
+		dst := VertexID(rng.Intn(n))
+		want, wantPath, wok := g.ShortestPath(src, dst)
+		got, path, ok := g.WeightedShortestPath(src, dst, nil, zero)
+		if ok != wok {
+			t.Fatalf("(%d,%d): weighted ok=%v plain ok=%v", src, dst, ok, wok)
+		}
+		if !ok {
+			continue
+		}
+		if got != want || len(path) != len(wantPath) {
+			t.Fatalf("(%d,%d): zero-weight cost %v (len %d), plain %v (len %d)",
+				src, dst, got, len(path), want, len(wantPath))
+		}
+		allowAll := func(VertexID) bool { return true }
+		if got2, _, ok2 := g.WeightedShortestPath(src, dst, allowAll, zero); !ok2 || got2 != got {
+			t.Fatalf("(%d,%d): allowed-set variant diverged: %v vs %v", src, dst, got2, got)
+		}
+	}
+}
+
 func TestWeightedShortestPathSteersAroundWeights(t *testing.T) {
 	// Two parallel 2-hop routes 0->1->3 and 0->2->3 with equal edge costs;
 	// a large vertex weight on 1 must push the path through 2.

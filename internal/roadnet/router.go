@@ -23,12 +23,30 @@ import (
 // concurrent misses for the same source wait for one Dijkstra computation
 // instead of duplicating it.
 //
+// A source's first-ever query is served by a single exact point-to-point
+// search (the attached CH when present, bidirectional Dijkstra otherwise)
+// instead of a full SSSP tree: one-shot sources — cold taxi positions,
+// never-repeated pickup points — cost one small search instead of an
+// O(V log V) tree build. The second query for a source builds and caches
+// the tree as before, so hot sources still amortise to O(1) lookups. All
+// three backends return bit-identical costs (see CH's exactness contract),
+// so the admission policy is invisible to dispatch outcomes.
+//
 // Router is safe for concurrent use.
 type Router struct {
 	g      *Graph
+	ch     *CH // nil until AttachCH; set before concurrent use
 	shards []routerShard
 	met    *routerMetrics // nil until InstrumentWith
+
+	chQueries    atomic.Int64
+	bidirQueries atomic.Int64
 }
+
+// routerSeenCap bounds each shard's seen-source set for the cold-query
+// admission policy; on overflow the set resets, which only means a
+// returning source may get one extra cold point query.
+const routerSeenCap = 4096
 
 // routerMetrics mirrors the cache counters into an obs.Registry under the
 // mtshare_roadnet_* namespace, so the cache shows up on the one metrics
@@ -38,16 +56,26 @@ type routerMetrics struct {
 	hits        *obs.Counter
 	misses      *obs.Counter
 	deduped     *obs.Counter
+	cold        *obs.Counter
+	chQueries   *obs.Counter
+	bidirQuery  *obs.Counter
 	ssspSeconds *obs.Histogram
+	chSettled   *obs.Histogram
 	cachedTrees *obs.Gauge
 	memoryBytes *obs.Gauge
+	chBuildSecs *obs.Gauge
+	chShortcuts *obs.Gauge
+	chMemory    *obs.Gauge
 }
 
 // InstrumentWith registers the router's cache instruments in reg
 // (mtshare_roadnet_cache_hits_total, ..._cache_misses_total,
-// ..._singleflight_deduped_total, ..._sssp_seconds, ..._cached_trees,
-// ..._cache_memory_bytes) and returns the router. Call it once, before
-// the router is used concurrently.
+// ..._singleflight_deduped_total, ..._cold_queries_total,
+// ..._ch_queries_total, ..._bidir_queries_total, ..._sssp_seconds,
+// ..._ch_settled_vertices, ..._cached_trees, ..._cache_memory_bytes, and
+// the mtshare_roadnet_ch_{build_seconds,shortcuts,memory_bytes} gauges)
+// and returns the router. Call it once, before the router is used
+// concurrently.
 func (r *Router) InstrumentWith(reg *obs.Registry) *Router {
 	if reg == nil {
 		return r
@@ -56,11 +84,54 @@ func (r *Router) InstrumentWith(reg *obs.Registry) *Router {
 		hits:        reg.Counter("mtshare_roadnet_cache_hits_total"),
 		misses:      reg.Counter("mtshare_roadnet_cache_misses_total"),
 		deduped:     reg.Counter("mtshare_roadnet_singleflight_deduped_total"),
+		cold:        reg.Counter("mtshare_roadnet_cold_queries_total"),
+		chQueries:   reg.Counter("mtshare_roadnet_ch_queries_total"),
+		bidirQuery:  reg.Counter("mtshare_roadnet_bidir_queries_total"),
 		ssspSeconds: reg.Histogram("mtshare_roadnet_sssp_seconds"),
+		// Vertex counts, not latencies: the default bucket ladder tops
+		// out at 10 and would funnel every observation into +Inf.
+		chSettled: reg.HistogramWith("mtshare_roadnet_ch_settled_vertices",
+			[]float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}),
 		cachedTrees: reg.Gauge("mtshare_roadnet_cached_trees"),
 		memoryBytes: reg.Gauge("mtshare_roadnet_cache_memory_bytes"),
+		chBuildSecs: reg.Gauge("mtshare_roadnet_ch_build_seconds"),
+		chShortcuts: reg.Gauge("mtshare_roadnet_ch_shortcuts"),
+		chMemory:    reg.Gauge("mtshare_roadnet_ch_memory_bytes"),
 	}
+	r.publishCHGauges()
 	return r
+}
+
+// AttachCH points the router's cold-query path at a prebuilt contraction
+// hierarchy (which must be over the router's graph) and publishes the
+// mtshare_roadnet_ch_* gauges. Call it once, before the router is used
+// concurrently; a nil ch detaches.
+func (r *Router) AttachCH(ch *CH) *Router {
+	if ch != nil && ch.Graph() != r.g {
+		panic("roadnet: AttachCH: hierarchy built over a different graph")
+	}
+	r.ch = ch
+	r.publishCHGauges()
+	return r
+}
+
+// CH returns the attached hierarchy, or nil.
+func (r *Router) CH() *CH { return r.ch }
+
+func (r *Router) publishCHGauges() {
+	if r.met == nil {
+		return
+	}
+	if r.ch == nil {
+		r.met.chBuildSecs.Set(0)
+		r.met.chShortcuts.Set(0)
+		r.met.chMemory.Set(0)
+		return
+	}
+	st := r.ch.Stats()
+	r.met.chBuildSecs.Set(st.BuildSeconds)
+	r.met.chShortcuts.Set(float64(st.Shortcuts))
+	r.met.chMemory.Set(float64(st.MemoryBytes))
 }
 
 // routerShard is one hash shard of the tree cache: an LRU of SSSP trees
@@ -72,11 +143,13 @@ type routerShard struct {
 	lru         *list.List // of *SSSPResult, front = most recent
 	bySrc       map[VertexID]*list.Element
 	inflight    map[VertexID]*ssspCall
-	memoryBytes int64 // running total of cached tree footprints
+	seen        map[VertexID]struct{} // sources queried at least once
+	memoryBytes int64                 // running total of cached tree footprints
 
 	hits    atomic.Int64
 	misses  atomic.Int64
 	deduped atomic.Int64
+	cold    atomic.Int64
 }
 
 // ssspCall is one in-progress SSSP computation other goroutines can wait
@@ -135,6 +208,7 @@ func NewRouter(g *Graph, capacity int) *Router {
 			lru:      list.New(),
 			bySrc:    make(map[VertexID]*list.Element, c),
 			inflight: make(map[VertexID]*ssspCall),
+			seen:     make(map[VertexID]struct{}),
 		}
 	}
 	return &Router{g: g, shards: shards}
@@ -148,6 +222,77 @@ func (r *Router) Graph() *Graph { return r.g }
 func (r *Router) shardOf(src VertexID) *routerShard {
 	h := uint64(uint32(src)) * 0x9E3779B97F4A7C15
 	return &r.shards[h>>32%uint64(len(r.shards))]
+}
+
+// markSeen records src in the shard's seen set (caller holds s.mu).
+func (s *routerShard) markSeen(src VertexID) {
+	if len(s.seen) >= routerSeenCap {
+		clear(s.seen)
+	}
+	s.seen[src] = struct{}{}
+}
+
+// admit decides how a query for source src is served: a cached tree when
+// one exists, nil with cold=true on the source's first sighting (the
+// caller runs one exact point query), or a fresh tree build for a
+// returning source.
+func (r *Router) admit(src VertexID) (res *SSSPResult, cold bool) {
+	s := r.shardOf(src)
+	s.mu.Lock()
+	if el, ok := s.bySrc[src]; ok {
+		s.lru.MoveToFront(el)
+		res := el.Value.(*SSSPResult)
+		s.hits.Add(1)
+		s.mu.Unlock()
+		if r.met != nil {
+			r.met.hits.Inc()
+		}
+		return res, false
+	}
+	if _, ok := s.inflight[src]; ok {
+		s.mu.Unlock()
+		return r.tree(src), false // tree() joins the in-flight computation
+	}
+	if _, ok := s.seen[src]; !ok {
+		s.markSeen(src)
+		s.cold.Add(1)
+		s.mu.Unlock()
+		if r.met != nil {
+			r.met.cold.Inc()
+		}
+		return nil, true
+	}
+	s.mu.Unlock()
+	return r.tree(src), false
+}
+
+// pointQuery runs one exact point-to-point search for a cold source: the
+// attached CH when present, bidirectional Dijkstra otherwise. Both fold
+// the found path's original edge costs left to right, so the cost is
+// bit-identical to what the SSSP tree would report. Returns +Inf cost and
+// a nil path when dst is unreachable.
+func (r *Router) pointQuery(src, dst VertexID) (float64, []VertexID) {
+	if ch := r.ch; ch != nil {
+		r.chQueries.Add(1)
+		cost, path, settled, ok := ch.ShortestPath(src, dst)
+		if r.met != nil {
+			r.met.chQueries.Inc()
+			r.met.chSettled.Observe(float64(settled))
+		}
+		if !ok {
+			return math.Inf(1), nil
+		}
+		return cost, path
+	}
+	r.bidirQueries.Add(1)
+	if r.met != nil {
+		r.met.bidirQuery.Inc()
+	}
+	_, path, ok := r.g.BidirectionalShortestPath(src, dst)
+	if !ok {
+		return math.Inf(1), nil
+	}
+	return pathFoldCost(r.g, path), path
 }
 
 // tree returns the (possibly cached) SSSP tree rooted at src.
@@ -177,6 +322,7 @@ func (r *Router) tree(src VertexID) *SSSPResult {
 	}
 	c := &ssspCall{done: make(chan struct{})}
 	s.inflight[src] = c
+	s.markSeen(src) // Warm()-built sources count as known repeats
 	s.misses.Add(1)
 	s.mu.Unlock()
 
@@ -217,7 +363,12 @@ func (r *Router) Cost(u, v VertexID) float64 {
 	if u == v {
 		return 0
 	}
-	return r.tree(u).Dist[v]
+	res, coldQ := r.admit(u)
+	if coldQ {
+		cost, _ := r.pointQuery(u, v)
+		return cost
+	}
+	return res.Dist[v]
 }
 
 // Path returns the shortest path from u to v inclusive of both endpoints,
@@ -226,7 +377,12 @@ func (r *Router) Path(u, v VertexID) []VertexID {
 	if u == v {
 		return []VertexID{u}
 	}
-	return r.tree(u).PathTo(v)
+	res, coldQ := r.admit(u)
+	if coldQ {
+		_, path := r.pointQuery(u, v)
+		return path
+	}
+	return res.PathTo(v)
 }
 
 // Reachable reports whether v is reachable from u.
@@ -239,6 +395,7 @@ type RouterShardStats struct {
 	Hits        int64
 	Misses      int64
 	Deduped     int64
+	Cold        int64
 	CachedTrees int
 	MemoryBytes int64
 }
@@ -250,8 +407,18 @@ type RouterStats struct {
 	// SingleflightDeduped counts cache misses that waited on an in-flight
 	// computation for the same source instead of running their own.
 	SingleflightDeduped int64
-	CachedTrees         int
-	MemoryBytes         int64
+	// Cold counts first-sighting sources served by one exact point query
+	// instead of a tree build.
+	Cold int64
+	// CHQueries/BidirQueries split the cold point queries by backend.
+	CHQueries    int64
+	BidirQueries int64
+	CachedTrees  int
+	MemoryBytes  int64
+	// CHMemoryBytes is the attached hierarchy's arc-array footprint (0
+	// without a CH); it is reported separately from the tree-cache
+	// MemoryBytes because the hierarchy is immutable and never evicted.
+	CHMemoryBytes int64
 	// Shards breaks the totals down per cache shard.
 	Shards []RouterShardStats
 }
@@ -268,6 +435,7 @@ func (r *Router) Stats() RouterStats {
 			Hits:        s.hits.Load(),
 			Misses:      s.misses.Load(),
 			Deduped:     s.deduped.Load(),
+			Cold:        s.cold.Load(),
 			CachedTrees: s.lru.Len(),
 			MemoryBytes: s.memoryBytes,
 		}
@@ -276,8 +444,14 @@ func (r *Router) Stats() RouterStats {
 		st.Hits += ss.Hits
 		st.Misses += ss.Misses
 		st.SingleflightDeduped += ss.Deduped
+		st.Cold += ss.Cold
 		st.CachedTrees += ss.CachedTrees
 		st.MemoryBytes += ss.MemoryBytes
+	}
+	st.CHQueries = r.chQueries.Load()
+	st.BidirQueries = r.bidirQueries.Load()
+	if r.ch != nil {
+		st.CHMemoryBytes = r.ch.MemoryBytes()
 	}
 	return st
 }

@@ -6,9 +6,9 @@ import (
 )
 
 // TestRouterSingleflightDedup asserts that K concurrent misses for the
-// same source compute exactly one SSSP tree: the miss counter advances by
-// one per distinct source no matter how many goroutines race on it, and
-// the racers are accounted as singleflight waiters or cache hits.
+// same source compute exactly one SSSP tree: per round one racer wins the
+// cold point query, one builds the tree, and every other racer is
+// accounted as a singleflight waiter or cache hit.
 func TestRouterSingleflightDedup(t *testing.T) {
 	// A big enough city that one SSSP takes long enough for concurrently
 	// started goroutines to observe it in flight.
@@ -56,10 +56,14 @@ func TestRouterSingleflightDedup(t *testing.T) {
 	if st.Misses != int64(rounds) {
 		t.Fatalf("misses = %d, want %d", st.Misses, rounds)
 	}
-	// Every non-computing query either hit the cache (arrived after the
-	// tree landed) or waited on the in-flight call.
-	if got := st.Hits + st.SingleflightDeduped; got != int64(rounds*(K-1)) {
-		t.Fatalf("hits+deduped = %d, want %d", got, rounds*(K-1))
+	if st.Cold != int64(rounds) {
+		t.Fatalf("cold = %d, want %d (one first-sighting point query per source)", st.Cold, rounds)
+	}
+	// Per round: one racer wins the cold point query, one computes the
+	// tree, and the other K-2 either hit the cache (arrived after the tree
+	// landed) or waited on the in-flight call.
+	if got := st.Hits + st.SingleflightDeduped; got != int64(rounds*(K-2)) {
+		t.Fatalf("hits+deduped = %d, want %d", got, rounds*(K-2))
 	}
 	if st.SingleflightDeduped == 0 {
 		t.Skipf("no concurrent overlap observed in %d rounds (single-CPU runner?); dedup accounting not exercised", rounds)
@@ -80,25 +84,29 @@ func TestRouterShardStatsConsistent(t *testing.T) {
 	}
 	n := g.NumVertices()
 	for i := 0; i < 200; i++ {
+		// Query each source twice: the first sighting is a cold point
+		// query, the second builds and caches the tree.
+		_ = r.Cost(VertexID((i*13)%n), VertexID((i*7+1)%n))
 		_ = r.Cost(VertexID((i*13)%n), VertexID((i*7+1)%n))
 	}
 	st := r.Stats()
 	if len(st.Shards) != r.NumShards() {
 		t.Fatalf("got %d shard stats for %d shards", len(st.Shards), r.NumShards())
 	}
-	var hits, misses, dedup int64
+	var hits, misses, dedup, cold int64
 	var trees int
 	var mem int64
 	for _, s := range st.Shards {
 		hits += s.Hits
 		misses += s.Misses
 		dedup += s.Deduped
+		cold += s.Cold
 		trees += s.CachedTrees
 		mem += s.MemoryBytes
 	}
-	if hits != st.Hits || misses != st.Misses || dedup != st.SingleflightDeduped {
-		t.Fatalf("shard sums (%d,%d,%d) != totals (%d,%d,%d)",
-			hits, misses, dedup, st.Hits, st.Misses, st.SingleflightDeduped)
+	if hits != st.Hits || misses != st.Misses || dedup != st.SingleflightDeduped || cold != st.Cold {
+		t.Fatalf("shard sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+			hits, misses, dedup, cold, st.Hits, st.Misses, st.SingleflightDeduped, st.Cold)
 	}
 	if trees != st.CachedTrees || mem != st.MemoryBytes {
 		t.Fatalf("shard sums trees=%d mem=%d != totals trees=%d mem=%d",
@@ -112,6 +120,7 @@ func TestRouterShardStatsConsistent(t *testing.T) {
 	// Evictions must keep the counter in step: shrink via a tiny router.
 	small := NewRouter(g, 2)
 	for i := 0; i < 10; i++ {
+		_ = small.Cost(VertexID(i), VertexID(i+1))
 		_ = small.Cost(VertexID(i), VertexID(i+1))
 	}
 	sst := small.Stats()

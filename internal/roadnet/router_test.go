@@ -76,19 +76,25 @@ func TestRouterSelfQueries(t *testing.T) {
 func TestRouterLRUEviction(t *testing.T) {
 	g := gridGraph(4)
 	r := NewRouter(g, 2)
-	r.Cost(0, 1)
-	r.Cost(1, 2)
-	r.Cost(2, 3) // evicts tree for source 0
+	// Each source's first query is a cold point query; the second builds
+	// and caches the tree.
+	for _, src := range []VertexID{0, 1, 2} {
+		r.Cost(src, 3)
+		r.Cost(src, 5)
+	}
 	st := r.Stats()
-	if st.CachedTrees != 2 {
+	if st.CachedTrees != 2 { // tree for source 0 evicted
 		t.Fatalf("cached trees = %d, want 2", st.CachedTrees)
+	}
+	if st.Cold != 3 {
+		t.Fatalf("cold = %d, want 3", st.Cold)
 	}
 	if st.Misses != 3 {
 		t.Fatalf("misses = %d, want 3", st.Misses)
 	}
-	r.Cost(0, 2) // miss again
-	if st := r.Stats(); st.Misses != 4 {
-		t.Fatalf("misses after re-query = %d, want 4", st.Misses)
+	r.Cost(0, 2) // seen before: rebuilds the evicted tree, no cold query
+	if st := r.Stats(); st.Misses != 4 || st.Cold != 3 {
+		t.Fatalf("after re-query: misses=%d cold=%d, want 4/3", st.Misses, st.Cold)
 	}
 }
 
@@ -99,15 +105,22 @@ func TestRouterHitAccounting(t *testing.T) {
 		r.Cost(0, VertexID(i%g.NumVertices()))
 	}
 	st := r.Stats()
-	// Source 0 tree computed once; self query (0,0) bypasses the cache.
+	// Source 0: one cold point query, then one tree build; the remaining
+	// queries (minus the cache-bypassing self query) hit the cached tree.
+	if st.Cold != 1 {
+		t.Fatalf("cold = %d, want 1", st.Cold)
+	}
 	if st.Misses != 1 {
 		t.Fatalf("misses = %d, want 1", st.Misses)
 	}
-	if st.Hits < 8 {
-		t.Fatalf("hits = %d, want >= 8", st.Hits)
+	if st.Hits < 7 {
+		t.Fatalf("hits = %d, want >= 7", st.Hits)
 	}
 	if st.MemoryBytes <= 0 {
 		t.Fatal("MemoryBytes not reported")
+	}
+	if st.BidirQueries != 1 || st.CHQueries != 0 {
+		t.Fatalf("cold query backend: bidir=%d ch=%d, want 1/0 without a CH", st.BidirQueries, st.CHQueries)
 	}
 }
 
@@ -160,6 +173,89 @@ func TestRouterReachable(t *testing.T) {
 	}
 	if r.Reachable(2, 0) {
 		t.Fatal("2->0 should not be reachable")
+	}
+}
+
+// TestRouterColdPathBidirExact pins the CH-disabled cold path: a source's
+// first query runs BidirectionalShortestPath, and the returned cost must
+// be bit-identical to the Dijkstra tree answer (the bidirectional search's
+// internal two-sided sum is discarded; the cost is re-folded from the
+// path's original edge costs).
+func TestRouterColdPathBidirExact(t *testing.T) {
+	p := DefaultCityParams(14, 14)
+	p.Seed = 21
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 64)
+	rng := rand.New(rand.NewSource(21))
+	n := g.NumVertices()
+	for i := 0; i < 60; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		got := r.Cost(u, v) // may be cold (bidir) or cached, both must agree
+		want, _, ok := g.ShortestPath(u, v)
+		if !ok {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("Cost(%d,%d) = %v for unreachable pair", u, v, got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("cold Cost(%d,%d) = %v (bits %x), Dijkstra %v (bits %x)",
+				u, v, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	if st := r.Stats(); st.BidirQueries == 0 {
+		t.Fatal("no bidirectional cold queries ran — the cold path is not exercised")
+	}
+}
+
+// TestRouterColdPathCHExact is the CH-enabled twin: cold queries answered
+// by the hierarchy must also be bit-identical to Dijkstra, and the cold
+// paths must be valid edge walks.
+func TestRouterColdPathCHExact(t *testing.T) {
+	p := DefaultCityParams(14, 14)
+	p.Seed = 22
+	g, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, 64).AttachCH(BuildCH(g, 2))
+	rng := rand.New(rand.NewSource(22))
+	n := g.NumVertices()
+	for i := 0; i < 60; i++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		path := r.Path(u, v)
+		want, _, ok := g.ShortestPath(u, v)
+		if !ok {
+			if path != nil {
+				t.Fatalf("Path(%d,%d) = %v for unreachable pair", u, v, path)
+			}
+			continue
+		}
+		pc, err := g.PathCost(path)
+		if err != nil {
+			t.Fatalf("Path(%d,%d) is not an edge walk: %v", u, v, err)
+		}
+		if pc != want {
+			t.Fatalf("cold Path cost (%d,%d) = %v, Dijkstra %v", u, v, pc, want)
+		}
+	}
+	st := r.Stats()
+	if st.CHQueries == 0 {
+		t.Fatal("no CH cold queries ran — the hierarchy backend is not exercised")
+	}
+	if st.BidirQueries != 0 {
+		t.Fatalf("bidir ran %d times with a CH attached", st.BidirQueries)
 	}
 }
 

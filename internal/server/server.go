@@ -48,7 +48,12 @@ type Config struct {
 	// screen (lossless; see match.Config.DisableLandmarkLB). The
 	// mtshare_match_lb_* instruments on /v1/metrics stay at zero.
 	DisableLandmarkLB bool
-	Seed              int64
+	// DisableCH turns off the contraction-hierarchy routing backend
+	// (exact, so outcomes are unchanged; see match.Config.DisableCH).
+	// The mtshare_roadnet_ch_* instruments on /v1/metrics stay at zero
+	// and cold routing queries fall back to bidirectional Dijkstra.
+	DisableCH bool
+	Seed      int64
 
 	// QueueDepth bounds the pending-request queue. When positive, a ride
 	// request that finds no feasible taxi parks for batched re-dispatch
@@ -161,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	mcfg := match.DefaultConfig()
 	mcfg.DisableLandmarkLB = cfg.DisableLandmarkLB
+	mcfg.DisableCH = cfg.DisableCH
 	mcfg.Metrics = cfg.Metrics
 	if cfg.TraceSampleEvery > 0 {
 		mcfg.Tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceHandler)

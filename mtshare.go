@@ -78,6 +78,13 @@ type Options struct {
 	// the ablate-landmark A/B comparison, not for correctness.
 	DisableLandmarkLB bool
 
+	// DisableCH turns off the contraction-hierarchy routing backend built
+	// at world construction; cold shortest-path queries fall back to
+	// bidirectional Dijkstra. The hierarchy is exact — costs are
+	// bit-identical either way — so the knob exists for baselines and the
+	// ablate-ch A/B comparison, not for correctness.
+	DisableCH bool
+
 	// QueueDepth bounds the pending-request queue. When positive, a
 	// request that finds no feasible taxi is parked (SubmitRequest returns
 	// ErrQueued) and re-dispatched in deterministic batches on Advance
@@ -306,6 +313,7 @@ func New(opts Options) (*System, error) {
 	cfg.SpeedMps = opts.SpeedKmh * 1000 / 3600
 	cfg.Lambda = geo.CosOfDegrees(opts.MaxDirectionDiffDegrees)
 	cfg.DisableLandmarkLB = opts.DisableLandmarkLB
+	cfg.DisableCH = opts.DisableCH
 	cfg.Metrics = opts.Metrics
 	if opts.TraceSampleEvery > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceSampleEvery, opts.TraceHandler)
@@ -356,6 +364,7 @@ func New(opts Options) (*System, error) {
 			MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
 			Probabilistic:           opts.Probabilistic,
 			DisableLandmarkLB:       opts.DisableLandmarkLB,
+			DisableCH:               opts.DisableCH,
 			QueueDepth:              opts.QueueDepth,
 			RetryEveryTicks:         opts.RetryEveryTicks,
 			GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),

@@ -79,6 +79,7 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		MaxDirectionDiffDegrees: h.MaxDirectionDiffDegrees,
 		Probabilistic:           h.Probabilistic,
 		DisableLandmarkLB:       h.DisableLandmarkLB,
+		DisableCH:               h.DisableCH,
 		QueueDepth:              h.QueueDepth,
 		RetryEveryTicks:         h.RetryEveryTicks,
 		Seed:                    h.Seed,

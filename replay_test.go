@@ -122,6 +122,63 @@ func TestRecordReplayWithFaults(t *testing.T) {
 	}
 }
 
+// TestReplayDisableCHRoundTrip pins the contraction-hierarchy knob
+// through the record/replay stack: the header persists disable_ch, a
+// CH-off recording replays cleanly against a CH-off rebuild, and —
+// because the CH is exact — a CH-off run's event stream is byte-
+// identical to a CH-on run of the same scenario apart from the header
+// line itself.
+func TestReplayDisableCHRoundTrip(t *testing.T) {
+	record := func(disable bool) []byte {
+		var buf bytes.Buffer
+		sys, err := New(Options{
+			SyntheticCityRows: 8,
+			SyntheticCityCols: 8,
+			Seed:              5,
+			DisableCH:         disable,
+			RecordTo:          &buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, max := sys.Bounds()
+		mid := Point{Lat: (min.Lat + max.Lat) / 2, Lng: (min.Lng + max.Lng) / 2}
+		sys.AddTaxi(mid, 3)
+		sys.AddTaxi(Point{Lat: min.Lat, Lng: min.Lng}, 3)
+		ctx := t.Context()
+		sys.SubmitRequest(ctx, Point{Lat: min.Lat, Lng: mid.Lng}, Point{Lat: max.Lat, Lng: mid.Lng}, 1.4)
+		sys.SubmitRequest(ctx, mid, Point{Lat: max.Lat, Lng: max.Lng}, 1.4)
+		sys.Advance(5 * 60 * 1e9)
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	off := record(true)
+	if !strings.Contains(strings.SplitN(string(off), "\n", 2)[0], `"disable_ch":true`) {
+		t.Fatal("header does not persist disable_ch")
+	}
+	rep, err := Replay(bytes.NewReader(off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diverged() {
+		t.Fatalf("CH-off replay diverged: first %s", rep.First())
+	}
+
+	on := record(false)
+	onEvents := strings.SplitN(string(on), "\n", 2)[1]
+	offEvents := strings.SplitN(string(off), "\n", 2)[1]
+	if onEvents != offEvents {
+		divs, err := replay.CompareLogs(bytes.NewReader(on), bytes.NewReader(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("CH on/off event streams differ (%d divergences) — the hierarchy is not exact; first: %v", len(divs), divs)
+	}
+}
+
 // TestReplayDetectsTampering flips one recorded outcome and expects the
 // replayer to pinpoint exactly that event.
 func TestReplayDetectsTampering(t *testing.T) {
