@@ -7,7 +7,8 @@
 // Usage:
 //
 //	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
-//	               [-queue N] [-queue-retry N] [-trace-sample N] [-pprof]
+//	               [-queue N] [-queue-retry N] [-shards N] [-border twophase|local]
+//	               [-trace-sample N] [-pprof]
 //
 // Endpoints (versioned under /v1/; the /api/ aliases are deprecated):
 //
@@ -16,6 +17,7 @@
 //	POST /v1/requests  {"pickup":{...},"dropoff":{...},"rho":1.3} -> assignment
 //	GET  /v1/requests?id=N                                     -> request status
 //	GET  /v1/queue                                             -> pending-queue stats
+//	GET  /v1/shards                                            -> per-shard territory stats
 //	GET  /v1/stats                                             -> engine statistics
 //	GET  /v1/metrics                                           -> Prometheus text metrics
 //	GET  /debug/pprof/                                         -> profiling (with -pprof)
@@ -32,6 +34,7 @@ import (
 	"net/http/pprof"
 	"os"
 
+	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -46,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	queueDepth := flag.Int("queue", 0, "pending-queue capacity: park unserved requests and retry until their deadline (0 = reject immediately)")
 	queueRetry := flag.Int("queue-retry", 1, "retry the pending queue every N simulation ticks")
+	shards := flag.Int("shards", 0, "shard the dispatcher into N territory-owning engines (0 or 1 = single engine)")
+	border := flag.String("border", "", "border candidate policy for sharded dispatch: twophase (default) or local")
 	traceSample := flag.Int("trace-sample", 0, "log the span tree of one in N dispatches (0 disables)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -55,6 +60,7 @@ func main() {
 		InitialTaxis: *taxis, Capacity: *capacity,
 		Speedup: *speedup, Seed: *seed,
 		QueueDepth: *queueDepth, RetryEveryTicks: *queueRetry,
+		Sharding: match.ShardingConfig{Shards: *shards, BorderPolicy: *border},
 	}
 	if *traceSample > 0 {
 		cfg.TraceSampleEvery = *traceSample
@@ -80,7 +86,11 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	log.Printf("mT-Share dispatch service on %s (city %dx%d, %d taxis, %gx clock)",
-		*addr, *rows, *cols, *taxis, *speedup)
+	engine := "single engine"
+	if cfg.Sharding.Enabled() {
+		engine = fmt.Sprintf("%d shards, %s borders", *shards, cfg.Sharding.Policy())
+	}
+	log.Printf("mT-Share dispatch service on %s (city %dx%d, %d taxis, %gx clock, %s)",
+		*addr, *rows, *cols, *taxis, *speedup, engine)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

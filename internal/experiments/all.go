@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"ablate-queue", (*Lab).AblationQueue},
 		{"ablate-landmark", (*Lab).AblationLandmark},
 		{"ablate-ch", (*Lab).AblationCH},
+		{"ablate-shard", (*Lab).AblationShard},
 		{"verify", (*Lab).Verify},
 	}
 }

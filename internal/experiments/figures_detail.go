@@ -657,3 +657,113 @@ func (l *Lab) AblationCH() (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf("parity held: every cell served %d and rejected %d with byte-identical schedules", baseServed, baseRej))
 	return r, nil
 }
+
+// AblationShard A/B-tests the sharded dispatcher: splitting the map
+// across N independent per-territory engines with deterministic
+// two-phase border resolution must not change a single outcome relative
+// to the single-engine build. The experiment *enforces* that across
+// shards 1, 2 and 4 at parallelism 1, 2 and 4 — served and rejected
+// counts must match in every cell, and every per-request record
+// (served/queued/expired flags plus the Float64bits of the
+// assign/pickup/dropoff times) must be bit-identical to the shards=1
+// baseline. Any divergence is a hard error: a border race or an
+// order-dependent reduction cannot hide in a table. The pending queue is
+// enabled so the sharded per-shard queue group is gated too, and a
+// vacuousness guard requires the sharded cells to have actually
+// evaluated cross-shard border candidates.
+func (l *Lab) AblationShard() (*Result, error) {
+	r := &Result{
+		ID: "ablate-shard", Title: "Sharded dispatcher vs single engine (peak, mT-Share)",
+		Header: []string{"shards", "parallelism", "served", "rejected", "x-candidates", "x-assignments", "border conflicts", "handoffs"},
+		Notes: []string{
+			"sharding is outcome-neutral by construction: every cell must agree on served/rejected counts and on every per-request outcome record, bit for bit",
+		},
+	}
+	pt, err := l.World.Partitioning("bipartite", l.World.Scale.Kappa)
+	if err != nil {
+		return nil, err
+	}
+	win := PeakWindow()
+	start := win.From.Seconds()
+	var (
+		baseSigs            []chRecordSig
+		baseServed, baseRej int
+		haveBase            bool
+		crossTotal          int64
+	)
+	for _, shards := range []int{1, 2, 4} {
+		for _, par := range []int{1, 2, 4} {
+			cfg := match.DefaultConfig()
+			cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+			cfg.Parallelism = par
+			cfg.Sharding = match.ShardingConfig{Shards: shards}
+			cfg.CH = l.World.CH(par)
+			eng, err := match.NewDispatcher(pt, l.World.Spx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scheme := match.NewScheme(eng, false)
+			params := sim.DefaultParams()
+			params.Parallelism = par
+			params.QueueDepth = 64
+			params.Sharding = cfg.Sharding
+			se, err := sim.NewEngine(l.World.G, scheme, params)
+			if err != nil {
+				return nil, err
+			}
+			se.PlaceTaxis(l.World.Scale.DefaultTaxis, l.World.Scale.Capacity, l.World.Scale.Seed, start)
+			reqs := l.World.Requests(win, l.World.Scale.Rho, 0)
+			m := se.Run(reqs, start)
+			sigs := make([]chRecordSig, len(m.Records))
+			for i, rec := range m.Records {
+				sigs[i] = chRecordSig{
+					ID: rec.Req.ID, Served: rec.Served, FromQueue: rec.ServedFromQueue, Exp: rec.Expired,
+					Assign:  math.Float64bits(rec.AssignSeconds),
+					Pickup:  math.Float64bits(rec.PickupSeconds),
+					Dropoff: math.Float64bits(rec.DropoffSeconds),
+				}
+			}
+			served, rejected := m.Served, m.Requests-m.Served
+			if !haveBase {
+				baseSigs, baseServed, baseRej, haveBase = sigs, served, rejected, true
+			} else {
+				if served != baseServed || rejected != baseRej {
+					return nil, fmt.Errorf("experiments: ablate-shard parity broken: shards=%d parallelism=%d served/rejected %d/%d, expected %d/%d — sharding changed a dispatch outcome",
+						shards, par, served, rejected, baseServed, baseRej)
+				}
+				if len(sigs) != len(baseSigs) {
+					return nil, fmt.Errorf("experiments: ablate-shard parity broken: shards=%d parallelism=%d produced %d records, expected %d",
+						shards, par, len(sigs), len(baseSigs))
+				}
+				for i := range sigs {
+					if sigs[i] != baseSigs[i] {
+						return nil, fmt.Errorf("experiments: ablate-shard schedule divergence: shards=%d parallelism=%d record %d (request %d) differs from the single-engine baseline — the border protocol altered an outcome",
+							shards, par, i, sigs[i].ID)
+					}
+				}
+			}
+			var xc, xa, bc, ho int64
+			for _, sh := range eng.ShardStats() {
+				xc += sh.CrossShardCandidates
+				xa += sh.CrossShardAssignments
+				bc += sh.BorderConflicts
+				ho += sh.Handoffs
+			}
+			if shards == 1 && xc+xa+bc+ho != 0 {
+				return nil, fmt.Errorf("experiments: ablate-shard: single engine reported cross-shard traffic (%d/%d/%d/%d)", xc, xa, bc, ho)
+			}
+			if shards > 1 {
+				crossTotal += xc
+			}
+			r.Rows = append(r.Rows, []string{
+				fi(shards), fi(par), fi(served), fi(rejected),
+				fi(int(xc)), fi(int(xa)), fi(int(bc)), fi(int(ho)),
+			})
+		}
+	}
+	if crossTotal == 0 {
+		return nil, fmt.Errorf("experiments: ablate-shard never evaluated a cross-shard candidate — the border protocol is untested on this workload")
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("parity held: every cell served %d and rejected %d with byte-identical schedules", baseServed, baseRej))
+	return r, nil
+}

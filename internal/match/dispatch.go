@@ -227,7 +227,15 @@ func (e *Engine) DispatchContext(ctx context.Context, req *fleet.Request, nowSec
 	// lock across the fan-out and the winner's leg materialisation.
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return best, e.dispatchLocked(ctx, req, nowSeconds, probabilistic, cands, &best)
+}
 
+// dispatchLocked runs the scheduling and leg-materialisation stages of
+// Alg. 1 over a prepared candidate set, filling best in place. The caller
+// holds the fleet read lock(s) covering every candidate — e.mu for a
+// single engine, every shard's registry lock for a sharded dispatch (the
+// reserve phase) — so candidate state cannot mutate mid-evaluation.
+func (e *Engine) dispatchLocked(ctx context.Context, req *fleet.Request, nowSeconds float64, probabilistic bool, cands []*fleet.Taxi, best *Assignment) bool {
 	_, sps := obs.StartSpan(ctx, "dispatch.scheduling")
 	t1 := time.Now()
 	results := e.evalCandidates(cands, req, nowSeconds, probabilistic)
@@ -248,7 +256,7 @@ func (e *Engine) DispatchContext(ctx context.Context, req *fleet.Request, nowSec
 		}
 	}
 	if win < 0 {
-		return best, false
+		return false
 	}
 	w := &results[win]
 	best.Taxi, best.Events, best.Legs, best.Eval, best.DetourMeters = w.taxi, w.events, w.legs, w.eval, w.detour
@@ -264,11 +272,11 @@ func (e *Engine) DispatchContext(ctx context.Context, req *fleet.Request, nowSec
 		e.ins.legBuildSeconds.ObserveSince(t2)
 		spl.End()
 		if !ok {
-			return best, false
+			return false
 		}
 		best.Legs = legs
 	}
-	return best, true
+	return true
 }
 
 // Commit applies an assignment: installs the plan on the taxi, refreshes
@@ -282,6 +290,10 @@ func (e *Engine) Commit(a Assignment, nowSeconds float64) error {
 	}
 	t0 := time.Now()
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrDispatcherClosed
+	}
 	err := a.Taxi.SetPlan(a.Events, a.Legs)
 	e.mu.Unlock()
 	if err != nil {

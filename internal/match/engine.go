@@ -7,8 +7,8 @@
 package match
 
 import (
+	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
@@ -92,6 +92,20 @@ type Config struct {
 	// bound (legs are limited only by deadlines).
 	ProbMaxLegInflation float64
 
+	// Sharding splits the dispatcher into independent per-territory
+	// engines (see ShardedEngine). It is consumed by NewDispatcher; the
+	// zero value (and Shards <= 1) selects the classic single Engine.
+	// NewEngine itself ignores it — an Engine is always one shard.
+	Sharding ShardingConfig
+
+	// Oracle, when set (and DisableLandmarkLB is not), reuses a prebuilt
+	// landmark distance oracle over the partitioning instead of running
+	// the offset precompute again — the sharded dispatcher builds one
+	// oracle and hands it to every shard. NewEngine stores the oracle it
+	// attached back into this field (mirroring CH), so Config()
+	// round-trips reuse it.
+	Oracle *partition.Oracle
+
 	// Metrics is the registry the engine (and its router and partition
 	// index) register their instruments in, under mtshare_match_*,
 	// mtshare_roadnet_*, and mtshare_index_*. nil gives the engine a
@@ -164,7 +178,7 @@ func (c Config) Validate() error {
 	case c.Parallelism < 0:
 		return fmt.Errorf("match: Parallelism %d negative", c.Parallelism)
 	}
-	return nil
+	return c.Sharding.Validate()
 }
 
 // Engine is mT-Share's dispatcher: it owns the index structures and
@@ -194,8 +208,11 @@ type Engine struct {
 	// Dispatch evaluates candidates under the read lock while Commit
 	// installs plans under the write lock, so concurrent dispatching,
 	// committing, and reindexing never observe a half-written schedule.
-	mu    sync.RWMutex
-	taxis map[int64]*fleet.Taxi
+	// closed (set by Drain, read under the same lock) bars any further
+	// plan installation once shutdown has begun.
+	mu     sync.RWMutex
+	taxis  map[int64]*fleet.Taxi
+	closed bool
 
 	// legCache memoises partition-filtered leg costs; they are a pure
 	// function of the endpoint pair on a static graph. meanEdge is the
@@ -210,9 +227,12 @@ type Engine struct {
 	filterMu    sync.RWMutex
 	filterCache map[uint64][]partition.ID
 
-	// cruiseRng drives demand-proportional cruise-target sampling.
-	rngMu     sync.Mutex
-	cruiseRng *rand.Rand
+	// cruise drives demand-proportional cruise-target sampling. The
+	// sampler is a pointer so a sharded dispatcher can hand every shard
+	// the same stream: idle-cruise planning walks taxis in ID order in
+	// every driver, so sharing the sampler reproduces the single-engine
+	// draw sequence exactly.
+	cruise *cruiseSampler
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -242,6 +262,11 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 	if cfg.RouterWrap != nil {
 		router = cfg.RouterWrap(raw)
 	}
+	if cfg.DisableLandmarkLB {
+		cfg.Oracle = nil
+	} else if cfg.Oracle == nil {
+		cfg.Oracle = partition.NewOracle(pt, cfg.parallelism())
+	}
 	e := &Engine{
 		cfg:         cfg,
 		g:           g,
@@ -254,16 +279,29 @@ func NewEngine(pt *partition.Partitioning, spx *roadnet.SpatialIndex, cfg Config
 		taxis:       make(map[int64]*fleet.Taxi),
 		legCache:    make(map[uint64]float64),
 		filterCache: make(map[uint64][]partition.ID),
-		cruiseRng:   rand.New(rand.NewSource(1)),
+		cruise:      newCruiseSampler(1),
 		reg:         reg,
 		tracer:      cfg.Tracer,
 		ins:         newInstruments(reg),
 	}
-	if !cfg.DisableLandmarkLB {
-		e.oracle = partition.NewOracle(pt, cfg.parallelism())
-	}
+	e.oracle = cfg.Oracle
 	e.rawRouter.Warm(pt.Landmarks())
 	return e, nil
+}
+
+// ErrDispatcherClosed is returned by Commit and installPlan after Drain:
+// a drained dispatcher refuses every further plan installation, so no
+// assignment can land once shutdown's critical section has passed.
+var ErrDispatcherClosed = errors.New("match: dispatcher closed")
+
+// Drain closes the engine for plan installation. Taking the fleet write
+// lock waits out every in-flight dispatch evaluation and commit, so when
+// Drain returns nothing is mid-commit and nothing can commit later —
+// System.Close and server.Stop rely on this barrier.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
 }
 
 // LandmarkOracle returns the engine's landmark lower-bound estimator, or
@@ -334,7 +372,24 @@ func (e *Engine) ReindexTaxi(t *fleet.Taxi, nowSeconds float64) {
 func (e *Engine) installPlan(t *fleet.Taxi, events []fleet.Event, legs [][]roadnet.VertexID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrDispatcherClosed
+	}
 	return t.SetPlan(events, legs)
+}
+
+// noteCruisePlanned counts a committed idle-cruise plan for the taxi.
+func (e *Engine) noteCruisePlanned(t *fleet.Taxi) { e.ins.cruisePlans.Inc() }
+
+// removeTaxi drops a taxi from the registry and the partition index; the
+// sharded dispatcher uses it to hand a taxi from one shard's territory to
+// another. Mobility clusters are untouched — they are shared across
+// shards and the receiving shard's ReindexTaxi refreshes them.
+func (e *Engine) removeTaxi(id int64) {
+	e.mu.Lock()
+	delete(e.taxis, id)
+	e.mu.Unlock()
+	e.pindex.Remove(id)
 }
 
 // OnRequestAssigned records a request's cluster membership.

@@ -303,9 +303,7 @@ func (e *Engine) CruisePlan(t *fleet.Taxi, maxMeters float64) ([]roadnet.VertexI
 	if len(targets) == 0 || total <= 0 {
 		return nil, false
 	}
-	e.rngMu.Lock()
-	r := e.cruiseRng.Float64() * total
-	e.rngMu.Unlock()
+	r := e.cruise.next() * total
 	pick := targets[len(targets)-1].p
 	for _, tg := range targets {
 		r -= tg.score

@@ -10,6 +10,21 @@ import (
 	"repro/internal/obs"
 )
 
+// Pool is the pending-request pool surface the facade, simulator, and
+// server program against: a single PendingQueue, or a sharded QueueGroup
+// routing each request to its home shard's queue. Obtain one matched to a
+// dispatcher via Dispatcher.NewPendingPool.
+type Pool interface {
+	Capacity() int
+	Len() int
+	Push(req *fleet.Request, nowSeconds float64) bool
+	ExpireBefore(nowSeconds float64) []*PendingItem
+	NextBatch() []*PendingItem
+	Snapshot() []*PendingItem
+	MarkServed(id fleet.RequestID, nowSeconds float64) bool
+	Stats() QueueStats
+}
+
 // PendingItem is one parked request in a PendingQueue: a request that got
 // no feasible taxi at submission and is waiting for fleet state to change.
 type PendingItem struct {
@@ -100,8 +115,35 @@ func (q *PendingQueue) InstrumentWith(reg *obs.Registry) *PendingQueue {
 	return q
 }
 
+// NewPendingPool builds the pending-request pool matching a single
+// engine: one deadline-ordered queue at the engine's speed, instrumented
+// in the engine's registry.
+func (e *Engine) NewPendingPool(capacity int) Pool {
+	return NewPendingQueue(capacity, e.cfg.SpeedMps).InstrumentWith(e.reg)
+}
+
 // Capacity returns the queue bound.
 func (q *PendingQueue) Capacity() int { return q.capacity }
+
+// contains reports whether the request is currently parked.
+func (q *PendingQueue) contains(id fleet.RequestID) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.byID[id]
+	return ok
+}
+
+// noteRejected counts a backpressure rejection decided outside the queue
+// (the QueueGroup's global bound), keeping aggregate stats equal to a
+// single queue's.
+func (q *PendingQueue) noteRejected() {
+	q.mu.Lock()
+	q.stats.Rejected++
+	if q.rejected != nil {
+		q.rejected.Inc()
+	}
+	q.mu.Unlock()
+}
 
 // Len returns the number of parked requests.
 func (q *PendingQueue) Len() int {
@@ -290,9 +332,38 @@ type BatchOutcome struct {
 // are simply not served this round; eviction of expired requests is the
 // queue's job (ExpireBefore), not DispatchBatch's.
 func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSeconds float64, probabilistic bool) []BatchOutcome {
+	return runBatch(ctx, e, reqs, nowSeconds, probabilistic, batchHooks{
+		evaluated: func(*fleet.Request) { e.ins.batchRequests.Inc() },
+		conflict:  func(*BatchOutcome) { e.ins.batchConflicts.Inc() },
+	})
+}
+
+// batchDispatcher is what runBatch needs from a dispatcher; Engine and
+// ShardedEngine both qualify.
+type batchDispatcher interface {
+	DispatchContext(ctx context.Context, req *fleet.Request, nowSeconds float64, probabilistic bool) (Assignment, bool)
+	Commit(a Assignment, nowSeconds float64) error
+	Config() Config
+}
+
+// batchHooks attribute batch accounting to the right instruments —
+// engine-wide counters for a single engine, per-home-shard counters for a
+// sharded dispatcher.
+type batchHooks struct {
+	evaluated func(r *fleet.Request)
+	conflict  func(o *BatchOutcome)
+}
+
+// runBatch is the two-phase batch protocol shared by Engine and
+// ShardedEngine: phase 1 evaluates every request against the same fleet
+// state, phase 2 reserves taxis in (pickup deadline, request ID) order —
+// the `taken` set — and commits, re-dispatching the later request of any
+// conflict. Both phases are deterministic at every parallelism level and
+// shard count.
+func runBatch(ctx context.Context, d batchDispatcher, reqs []*fleet.Request, nowSeconds float64, probabilistic bool, h batchHooks) []BatchOutcome {
 	order := make([]*fleet.Request, len(reqs))
 	copy(order, reqs)
-	speed := e.cfg.SpeedMps
+	speed := d.Config().SpeedMps
 	sort.Slice(order, func(i, j int) bool {
 		di, dj := order[i].PickupDeadline(speed), order[j].PickupDeadline(speed)
 		if di != dj {
@@ -304,10 +375,10 @@ func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSe
 	// Phase 1: evaluate everything against the same fleet state (no
 	// commits interleave), each evaluation fanning across the worker pool.
 	for i, r := range order {
-		a, ok := e.DispatchContext(ctx, r, nowSeconds, probabilistic)
+		a, ok := d.DispatchContext(ctx, r, nowSeconds, probabilistic)
 		out[i] = BatchOutcome{Req: r, Assignment: a, Served: ok}
+		h.evaluated(r)
 	}
-	e.ins.batchRequests.Add(int64(len(order)))
 	// Phase 2: commit in order, re-dispatching on conflicts.
 	taken := make(map[int64]bool)
 	for i := range out {
@@ -317,16 +388,16 @@ func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSe
 		}
 		if taken[o.Assignment.Taxi.ID] {
 			o.Conflict = true
-			e.ins.batchConflicts.Inc()
-			if !e.redispatch(ctx, o, nowSeconds, probabilistic) {
+			h.conflict(o)
+			if !redispatch(ctx, d, o, nowSeconds, probabilistic) {
 				continue
 			}
 		}
-		if e.Commit(o.Assignment, nowSeconds) != nil {
+		if d.Commit(o.Assignment, nowSeconds) != nil {
 			// The evaluation went stale under a concurrent commit outside
 			// the batch; one re-dispatch against live state settles it.
-			if !e.redispatch(ctx, o, nowSeconds, probabilistic) ||
-				e.Commit(o.Assignment, nowSeconds) != nil {
+			if !redispatch(ctx, d, o, nowSeconds, probabilistic) ||
+				d.Commit(o.Assignment, nowSeconds) != nil {
 				o.Served = false
 				continue
 			}
@@ -338,8 +409,152 @@ func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSe
 
 // redispatch re-evaluates a batch outcome's request against the current
 // fleet state, replacing its assignment.
-func (e *Engine) redispatch(ctx context.Context, o *BatchOutcome, nowSeconds float64, probabilistic bool) bool {
-	a, ok := e.DispatchContext(ctx, o.Req, nowSeconds, probabilistic)
+func redispatch(ctx context.Context, d batchDispatcher, o *BatchOutcome, nowSeconds float64, probabilistic bool) bool {
+	a, ok := d.DispatchContext(ctx, o.Req, nowSeconds, probabilistic)
 	o.Assignment, o.Served = a, ok
 	return ok
+}
+
+// QueueGroup is the sharded pending-request pool: one PendingQueue per
+// shard, each request parked on its home shard's queue, with a global
+// capacity bound across the group so backpressure behaves exactly like a
+// single queue of the same capacity. Batch and expiry traversals merge
+// the per-shard queues back into one (pickup deadline, request ID) order,
+// so DispatchBatch sees the same deterministic sequence either way.
+type QueueGroup struct {
+	se       *ShardedEngine
+	capacity int
+
+	// mu serialises group operations so the global bound is exact; the
+	// per-queue locks below it only order group-vs-direct-queue access.
+	mu     sync.Mutex
+	queues []*PendingQueue
+}
+
+// Capacity returns the group-wide bound.
+func (g *QueueGroup) Capacity() int { return g.capacity }
+
+// Len returns the number of parked requests across all shards.
+func (g *QueueGroup) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.depthLocked()
+}
+
+func (g *QueueGroup) depthLocked() int {
+	total := 0
+	for _, q := range g.queues {
+		total += q.Len()
+	}
+	return total
+}
+
+// Push parks a request on its home shard's queue, subject to the global
+// bound. Re-pushing a parked request is a no-op reporting true; the
+// rejection bookkeeping matches a single queue's exactly (one Rejected
+// count whether the refusal came from the bound or a passed deadline).
+func (g *QueueGroup) Push(req *fleet.Request, nowSeconds float64) bool {
+	q := g.queues[g.se.HomeShard(req)]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if q.contains(req.ID) {
+		return true
+	}
+	if g.depthLocked() >= g.capacity {
+		q.noteRejected()
+		return false
+	}
+	return q.Push(req, nowSeconds)
+}
+
+// ExpireBefore evicts strictly-late requests from every shard queue and
+// returns them merged in (pickup deadline, request ID) order.
+func (g *QueueGroup) ExpireBefore(nowSeconds float64) []*PendingItem {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*PendingItem
+	for _, q := range g.queues {
+		out = append(out, q.ExpireBefore(nowSeconds)...)
+	}
+	sortPendingItems(out)
+	return out
+}
+
+// NextBatch returns every parked request merged in (pickup deadline,
+// request ID) order — identical to a single queue's batch order — and
+// counts one retry against each.
+func (g *QueueGroup) NextBatch() []*PendingItem {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*PendingItem
+	for _, q := range g.queues {
+		out = append(out, q.NextBatch()...)
+	}
+	sortPendingItems(out)
+	return out
+}
+
+// Snapshot returns the parked requests in (pickup deadline, request ID)
+// order without mutating lifecycle state.
+func (g *QueueGroup) Snapshot() []*PendingItem {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*PendingItem
+	for _, q := range g.queues {
+		out = append(out, q.Snapshot()...)
+	}
+	sortPendingItems(out)
+	return out
+}
+
+// MarkServed removes a matched request from whichever shard queue holds
+// it.
+func (g *QueueGroup) MarkServed(id fleet.RequestID, nowSeconds float64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, q := range g.queues {
+		if q.MarkServed(id, nowSeconds) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardDepths returns each shard queue's current depth, indexed by
+// shard (the stats API's per-shard queue view).
+func (g *QueueGroup) ShardDepths() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, len(g.queues))
+	for i, q := range g.queues {
+		out[i] = q.Len()
+	}
+	return out
+}
+
+// Stats sums the shard queues' lifecycle counters under the group's
+// capacity.
+func (g *QueueGroup) Stats() QueueStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := QueueStats{Capacity: g.capacity}
+	for _, q := range g.queues {
+		qs := q.Stats()
+		s.Depth += qs.Depth
+		s.Enqueued += qs.Enqueued
+		s.Rejected += qs.Rejected
+		s.Retries += qs.Retries
+		s.Served += qs.Served
+		s.Expired += qs.Expired
+	}
+	return s
+}
+
+func sortPendingItems(items []*PendingItem) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].pickupDeadline != items[j].pickupDeadline {
+			return items[i].pickupDeadline < items[j].pickupDeadline
+		}
+		return items[i].Req.ID < items[j].Req.ID
+	})
 }

@@ -10,12 +10,13 @@ import (
 	"repro/internal/roadnet"
 )
 
-// Scheme adapts the matching engine to the simulation's dispatcher
-// contract. Probabilistic selects the mT-Share_pro variant: probabilistic
-// routing in Alg. 1 for eligible taxis plus probabilistic cruising of idle
-// taxis toward likely offline demand.
+// Scheme adapts a dispatcher — a single Engine or a ShardedEngine — to
+// the simulation's dispatcher contract. Probabilistic selects the
+// mT-Share_pro variant: probabilistic routing in Alg. 1 for eligible
+// taxis plus probabilistic cruising of idle taxis toward likely offline
+// demand.
 type Scheme struct {
-	*Engine
+	Dispatcher
 	// Probabilistic enables probabilistic routing and cruising
 	// (mT-Share_pro).
 	Probabilistic bool
@@ -26,10 +27,10 @@ type Scheme struct {
 	lastIndexed map[int64]partition.ID
 }
 
-// NewScheme wraps an engine as a simulation dispatcher.
-func NewScheme(e *Engine, probabilistic bool) *Scheme {
+// NewScheme wraps a dispatcher as a simulation dispatcher.
+func NewScheme(d Dispatcher, probabilistic bool) *Scheme {
 	return &Scheme{
-		Engine:        e,
+		Dispatcher:    d,
 		Probabilistic: probabilistic,
 		CruiseMeters:  3000,
 		lastIndexed:   make(map[int64]partition.ID),
@@ -44,15 +45,15 @@ func (s *Scheme) Name() string {
 	return "mT-Share"
 }
 
-// AddTaxi registers a taxi with the engine.
+// AddTaxi registers a taxi with the dispatcher.
 func (s *Scheme) AddTaxi(t *fleet.Taxi, nowSeconds float64) {
-	s.Engine.AddTaxi(t, nowSeconds)
+	s.Dispatcher.AddTaxi(t, nowSeconds)
 	s.noteIndexed(t)
 }
 
 func (s *Scheme) noteIndexed(t *fleet.Taxi) {
 	s.mu.Lock()
-	s.lastIndexed[t.ID] = s.pt.PartitionOf(t.At())
+	s.lastIndexed[t.ID] = s.Partitioning().PartitionOf(t.At())
 	s.mu.Unlock()
 }
 
@@ -97,7 +98,7 @@ func (s *Scheme) OnBatch(reqs []*fleet.Request, nowSeconds float64) []dispatch.B
 // the plan (constant speed, fixed route), so a full reindex per tick is
 // unnecessary; only border crossings leave stale rows behind.
 func (s *Scheme) OnTaxiAdvanced(t *fleet.Taxi, nowSeconds float64) {
-	cur := s.pt.PartitionOf(t.At())
+	cur := s.Partitioning().PartitionOf(t.At())
 	s.mu.Lock()
 	last, ok := s.lastIndexed[t.ID]
 	if ok && last == cur {
@@ -114,9 +115,9 @@ func (s *Scheme) OnRequestCompleted(req *fleet.Request, nowSeconds float64) {
 	s.OnRequestDone(req)
 }
 
-// TryServeOffline delegates to the engine's insertion check.
+// TryServeOffline delegates to the dispatcher's insertion check.
 func (s *Scheme) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowSeconds float64) bool {
-	ok := s.Engine.TryServeOffline(t, req, nowSeconds)
+	ok := s.Dispatcher.TryServeOffline(t, req, nowSeconds)
 	if ok {
 		s.noteIndexed(t)
 	}
@@ -136,7 +137,7 @@ func (s *Scheme) PlanIdle(t *fleet.Taxi, nowSeconds float64) bool {
 	if err := s.installPlan(t, nil, [][]roadnet.VertexID{path}); err != nil {
 		return false
 	}
-	s.ins.cruisePlans.Inc()
+	s.noteCruisePlanned(t)
 	s.ReindexTaxi(t, nowSeconds)
 	s.noteIndexed(t)
 	return true

@@ -1,0 +1,580 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/roadnet"
+)
+
+// shardedOver builds a ShardedEngine over the same world as env, so
+// single-engine and sharded runs can be compared request for request.
+func shardedOver(t testing.TB, env *testEnv, shards int, cfgMut func(*Config)) *ShardedEngine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SearchRangeMeters = 3000
+	cfg.Sharding = ShardingConfig{Shards: shards}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	se, err := NewShardedEngine(env.pt, env.spx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+// placeFleetOn registers the same deterministic fleet placeFleet uses,
+// but on an arbitrary dispatcher with its own taxi objects — schedules
+// are per-dispatcher state, so differential runs must not share them.
+func placeFleetOn(d Dispatcher, env *testEnv, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		at := roadnet.VertexID(rng.Intn(env.g.NumVertices()))
+		d.AddTaxi(fleet.NewTaxi(env.g, int64(i+1), 3, at), 0)
+	}
+}
+
+func TestShardingConfigValidate(t *testing.T) {
+	valid := []ShardingConfig{
+		{},
+		{Shards: 1},
+		{Shards: 4},
+		{Shards: 2, BorderPolicy: BorderTwoPhase},
+		{Shards: 3, BorderPolicy: BorderLocal},
+	}
+	for i, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid case %d: %v", i, err)
+		}
+	}
+	invalid := []ShardingConfig{
+		{Shards: -1},
+		{Shards: 2, BorderPolicy: "frobnicate"},
+	}
+	for i, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid case %d: expected error", i)
+		}
+	}
+	if (ShardingConfig{}).Enabled() || (ShardingConfig{Shards: 1}).Enabled() {
+		t.Error("zero value and Shards=1 must mean single engine")
+	}
+	if !(ShardingConfig{Shards: 2}).Enabled() {
+		t.Error("Shards=2 must enable sharding")
+	}
+	if got := (ShardingConfig{Shards: 2}).Policy(); got != BorderTwoPhase {
+		t.Errorf("default policy = %q, want %q", got, BorderTwoPhase)
+	}
+}
+
+// TestShardRoutingTotalDeterministic is the routing property test: the
+// home shard is a total, deterministic function of the pickup partition
+// alone. Every vertex routes, always to the same shard, regardless of
+// destination, deadline, or request identity.
+func TestShardRoutingTotalDeterministic(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, nil)
+	smap := se.ShardMap()
+	n := smap.NumShards()
+	rng := rand.New(rand.NewSource(5))
+	nv := env.g.NumVertices()
+	for v := 0; v < nv; v++ {
+		o := roadnet.VertexID(v)
+		want := smap.ShardOf(env.pt.PartitionOf(o))
+		if want < 0 || want >= n {
+			t.Fatalf("vertex %d: shard %d out of range [0,%d)", v, want, n)
+		}
+		ra := &fleet.Request{
+			ID: 1, Origin: o, Dest: roadnet.VertexID(rng.Intn(nv)),
+			Deadline: time.Duration(1+rng.Intn(1000)) * time.Second, Passengers: 1,
+		}
+		rb := &fleet.Request{
+			ID: fleet.RequestID(v + 2), Origin: o, Dest: roadnet.VertexID(rng.Intn(nv)),
+			ReleaseAt: time.Duration(rng.Intn(500)) * time.Second,
+			Deadline:  time.Duration(2000+rng.Intn(1000)) * time.Second, Passengers: 2,
+		}
+		if ha, hb := se.HomeShard(ra), se.HomeShard(rb); ha != want || hb != want {
+			t.Fatalf("vertex %d: homes %d/%d, want %d — routing depends on more than the pickup partition", v, ha, hb, want)
+		}
+		if again := se.HomeShard(ra); again != want {
+			t.Fatalf("vertex %d: home changed %d -> %d across calls", v, want, again)
+		}
+	}
+}
+
+// traceWorkload dispatches and commits reqs serially on d, recording the
+// per-request outcome.
+func traceWorkload(t *testing.T, d Dispatcher, reqs []*fleet.Request) []dispatchTrace {
+	t.Helper()
+	out := make([]dispatchTrace, len(reqs))
+	for i, r := range reqs {
+		now := r.ReleaseAt.Seconds()
+		a, ok := d.Dispatch(r, now, false)
+		out[i] = dispatchTrace{served: ok}
+		if !ok {
+			continue
+		}
+		out[i].taxiID = a.Taxi.ID
+		out[i].detour = math.Float64bits(a.DetourMeters)
+		for _, leg := range a.Legs {
+			out[i].legLen += len(leg)
+		}
+		if err := d.Commit(a, now); err != nil {
+			t.Fatalf("request %d: commit: %v", r.ID, err)
+		}
+	}
+	return out
+}
+
+// TestShardedDispatchMatchesSingle is the differential test: the sharded
+// dispatcher must produce bit-identical outcomes to the single engine on
+// the same seeded stream, at several shard counts.
+func TestShardedDispatchMatchesSingle(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		shards, par int
+	}{
+		{"shards=2", 2, 0},
+		{"shards=3", 3, 0},
+		{"shards=2/parallel=4", 2, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newTestEnv(t, nil)
+			se := shardedOver(t, env, tc.shards, func(c *Config) {
+				if tc.par > 0 {
+					c.Parallelism = tc.par
+				}
+			})
+			placeFleetOn(env.e, env, 12, 42)
+			placeFleetOn(se, env, 12, 42)
+			want := traceWorkload(t, env.e, seededWorkload(env, 80, 7))
+			got := traceWorkload(t, se, seededWorkload(env, 80, 7))
+			served := 0
+			for i := range want {
+				if want[i].served != got[i].served || want[i].taxiID != got[i].taxiID ||
+					want[i].detour != got[i].detour || want[i].legLen != got[i].legLen {
+					t.Fatalf("request %d: single %+v, sharded %+v", i+1, want[i], got[i])
+				}
+				if want[i].served {
+					served++
+				}
+			}
+			if served == 0 {
+				t.Fatal("differential is vacuous: nothing served")
+			}
+			var cross int64
+			for _, sh := range se.ShardStats() {
+				cross += sh.CrossShardCandidates
+			}
+			if cross == 0 {
+				t.Fatal("differential is vacuous: no candidate ever crossed a shard border")
+			}
+		})
+	}
+}
+
+// TestShardedBatchMatchesSingle runs the same stream through
+// DispatchBatch rounds on both dispatchers: outcome order, served flags,
+// winners, detours, and conflict flags must all agree.
+func TestShardedBatchMatchesSingle(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, nil)
+	placeFleetOn(env.e, env, 10, 21)
+	placeFleetOn(se, env, 10, 21)
+	ra := seededWorkload(env, 48, 13)
+	rb := seededWorkload(env, 48, 13)
+	ctx := context.Background()
+	for i := 0; i < len(ra); i += 8 {
+		end := i + 8
+		now := ra[end-1].ReleaseAt.Seconds()
+		oa := env.e.DispatchBatch(ctx, ra[i:end], now, false)
+		ob := se.DispatchBatch(ctx, rb[i:end], now, false)
+		if len(oa) != len(ob) {
+			t.Fatalf("round %d: %d vs %d outcomes", i/8, len(oa), len(ob))
+		}
+		for j := range oa {
+			a, b := oa[j], ob[j]
+			if a.Req.ID != b.Req.ID || a.Served != b.Served || a.Conflict != b.Conflict {
+				t.Fatalf("round %d pos %d: single {req %d served %v conflict %v}, sharded {req %d served %v conflict %v}",
+					i/8, j, a.Req.ID, a.Served, a.Conflict, b.Req.ID, b.Served, b.Conflict)
+			}
+			if a.Served {
+				if a.Assignment.Taxi.ID != b.Assignment.Taxi.ID ||
+					math.Float64bits(a.Assignment.DetourMeters) != math.Float64bits(b.Assignment.DetourMeters) {
+					t.Fatalf("round %d req %d: taxi/detour diverge: %d/%v vs %d/%v",
+						i/8, a.Req.ID, a.Assignment.Taxi.ID, a.Assignment.DetourMeters,
+						b.Assignment.Taxi.ID, b.Assignment.DetourMeters)
+				}
+			}
+		}
+	}
+}
+
+// borderConflictWorld places one taxi in shard 0's territory and two
+// batch requests homed on different shards that both want it. The
+// cross-shard loser's conflict must be counted as a border conflict.
+func borderConflictRound(t *testing.T) (se *ShardedEngine, outs []BatchOutcome) {
+	t.Helper()
+	env := newTestEnv(t, nil)
+	se = shardedOver(t, env, 2, func(c *Config) { c.SearchRangeMeters = 100000 })
+	smap := se.ShardMap()
+	homeOf := func(v roadnet.VertexID) int { return smap.ShardOf(env.pt.PartitionOf(v)) }
+	// v0 in shard 0, v1 in shard 1, finite cost both ways.
+	var v0, v1 roadnet.VertexID = -1, -1
+	for v := 0; v < env.g.NumVertices() && v0 < 0; v++ {
+		if homeOf(roadnet.VertexID(v)) == 0 {
+			v0 = roadnet.VertexID(v)
+		}
+	}
+	for v := 0; v < env.g.NumVertices() && v1 < 0; v++ {
+		u := roadnet.VertexID(v)
+		if homeOf(u) == 1 &&
+			!math.IsInf(env.e.Router().Cost(v0, u), 1) &&
+			!math.IsInf(env.e.Router().Cost(u, v0), 1) {
+			v1 = u
+		}
+	}
+	if v0 < 0 || v1 < 0 {
+		t.Skip("no reachable cross-shard vertex pair on this layout")
+	}
+	se.AddTaxi(fleet.NewTaxi(env.g, 1, 3, v0), 0)
+	// r1 is homed with the taxi and has the tighter pickup deadline, so
+	// it commits first; r2 comes from the other shard with generous
+	// slack, picks the same (only) taxi in phase 1, and loses it.
+	r1 := env.request(1, v0, v1, 0, 1.2)
+	r2 := env.request(2, v1, v0, 0, 3.0)
+	outs = se.DispatchBatch(context.Background(), []*fleet.Request{r1, r2}, 0, false)
+	return se, outs
+}
+
+func TestShardedBorderConflict(t *testing.T) {
+	se, outs := borderConflictRound(t)
+	var first, second *BatchOutcome
+	for i := range outs {
+		switch outs[i].Req.ID {
+		case 1:
+			first = &outs[i]
+		case 2:
+			second = &outs[i]
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatalf("missing outcomes: %+v", outs)
+	}
+	if !first.Served || first.Assignment.Taxi.ID != 1 {
+		t.Fatalf("home request should win the taxi: %+v", first)
+	}
+	if !second.Conflict {
+		t.Fatalf("cross-shard request should have conflicted: %+v", second)
+	}
+	var border int64
+	for _, sh := range se.ShardStats() {
+		border += sh.BorderConflicts
+	}
+	if border == 0 {
+		t.Fatal("conflict over a foreign-owned taxi was not counted as a border conflict")
+	}
+	// Deterministic resolution: the identical round resolves identically.
+	_, again := borderConflictRound(t)
+	if len(again) != len(outs) {
+		t.Fatalf("outcome count changed: %d vs %d", len(again), len(outs))
+	}
+	for i := range outs {
+		if outs[i].Req.ID != again[i].Req.ID || outs[i].Served != again[i].Served || outs[i].Conflict != again[i].Conflict {
+			t.Fatalf("resolution not deterministic at pos %d: %+v vs %+v", i, outs[i], again[i])
+		}
+	}
+}
+
+// TestShardedBorderLocalStaysHome checks the restrictive policy: with
+// BorderLocal no candidate ever crosses a shard border.
+func TestShardedBorderLocalStaysHome(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, func(c *Config) {
+		c.Sharding.BorderPolicy = BorderLocal
+	})
+	placeFleetOn(se, env, 12, 42)
+	traceWorkload(t, se, seededWorkload(env, 40, 7))
+	for _, sh := range se.ShardStats() {
+		if sh.CrossShardCandidates != 0 || sh.CrossShardAssignments != 0 {
+			t.Fatalf("shard %d: BorderLocal leaked across the border: %+v", sh.Shard, sh)
+		}
+	}
+}
+
+// TestDrainRefusesCommit locks in the shutdown bugfix: after Drain no
+// in-flight assignment may commit, on the single engine and on every
+// shard of a sharded dispatcher.
+func TestDrainRefusesCommit(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"single", 1}, {"sharded", 2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := newTestEnv(t, nil)
+			var d Dispatcher = env.e
+			if tc.shards > 1 {
+				d = shardedOver(t, env, tc.shards, nil)
+			}
+			placeFleetOn(d, env, 8, 42)
+			var (
+				a   Assignment
+				ok  bool
+				now float64
+			)
+			for _, r := range seededWorkload(env, 10, 7) {
+				now = r.ReleaseAt.Seconds()
+				if a, ok = d.Dispatch(r, now, false); ok {
+					break
+				}
+			}
+			if !ok {
+				t.Fatal("no dispatchable request in the seeded stream")
+			}
+			d.Drain()
+			if err := d.Commit(a, now); !errors.Is(err, ErrDispatcherClosed) {
+				t.Fatalf("Commit after Drain = %v, want ErrDispatcherClosed", err)
+			}
+		})
+	}
+}
+
+// TestQueueGroupMatchesPendingQueue checks the sharded pending pool is
+// observationally identical to the single queue: same accept/reject
+// pattern under the one global capacity bound, same merged batch order,
+// same expiry set.
+func TestQueueGroupMatchesPendingQueue(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, nil)
+	const capacity = 6
+	single := env.e.NewPendingPool(capacity)
+	group := se.NewPendingPool(capacity)
+	if single.Capacity() != capacity || group.Capacity() != capacity {
+		t.Fatalf("capacities %d/%d, want %d", single.Capacity(), group.Capacity(), capacity)
+	}
+	reqs := seededWorkload(env, 10, 31)
+	for i, r := range reqs {
+		ga, gb := single.Push(r, 0), group.Push(r, 0)
+		if ga != gb {
+			t.Fatalf("req %d: single accepts %v, group accepts %v", i, ga, gb)
+		}
+	}
+	if single.Len() != group.Len() {
+		t.Fatalf("Len: %d vs %d", single.Len(), group.Len())
+	}
+	if ga, gb := single.Push(reqs[0], 0), group.Push(reqs[0], 0); ga != gb {
+		t.Fatalf("duplicate push: %v vs %v", ga, gb)
+	}
+	if sd, ok := group.(interface{ ShardDepths() []int }); ok {
+		sum := 0
+		for _, d := range sd.ShardDepths() {
+			sum += d
+		}
+		if sum != group.Len() {
+			t.Fatalf("ShardDepths sum %d != Len %d", sum, group.Len())
+		}
+	} else {
+		t.Fatal("sharded pool does not expose per-shard depths")
+	}
+	sa, sb := single.Snapshot(), group.Snapshot()
+	if len(sa) != len(sb) {
+		t.Fatalf("Snapshot: %d vs %d items", len(sa), len(sb))
+	}
+	qa, qb := single.Stats(), group.Stats()
+	if qa.Depth != qb.Depth || qa.Capacity != qb.Capacity {
+		t.Fatalf("Stats: %+v vs %+v", qa, qb)
+	}
+	ba, bb := single.NextBatch(), group.NextBatch()
+	if len(ba) != len(bb) {
+		t.Fatalf("NextBatch: %d vs %d items", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i].Req.ID != bb[i].Req.ID {
+			t.Fatalf("NextBatch pos %d: req %d vs %d — merged order broke the global (deadline, id) key",
+				i, ba[i].Req.ID, bb[i].Req.ID)
+		}
+	}
+	if len(ba) > 0 {
+		id := ba[0].Req.ID
+		if ga, gb := single.MarkServed(id, 0), group.MarkServed(id, 0); ga != gb || single.Len() != group.Len() {
+			t.Fatalf("MarkServed(%d): %v/%v, depths %d/%d", id, ga, gb, single.Len(), group.Len())
+		}
+	}
+	ea, eb := single.ExpireBefore(1e12), group.ExpireBefore(1e12)
+	ids := func(items []*PendingItem) []int64 {
+		out := make([]int64, len(items))
+		for i, it := range items {
+			out[i] = int64(it.Req.ID)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	ia, ib := ids(ea), ids(eb)
+	if len(ia) != len(ib) {
+		t.Fatalf("ExpireBefore: %d vs %d items", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("ExpireBefore sets differ at %d: %d vs %d", i, ia[i], ib[i])
+		}
+	}
+	if single.Len() != 0 || group.Len() != 0 {
+		t.Fatalf("queues not empty after full expiry: %d / %d", single.Len(), group.Len())
+	}
+}
+
+// TestSchemeShardedLifecycle drives the full simulation-facing contract
+// (Scheme) over a sharded dispatcher built through the NewDispatcher
+// factory: online dispatch, taxi advancement with border-crossing
+// reindexing (shard handoffs), batch re-dispatch, street hails, request
+// completion, and probabilistic idle cruising.
+func TestSchemeShardedLifecycle(t *testing.T) {
+	env := newTestEnv(t, nil)
+	cfg := DefaultConfig()
+	cfg.SearchRangeMeters = 3000
+	cfg.Sharding = ShardingConfig{Shards: 2}
+	d, err := NewDispatcher(env.pt, env.spx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", d.ShardCount())
+	}
+	// Delegated surfaces must be wired, not nil.
+	if d.Partitioning() != env.pt {
+		t.Fatal("Partitioning not the build input")
+	}
+	if d.Router() == nil || d.LandmarkOracle() == nil || d.Metrics() == nil {
+		t.Fatal("delegated surface is nil")
+	}
+	_ = d.ClusterStats()
+	if d.IndexMemoryBytes() <= 0 {
+		t.Fatal("IndexMemoryBytes not positive")
+	}
+
+	s := NewScheme(d, true)
+	if s.Name() != "mT-Share-pro" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if !s.SupportsOfflineDispatch() {
+		t.Fatal("offline dispatch must be supported")
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	taxis := make([]*fleet.Taxi, 10)
+	for i := range taxis {
+		taxis[i] = fleet.NewTaxi(env.g, int64(i+1), 3, roadnet.VertexID(rng.Intn(env.g.NumVertices())))
+		s.AddTaxi(taxis[i], 0)
+	}
+	if d.NumTaxis() != len(taxis) {
+		t.Fatalf("NumTaxis = %d, want %d", d.NumTaxis(), len(taxis))
+	}
+	if tx, ok := d.Taxi(3); !ok || tx.ID != 3 {
+		t.Fatalf("Taxi(3) = %v, %v", tx, ok)
+	}
+	if _, ok := d.Taxi(999); ok {
+		t.Fatal("Taxi(999) exists")
+	}
+
+	served := 0
+	var servedReqs []*fleet.Request
+	var now float64
+	for _, r := range seededWorkload(env, 60, 9) {
+		now = r.ReleaseAt.Seconds()
+		if out := s.OnRequest(r, now); out.Served {
+			served++
+			servedReqs = append(servedReqs, r)
+		}
+		// Advance every taxi along its plan and reindex on border
+		// crossings — the path that hands taxis between shards.
+		for _, tx := range taxis {
+			tx.Advance(120)
+			s.OnTaxiAdvanced(tx, now)
+		}
+	}
+	if served == 0 {
+		t.Fatal("nothing served through the scheme")
+	}
+	var handoffs int64
+	for _, sh := range d.ShardStats() {
+		handoffs += sh.Handoffs
+	}
+	if handoffs == 0 {
+		t.Fatal("taxis crossed the city but never changed shard ownership")
+	}
+
+	// Batch re-dispatch through the scheme surface.
+	batch := seededWorkload(env, 8, 23)
+	res := s.OnBatch(batch, now)
+	if len(res) != len(batch) {
+		t.Fatalf("OnBatch returned %d results for %d requests", len(res), len(batch))
+	}
+
+	// Street hail: an insertion into a specific taxi's schedule.
+	hailed := false
+	for i, tx := range taxis {
+		o := tx.At()
+		dst := env.vertexNear(t, 0.9, 0.1)
+		if o == dst || math.IsInf(d.Router().Cost(o, dst), 1) {
+			continue
+		}
+		hail := env.request(int64(5000+i), o, dst, now, 2.5)
+		if s.TryServeOffline(tx, hail, now) {
+			hailed = true
+			break
+		}
+	}
+	if !hailed {
+		t.Fatal("no taxi accepted a roadside hail at its own position")
+	}
+
+	// Completion unwinds the mobility-cluster bookkeeping.
+	for _, r := range servedReqs {
+		s.OnRequestCompleted(r, now)
+	}
+
+	// Probabilistic idle cruising on a fresh, empty taxi: CruisePlan and
+	// the installPlan/noteCruisePlanned hooks run through the shard that
+	// owns the taxi.
+	idle := fleet.NewTaxi(env.g, 99, 3, env.vertexNear(t, 0.5, 0.5))
+	s.AddTaxi(idle, now)
+	if s.PlanIdle(idle, now) {
+		if len(idle.Route()) <= 1 {
+			t.Fatal("cruise planned but no route installed")
+		}
+	}
+}
+
+// TestSchemeSingleCruisePlan covers the single-engine cruise path: after
+// observing demand, PlanIdle installs a cruise route on an idle taxi.
+func TestSchemeSingleCruisePlan(t *testing.T) {
+	env := newTestEnv(t, nil)
+	s := NewScheme(env.e, true)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 6; i++ {
+		s.AddTaxi(fleet.NewTaxi(env.g, int64(i+1), 3, roadnet.VertexID(rng.Intn(env.g.NumVertices()))), 0)
+	}
+	var now float64
+	for _, r := range seededWorkload(env, 40, 9) {
+		now = r.ReleaseAt.Seconds()
+		s.OnRequest(r, now)
+	}
+	planned := false
+	for i := 0; i < 4 && !planned; i++ {
+		idle := fleet.NewTaxi(env.g, int64(200+i), 3, env.vertexNear(t, 0.2+0.2*float64(i), 0.5))
+		s.AddTaxi(idle, now)
+		if s.PlanIdle(idle, now) {
+			planned = len(idle.Route()) > 1
+		}
+	}
+	if !planned {
+		t.Fatal("no idle taxi ever received a cruise plan")
+	}
+}

@@ -29,6 +29,14 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// labels, when non-empty, decorates every name registered through this
+	// handle as name{labels} — a label set in the Prometheus sense. root
+	// points at the registry owning the maps; nil means this handle is the
+	// root itself. Labeled views share the root's instruments, so one
+	// Snapshot or scrape sees every shard's series side by side.
+	labels string
+	root   *Registry
 }
 
 // NewRegistry creates an empty registry.
@@ -38,6 +46,38 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// base resolves the registry owning the instrument maps.
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// decorate applies the handle's label set to an instrument name.
+func (r *Registry) decorate(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	return name + "{" + r.labels + "}"
+}
+
+// Labeled returns a view of the registry that registers every instrument
+// under name{labels} instead of name — e.g. Labeled(`shard="2"`) turns
+// mtshare_match_dispatches_total into
+// mtshare_match_dispatches_total{shard="2"}. The view shares the
+// underlying registry: Snapshot and WritePrometheus on either handle see
+// all series. Labels compose; labelling a labelled view appends to its
+// label set. labels must be a well-formed Prometheus label list
+// (k="v",...) — the registry does not parse it.
+func (r *Registry) Labeled(labels string) *Registry {
+	combined := labels
+	if r.labels != "" {
+		combined = r.labels + "," + labels
+	}
+	return &Registry{labels: combined, root: r.base()}
 }
 
 var defaultRegistry = NewRegistry()
@@ -50,6 +90,8 @@ func Default() *Registry { return defaultRegistry }
 // Counter returns the counter registered under name, creating it on first
 // use.
 func (r *Registry) Counter(name string) *Counter {
+	name = r.decorate(name)
+	r = r.base()
 	r.mu.RLock()
 	c := r.counters[name]
 	r.mu.RUnlock()
@@ -67,6 +109,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	name = r.decorate(name)
+	r = r.base()
 	r.mu.RLock()
 	g := r.gauges[name]
 	r.mu.RUnlock()
@@ -93,6 +137,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 // DefLatencyBuckets). Bounds are fixed at creation; a later call with
 // different bounds returns the existing histogram unchanged.
 func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	name = r.decorate(name)
+	r = r.base()
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
@@ -255,8 +301,10 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot
 }
 
-// Snapshot captures every instrument's current value.
+// Snapshot captures every instrument's current value. On a labelled view
+// it captures the whole underlying registry, labelled series included.
 func (r *Registry) Snapshot() Snapshot {
+	r = r.base()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{

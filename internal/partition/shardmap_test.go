@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"testing"
+)
+
+// shardMapWorld builds one partitioning large enough to shard several
+// ways.
+func shardMapWorld(t *testing.T) *Partitioning {
+	t.Helper()
+	g, _, ods := testCity(t, 12, 12, 150)
+	pt, err := BuildBipartite(g, ods, Params{Kappa: 12, KTrans: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// TestShardMapCoverage is the ownership property test: for every legal
+// shard count, every partition belongs to exactly one shard, shard
+// ranges are contiguous, ascending, and jointly cover [0, k), and the
+// per-shard vertex counts sum to the whole graph.
+func TestShardMapCoverage(t *testing.T) {
+	pt := shardMapWorld(t)
+	k := pt.NumPartitions()
+	totalVerts := 0
+	for p := 0; p < k; p++ {
+		totalVerts += len(pt.Vertices(ID(p)))
+	}
+	for _, n := range []int{1, 2, 3, 4, 7, k} {
+		sm, err := NewShardMap(pt, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if sm.NumShards() != n {
+			t.Fatalf("n=%d: NumShards = %d", n, sm.NumShards())
+		}
+		next := ID(0)
+		vertSum := 0
+		for s := 0; s < n; s++ {
+			lo, hi := sm.Range(s)
+			if lo != next {
+				t.Fatalf("n=%d shard %d: range starts at %d, want %d (gap or overlap)", n, s, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d shard %d: empty range [%d,%d]", n, s, lo, hi)
+			}
+			for p := lo; p <= hi; p++ {
+				if got := sm.ShardOf(p); got != s {
+					t.Fatalf("n=%d: ShardOf(%d) = %d, want %d", n, p, got, s)
+				}
+			}
+			next = hi + 1
+			vertSum += sm.VertexCount(s)
+		}
+		if int(next) != k {
+			t.Fatalf("n=%d: shards cover partitions [0,%d), want [0,%d)", n, next, k)
+		}
+		if vertSum != totalVerts {
+			t.Fatalf("n=%d: vertex counts sum to %d, want %d", n, vertSum, totalVerts)
+		}
+	}
+}
+
+// TestShardMapDeterministic checks the map is a pure function of
+// (partitioning, shard count): two builds agree on every assignment.
+func TestShardMapDeterministic(t *testing.T) {
+	pt := shardMapWorld(t)
+	a, err := NewShardMap(pt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardMap(pt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < pt.NumPartitions(); p++ {
+		if a.ShardOf(ID(p)) != b.ShardOf(ID(p)) {
+			t.Fatalf("partition %d: %d vs %d across rebuilds", p, a.ShardOf(ID(p)), b.ShardOf(ID(p)))
+		}
+	}
+}
+
+func TestShardMapRejectsBadCounts(t *testing.T) {
+	pt := shardMapWorld(t)
+	for _, n := range []int{0, -1, pt.NumPartitions() + 1} {
+		if _, err := NewShardMap(pt, n); err == nil {
+			t.Errorf("n=%d: expected error", n)
+		}
+	}
+}

@@ -29,7 +29,17 @@ import (
 //   - 2: pending-request queue — Header gains queue_depth /
 //     retry_every_ticks, RequestOutcome.Err gains the "queued" and
 //     "queue_full" codes, TickEvent gains queue_matched / queue_expired.
-const Version = 2
+//   - 3: sharded dispatcher — Header gains shards / border_policy and the
+//     sealed counters include the mtshare_shard_* family. Sharding is
+//     outcome-neutral (the sharded engine is bit-identical to the single
+//     engine), so version-2 logs replay unchanged; the decoder accepts
+//     both.
+const Version = 3
+
+// minVersion is the oldest header version the decoder still replays.
+// Versions 2 and 3 share event semantics; the recorder re-emits a log's
+// own header version so golden logs stay byte-stable.
+const minVersion = 2
 
 // Log kinds: a full facade run versus a scripted simulation's dispatch
 // stream (internal/sim records the latter for run-to-run diffing).
@@ -65,6 +75,12 @@ type Header struct {
 	// Pending-request queue configuration (0 = queue disabled).
 	QueueDepth      int `json:"queue_depth,omitempty"`
 	RetryEveryTicks int `json:"retry_every_ticks,omitempty"`
+	// Sharded-dispatcher configuration (0 / "" = single engine). Sharding
+	// is outcome-neutral by construction, but the per-shard counters land
+	// in the sealed metrics snapshot, so a replay must rebuild the same
+	// topology; omitempty keeps pre-sharding logs byte-stable.
+	Shards       int    `json:"shards,omitempty"`
+	BorderPolicy string `json:"border_policy,omitempty"`
 	// GraphFingerprint is the hex fingerprint of the road graph the run
 	// used; replay refuses to diff against a different graph.
 	GraphFingerprint string `json:"graph_fp,omitempty"`
@@ -76,8 +92,8 @@ type Header struct {
 
 // Validate reports whether the header can drive a replay.
 func (h *Header) Validate() error {
-	if h.Version != Version {
-		return fmt.Errorf("replay: log version %d, this build reads %d", h.Version, Version)
+	if h.Version < minVersion || h.Version > Version {
+		return fmt.Errorf("replay: log version %d, this build reads %d through %d", h.Version, minVersion, Version)
 	}
 	switch h.Kind {
 	case KindSystem, KindSim:
@@ -222,6 +238,7 @@ var DeterministicCounterPrefixes = []string{
 	"mtshare_match_",
 	"mtshare_sim_",
 	"mtshare_index_",
+	"mtshare_shard_",
 }
 
 // DeterministicCounters filters a counters map down to the families in

@@ -65,6 +65,12 @@ type Config struct {
 	// (default 1). Expired requests are evicted on every tick regardless.
 	RetryEveryTicks int
 
+	// Sharding splits the dispatcher into independent per-territory match
+	// engines with deterministic cross-shard handoff (outcome-identical
+	// to the single engine; see match.ShardingConfig). /v1/shards reports
+	// the per-shard breakdown. The zero value keeps the single engine.
+	Sharding match.ShardingConfig
+
 	// Metrics receives the engine's instruments; nil allocates a private
 	// registry served at /v1/metrics either way.
 	Metrics *obs.Registry
@@ -79,7 +85,7 @@ type Server struct {
 	cfg    Config
 	g      *roadnet.Graph
 	spx    *roadnet.SpatialIndex
-	engine *match.Engine
+	engine match.Dispatcher
 	scheme *match.Scheme
 	pay    payment.Model
 	reg    *obs.Registry
@@ -93,7 +99,9 @@ type Server struct {
 	requests   map[fleet.RequestID]*reqStatus
 	// Pending-request queue (nil when Config.QueueDepth is 0), serviced
 	// at the top of every movement tick; tickCount counts those ticks.
-	queue      *match.PendingQueue
+	// The dispatcher supplies the pool: a single bounded queue, or a
+	// per-shard queue group under one global bound when sharded.
+	queue      match.Pool
 	retryEvery int
 	tickCount  int64
 	// stopped is guarded by mu. Handlers decide the 503 and run their
@@ -168,10 +176,11 @@ func New(cfg Config) (*Server, error) {
 	mcfg.DisableLandmarkLB = cfg.DisableLandmarkLB
 	mcfg.DisableCH = cfg.DisableCH
 	mcfg.Metrics = cfg.Metrics
+	mcfg.Sharding = cfg.Sharding
 	if cfg.TraceSampleEvery > 0 {
 		mcfg.Tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceHandler)
 	}
-	eng, err := match.NewEngine(pt, spx, mcfg)
+	eng, err := match.NewDispatcher(pt, spx, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -189,9 +198,10 @@ func New(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 	}
 	if cfg.QueueDepth > 0 {
-		// InstrumentWith surfaces the queue's depth gauge and lifecycle
-		// counters (mtshare_match_queue_*) on the /v1/metrics registry.
-		s.queue = match.NewPendingQueue(cfg.QueueDepth, eng.Config().SpeedMps).InstrumentWith(s.reg)
+		// The dispatcher-built pool surfaces the queue's depth gauge and
+		// lifecycle counters (mtshare_match_queue_*) on the /v1/metrics
+		// registry — per shard when sharded.
+		s.queue = eng.NewPendingPool(cfg.QueueDepth)
 		s.retryEvery = cfg.RetryEveryTicks
 		if s.retryEvery <= 0 {
 			s.retryEvery = 1
@@ -226,10 +236,14 @@ func (s *Server) Start() {
 // subsequent mutating requests fail with a 503 "shutdown" envelope.
 // The flag is set under mu, so any handler already inside its critical
 // section finishes first and every later handler observes the shutdown
-// before touching the engine. Stop is idempotent.
+// before touching the engine. Draining the dispatcher inside the same
+// critical section closes every shard's commit path, so no dispatch —
+// on any shard — can install a plan after Stop returns. Stop is
+// idempotent.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	s.stopped = true
+	s.engine.Drain()
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
@@ -321,6 +335,7 @@ func (s *Server) Handler() http.Handler {
 		"/requests": s.handleRequests,
 		"/hails":    s.handleHails,
 		"/stats":    s.handleStats,
+		"/shards":   s.handleShards,
 		"/queue":    s.handleQueue,
 		"/metrics":  s.handleMetrics,
 	}
@@ -638,6 +653,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"requests":            len(s.requests),
 		"served":              served,
 		"delivered":           delivered,
+		"shards":              s.engine.ShardCount(),
 		"index_memory_bytes":  s.engine.IndexMemoryBytes(),
 		"graph_vertices":      s.g.NumVertices(),
 		"dispatches":          es.Dispatches,
@@ -648,6 +664,69 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// shardJSON is one dispatcher shard on the /v1/shards surface.
+type shardJSON struct {
+	Shard          int `json:"shard"`
+	FirstPartition int `json:"first_partition"`
+	LastPartition  int `json:"last_partition"`
+	Taxis          int `json:"taxis"`
+	// QueueDepth is the shard queue's parked-request count (always 0 when
+	// the pending queue is disabled; the whole depth lands on shard 0
+	// when the dispatcher is unsharded).
+	QueueDepth            int   `json:"queue_depth"`
+	Requests              int64 `json:"requests"`
+	Assignments           int64 `json:"assignments"`
+	CrossShardCandidates  int64 `json:"cross_shard_candidates"`
+	CrossShardAssignments int64 `json:"cross_shard_assignments"`
+	BorderConflicts       int64 `json:"border_conflicts"`
+	Handoffs              int64 `json:"handoffs"`
+}
+
+// handleShards reports the per-shard dispatcher breakdown: territory,
+// fleet slice, queue depth, and the cross-shard traffic counters. An
+// unsharded dispatcher reports one shard owning every partition. The
+// route is read-only, so it keeps answering after Stop.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	s.mu.Lock()
+	raw := s.engine.ShardStats()
+	var depths []int
+	switch q := s.queue.(type) {
+	case nil:
+	case interface{ ShardDepths() []int }:
+		depths = q.ShardDepths()
+	default:
+		depths = make([]int, len(raw))
+		depths[0] = q.Len()
+	}
+	s.mu.Unlock()
+	shards := make([]shardJSON, len(raw))
+	for i, sh := range raw {
+		shards[i] = shardJSON{
+			Shard:                 sh.Shard,
+			FirstPartition:        int(sh.FirstPartition),
+			LastPartition:         int(sh.LastPartition),
+			Taxis:                 sh.Taxis,
+			Requests:              sh.Requests,
+			Assignments:           sh.Engine.Assignments,
+			CrossShardCandidates:  sh.CrossShardCandidates,
+			CrossShardAssignments: sh.CrossShardAssignments,
+			BorderConflicts:       sh.BorderConflicts,
+			Handoffs:              sh.Handoffs,
+		}
+		if i < len(depths) {
+			shards[i].QueueDepth = depths[i]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":  len(shards),
+		"shards": shards,
+	})
 }
 
 // Now returns the current simulated time in seconds (tests use it).

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/match"
 )
 
 func newTestServer(t *testing.T) *Server {
@@ -432,11 +434,102 @@ func TestServerConcurrentTraffic(t *testing.T) {
 // normally or be refused with the 503 shutdown envelope — never panic
 // or mutate the engine after Stop returned — and every mutating request
 // issued after Stop must see the 503.
+// TestServerShardsEndpoint checks the /v1/shards surface on a sharded
+// server: shard count, contiguous territory ranges, fleet slices that
+// sum to the whole fleet, and the uniform error envelope on bad methods.
+func TestServerShardsEndpoint(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 9, Capacity: 3, Speedup: 50, Seed: 2,
+		QueueDepth: 8, Sharding: match.ShardingConfig{Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	rec, out := do(t, h, http.MethodGet, "/v1/shards", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/shards = %d: %s", rec.Code, rec.Body)
+	}
+	var count int
+	if err := json.Unmarshal(out["count"], &count); err != nil || count != 3 {
+		t.Fatalf("count = %s, want 3", out["count"])
+	}
+	var shards []struct {
+		Shard          int `json:"shard"`
+		FirstPartition int `json:"first_partition"`
+		LastPartition  int `json:"last_partition"`
+		Taxis          int `json:"taxis"`
+		QueueDepth     int `json:"queue_depth"`
+	}
+	if err := json.Unmarshal(out["shards"], &shards); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("shards = %d entries", len(shards))
+	}
+	next, taxis := 0, 0
+	for i, sh := range shards {
+		if sh.Shard != i {
+			t.Fatalf("entry %d has shard id %d", i, sh.Shard)
+		}
+		if sh.FirstPartition != next || sh.LastPartition < sh.FirstPartition {
+			t.Fatalf("shard %d territory [%d,%d] not contiguous after %d",
+				i, sh.FirstPartition, sh.LastPartition, next)
+		}
+		next = sh.LastPartition + 1
+		taxis += sh.Taxis
+		if sh.QueueDepth != 0 {
+			t.Fatalf("shard %d queue depth %d on an idle server", i, sh.QueueDepth)
+		}
+	}
+	if taxis != 9 {
+		t.Fatalf("shard fleets sum to %d taxis, want 9", taxis)
+	}
+
+	// The deprecated alias answers too.
+	if rec, _ := do(t, h, http.MethodGet, "/api/shards", nil); rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/shards = %d", rec.Code)
+	}
+	// /v1/stats reports the shard count for unsharded-client visibility.
+	if _, sout := do(t, h, http.MethodGet, "/v1/stats", nil); string(sout["shards"]) != "3" {
+		t.Fatalf("/v1/stats shards = %s, want 3", sout["shards"])
+	}
+	// Bad method gets the uniform {"error","code"} envelope.
+	rec, out = do(t, h, http.MethodPost, "/v1/shards", map[string]int{})
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/shards = %d", rec.Code)
+	}
+	if string(out["code"]) != `"method_not_allowed"` || len(out["error"]) == 0 {
+		t.Fatalf("POST /v1/shards envelope: %s", rec.Body)
+	}
+	s.Stop()
+	// Read-only: still answers after Stop.
+	if rec, _ := do(t, h, http.MethodGet, "/v1/shards", nil); rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/shards after Stop = %d", rec.Code)
+	}
+}
+
 func TestServerStopMidFlight(t *testing.T) {
 	s, err := New(Config{CityRows: 12, CityCols: 12, InitialTaxis: 10, Capacity: 3, Speedup: 50, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
+	stopMidFlightHammer(t, s)
+}
+
+// TestServerStopMidFlightSharded runs the same shutdown hammer against a
+// sharded dispatcher: Stop must drain every shard inside its critical
+// section, so no request commits on any shard after Stop returns.
+func TestServerStopMidFlightSharded(t *testing.T) {
+	s, err := New(Config{CityRows: 12, CityCols: 12, InitialTaxis: 10, Capacity: 3, Speedup: 50, Seed: 5,
+		QueueDepth: 8, Sharding: match.ShardingConfig{Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopMidFlightHammer(t, s)
+}
+
+func stopMidFlightHammer(t *testing.T, s *Server) {
+	t.Helper()
 	h := s.Handler()
 
 	const workers = 8
@@ -555,7 +648,7 @@ func TestServerStopMidFlight(t *testing.T) {
 		}
 	}
 	// Read-only endpoints stay available after shutdown.
-	for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/taxis"} {
+	for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/taxis", "/v1/shards"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
 		if rec.Code != http.StatusOK {

@@ -65,6 +65,14 @@ type Params struct {
 	// tick regardless.
 	RetryEveryTicks int
 
+	// Sharding records the dispatch scheme's sharding topology for the
+	// run. The simulation does not build the dispatcher — the scheme
+	// carries it — but the topology lands in the recorded log header
+	// (sharding is outcome-neutral, yet the per-shard counters seal into
+	// the log), and a sharded scheme supplies the pending-request pool so
+	// queued requests route to their home shard's queue.
+	Sharding match.ShardingConfig
+
 	// Metrics receives the simulation's instruments under mtshare_sim_*
 	// (ticks, tick latency, request lifecycle, roadside encounters). nil
 	// gives the engine a private registry; pass the dispatcher's registry
@@ -116,7 +124,7 @@ func (p Params) Validate() error {
 	case p.RetryEveryTicks > 0 && p.QueueDepth == 0:
 		return fmt.Errorf("sim: RetryEveryTicks requires QueueDepth > 0")
 	}
-	return nil
+	return p.Sharding.Validate()
 }
 
 // parallelism returns the effective per-tick worker count.
@@ -198,8 +206,10 @@ type Engine struct {
 
 	// Pending-request queue (nil when Params.QueueDepth is 0): online
 	// requests whose dispatch failed wait here for batched re-dispatch
-	// every retryEvery ticks. tickCount counts completed ticks.
-	queue      *match.PendingQueue
+	// every retryEvery ticks. tickCount counts completed ticks. A
+	// sharded scheme supplies a per-shard queue group under one global
+	// bound; otherwise it is a plain bounded queue.
+	queue      match.Pool
 	retryEvery int
 	tickCount  int64
 
@@ -280,7 +290,11 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		ins:      newSimInstruments(reg),
 	}
 	if params.QueueDepth > 0 {
-		e.queue = match.NewPendingQueue(params.QueueDepth, params.SpeedMps)
+		if sp, ok := scheme.(shardedPooler); ok && sp.ShardCount() > 1 {
+			e.queue = sp.NewPendingPool(params.QueueDepth)
+		} else {
+			e.queue = match.NewPendingQueue(params.QueueDepth, params.SpeedMps)
+		}
 		e.retryEvery = params.RetryEveryTicks
 		if e.retryEvery == 0 {
 			e.retryEvery = 1
@@ -294,6 +308,8 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 			SpeedKmh:         params.SpeedMps * 3.6,
 			QueueDepth:       params.QueueDepth,
 			RetryEveryTicks:  params.RetryEveryTicks,
+			Shards:           params.Sharding.Shards,
+			BorderPolicy:     params.Sharding.BorderPolicy,
 			GraphFingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
 		})
 		if err != nil {
@@ -420,6 +436,15 @@ func (e *Engine) queueLen() int {
 // queued request expires without ever being committed (the match
 // engine's mobility clusters hold the request from dispatch time).
 type requestDropper interface{ OnRequestDone(req *fleet.Request) }
+
+// shardedPooler is the optional scheme surface a sharded dispatcher
+// exposes: when the topology has more than one shard, the scheme builds
+// the pending pool so each queued request parks on its home shard's
+// queue (one global capacity bound across shards).
+type shardedPooler interface {
+	NewPendingPool(capacity int) match.Pool
+	ShardCount() int
+}
 
 // serviceQueue runs one tick of pending-queue maintenance: evict every
 // parked request whose pickup deadline strictly passed, then — when the

@@ -82,9 +82,13 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		DisableCH:               h.DisableCH,
 		QueueDepth:              h.QueueDepth,
 		RetryEveryTicks:         h.RetryEveryTicks,
+		Sharding:                ShardingOptions{Shards: h.Shards, BorderPolicy: h.BorderPolicy},
 		Seed:                    h.Seed,
 		Faults:                  h.Faults,
 		RecordTo:                &buf,
+		// Re-emit the recorded log's own header version so the fresh
+		// log's header diffs byte for byte against older-version goldens.
+		headerVersion: h.Version,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mtshare: replay: rebuild world: %w", err)
