@@ -8,7 +8,9 @@
 //
 //	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
 //	               [-queue N] [-queue-retry N] [-shards N] [-border twophase|local]
-//	               [-trace-sample N] [-pprof]
+//	               [-parallelism N] [-trace-sample N] [-pprof]
+//	               [-wal-dir DIR] [-wal-sync-every N] [-wal-sync-interval D]
+//	               [-snapshot-every N] [-manual-clock]
 //
 // Endpoints (versioned under /v1/; the /api/ aliases are deprecated):
 //
@@ -20,10 +22,19 @@
 //	GET  /v1/shards                                            -> per-shard territory stats
 //	GET  /v1/stats                                             -> engine statistics
 //	GET  /v1/metrics                                           -> Prometheus text metrics
+//	GET  /v1/durability[?state=1]                              -> WAL stats (and full state)
+//	POST /v1/advance   {"d_seconds":4}                         -> one tick (with -manual-clock)
 //	GET  /debug/pprof/                                         -> profiling (with -pprof)
 //
 // With -trace-sample N, one in N dispatches logs its sampled span tree
 // (candidate search, scheduling, leg build) to stderr.
+//
+// With -wal-dir the server is crash-safe: every state-changing event is
+// appended to a fsynced write-ahead log, a snapshot is written every
+// -snapshot-every ticks, and restarting over the same directory recovers
+// the exact pre-crash state. MTSHARE_CRASH_AT_EVENT=N (env) SIGKILLs the
+// process right after event N commits — the recovery harness's fault
+// injection.
 package main
 
 import (
@@ -33,10 +44,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 
 	"repro/internal/match"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,8 +64,14 @@ func main() {
 	queueRetry := flag.Int("queue-retry", 1, "retry the pending queue every N simulation ticks")
 	shards := flag.Int("shards", 0, "shard the dispatcher into N territory-owning engines (0 or 1 = single engine)")
 	border := flag.String("border", "", "border candidate policy for sharded dispatch: twophase (default) or local")
+	parallelism := flag.Int("parallelism", 0, "dispatcher worker count per dispatch (0 = default)")
 	traceSample := flag.Int("trace-sample", 0, "log the span tree of one in N dispatches (0 disables)")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory: record every event durably and recover state on restart (empty disables)")
+	walSyncEvery := flag.Int("wal-sync-every", 64, "fsync the WAL after every N records (group commit; negative = interval/close only)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "fsync the WAL at most this long after an unsynced append (0 disables)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "write a recovery snapshot every N movement ticks (0 = replay whole WAL on restart)")
+	manualClock := flag.Bool("manual-clock", false, "disable the wall-clock ticker; advance time only via POST /v1/advance")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -60,7 +79,23 @@ func main() {
 		InitialTaxis: *taxis, Capacity: *capacity,
 		Speedup: *speedup, Seed: *seed,
 		QueueDepth: *queueDepth, RetryEveryTicks: *queueRetry,
-		Sharding: match.ShardingConfig{Shards: *shards, BorderPolicy: *border},
+		Sharding:    match.ShardingConfig{Shards: *shards, BorderPolicy: *border},
+		Parallelism: *parallelism,
+		ManualClock: *manualClock,
+		Durability: wal.Options{
+			Dir:                *walDir,
+			SyncEvery:          *walSyncEvery,
+			SyncInterval:       *walSyncInterval,
+			SnapshotEveryTicks: *snapshotEvery,
+		},
+	}
+	if v := os.Getenv("MTSHARE_CRASH_AT_EVENT"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad MTSHARE_CRASH_AT_EVENT %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		cfg.CrashAtEvent = n
 	}
 	if *traceSample > 0 {
 		cfg.TraceSampleEvery = *traceSample

@@ -1,0 +1,52 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// Row is one serialized partition-index entry for a taxi: the partition
+// and the exact arrival time recorded there. ArrivalSeconds is carried
+// verbatim (not recomputed) because it was derived from the route at
+// update time and is compared with ULP sensitivity by candidate search.
+type Row struct {
+	Partition      partition.ID `json:"p"`
+	ArrivalSeconds float64      `json:"t"`
+}
+
+// RowsOf returns the taxi's index rows sorted by partition, for snapshot
+// capture. The result is empty for an unindexed taxi.
+func (ix *PartitionIndex) RowsOf(taxiID int64) []Row {
+	ix.mu.RLock()
+	parts := ix.byTaxi[taxiID]
+	rows := make([]Row, 0, len(parts))
+	for _, p := range parts {
+		rows = append(rows, Row{Partition: p, ArrivalSeconds: ix.byPart[p][taxiID]})
+	}
+	ix.mu.RUnlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Partition < rows[j].Partition })
+	return rows
+}
+
+// RestoreRows reinstalls a taxi's rows verbatim from a snapshot. Unlike
+// Update it does not touch the updates counter — the counter's value is
+// restored separately with the rest of the deterministic counter set —
+// but it does refresh the size gauges.
+func (ix *PartitionIndex) RestoreRows(taxiID int64, rows []Row) {
+	ix.mu.Lock()
+	ix.removeLocked(taxiID)
+	parts := make([]partition.ID, 0, len(rows))
+	for _, r := range rows {
+		ix.byPart[r.Partition][taxiID] = r.ArrivalSeconds
+		parts = append(parts, r.Partition)
+	}
+	ix.byTaxi[taxiID] = parts
+	ix.entries += len(parts)
+	entries, taxis := ix.entries, len(ix.byTaxi)
+	ix.mu.Unlock()
+	if ix.entriesGauge != nil {
+		ix.entriesGauge.Set(float64(entries))
+		ix.taxisGauge.Set(float64(taxis))
+	}
+}

@@ -23,6 +23,8 @@ type Pool interface {
 	Snapshot() []*PendingItem
 	MarkServed(id fleet.RequestID, nowSeconds float64) bool
 	Stats() QueueStats
+	CaptureDurable() PoolState
+	RestoreDurable(st PoolState, resolve RequestResolver) error
 }
 
 // PendingItem is one parked request in a PendingQueue: a request that got

@@ -74,8 +74,9 @@ func (c ShardingConfig) Validate() error {
 // reproduces the single-engine draw sequence exactly regardless of which
 // shard plans each cruise.
 type cruiseSampler struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	draws int64 // total values drawn, for snapshot fast-forward
 }
 
 func newCruiseSampler(seed int64) *cruiseSampler {
@@ -85,7 +86,31 @@ func newCruiseSampler(seed int64) *cruiseSampler {
 func (c *cruiseSampler) next() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.draws++
 	return c.rng.Float64()
+}
+
+func (c *cruiseSampler) drawCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draws
+}
+
+// fastForward discards draws until the stream has produced n values,
+// restoring the sampler to a snapshot's position. math/rand's generator
+// has no O(1) seek, but cruise draws are rare (one per idle-cruise plan),
+// so replaying them is cheap. It fails if the sampler is already past n.
+func (c *cruiseSampler) fastForward(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draws > n {
+		return fmt.Errorf("match: cruise sampler at draw %d, cannot rewind to %d", c.draws, n)
+	}
+	for c.draws < n {
+		c.rng.Float64()
+		c.draws++
+	}
+	return nil
 }
 
 // Dispatcher is the matching-engine surface the facade, simulator, server,
@@ -117,6 +142,8 @@ type Dispatcher interface {
 	ShardCount() int
 	LandmarkOracle() *partition.Oracle
 	NewPendingPool(capacity int) Pool
+	CaptureDurable() *DurableState
+	RestoreDurable(st *DurableState, resolve RequestResolver) ([]*fleet.Taxi, error)
 	Drain()
 
 	installPlan(t *fleet.Taxi, events []fleet.Event, legs [][]roadnet.VertexID) error

@@ -294,6 +294,21 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// RestoreCounters adds the given values onto the registry's counters,
+// registering any that do not exist yet. Keys are fully decorated series
+// names (labels included) exactly as Snapshot returns them; because the
+// root handle decorates names as-is, a later Labeled view that registers
+// the same series finds and shares the restored instrument. Used by the
+// durability layer to re-seed deterministic counter families from a
+// snapshot — values are deltas on freshly built (zero-valued)
+// instruments, so restore must run before any dispatch activity.
+func (r *Registry) RestoreCounters(counters map[string]int64) {
+	root := r.base()
+	for name, v := range counters {
+		root.Counter(name).Add(v)
+	}
+}
+
 // Snapshot is a full-registry point-in-time view.
 type Snapshot struct {
 	Counters   map[string]int64

@@ -35,6 +35,11 @@ func NewEncoder(w io.Writer, h Header) (*Encoder, error) {
 	return e, nil
 }
 
+// ResumeEncoder returns an encoder that appends events to a log whose
+// header line already exists — WAL recovery reopens the stream
+// mid-history and must not write a second header.
+func ResumeEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
 func (e *Encoder) writeLine(v any) {
 	if e.err != nil {
 		return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +116,31 @@ func (p *FaultPlan) MaybeCancel(ctx context.Context, i int64) context.Context {
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
 	return cctx
+}
+
+// CrashPoints derives n distinct, sorted event indices in (0, horizon)
+// from a seed — the crash schedule for kill-9 recovery harnesses. Like
+// every fault decision it is a pure function of its inputs, so a failing
+// crash point can be replayed from the seed alone. horizon must exceed
+// n, leaving at least one event after the last crash point.
+func CrashPoints(seed int64, n int, horizon int64) []int64 {
+	if n <= 0 || horizon <= 1 {
+		return nil
+	}
+	const tagCrash = 0x5E1EC7ED0000004
+	picked := make(map[int64]bool, n)
+	out := make([]int64, 0, n)
+	for round := uint64(0); len(out) < n && round < uint64(n)*64; round++ {
+		h := splitmix64(uint64(seed) ^ tagCrash)
+		h = splitmix64(h ^ round)
+		i := int64(h%uint64(horizon-1)) + 1
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // FaultRouter wraps a shortest-path router with the plan's router

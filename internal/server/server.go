@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,8 +28,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/payment"
+	"repro/internal/replay"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config sizes the service's synthetic world.
@@ -78,6 +81,32 @@ type Config struct {
 	// delivered to TraceHandler; 0 disables tracing.
 	TraceSampleEvery int
 	TraceHandler     func(*obs.Span)
+
+	// Parallelism bounds the dispatcher's intra-dispatch worker count
+	// (see match.Config.Parallelism). 0 uses the dispatcher default.
+	Parallelism int
+
+	// Durability, when enabled, makes the server crash-safe: every
+	// state-changing API event (taxi registration, dispatch, street hail,
+	// movement tick) is appended to a fsynced WAL in wal.Options.Dir, a
+	// full state snapshot is written every SnapshotEveryTicks movement
+	// ticks, and New over a non-empty directory recovers the previous
+	// process's exact state — latest snapshot plus verified tail
+	// re-execution. GET /v1/durability reports the log's statistics.
+	// Dispatches run under context.Background() when durability is on:
+	// a recorded outcome must not depend on a client disconnect.
+	Durability wal.Options
+
+	// ManualClock disables the wall-clock movement ticker; simulated time
+	// only advances via POST /v1/advance. The crash-recovery harness uses
+	// it to drive two servers through identical tick sequences.
+	ManualClock bool
+
+	// CrashAtEvent, when positive, fsyncs the WAL and SIGKILLs the
+	// process immediately after appending the event with that index — a
+	// deterministic crash point for recovery tests. Ignored without
+	// Durability.
+	CrashAtEvent int64
 }
 
 // Server is the dispatch service.
@@ -90,6 +119,7 @@ type Server struct {
 	pay    payment.Model
 	reg    *obs.Registry
 	rng    *rand.Rand // guarded by mu; seeded from Config.Seed
+	kappa  int        // effective partition count (derived when Config.Kappa is 0)
 
 	mu         sync.Mutex
 	nowSeconds float64
@@ -114,6 +144,18 @@ type Server struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// Durability state, all guarded by mu (the WAL itself is internally
+	// synchronized; the encoder and event counter are not). onEvent, when
+	// set, intercepts assembled events instead of appending them —
+	// recovery re-execution verifies outcomes without re-recording.
+	wlog      *wal.Log
+	walEnc    *replay.Encoder
+	walHeader []byte
+	eventIdx  int64
+	snapEvery int
+	snapWG    sync.WaitGroup
+	onEvent   func(replay.Event)
 }
 
 type reqStatus struct {
@@ -177,6 +219,7 @@ func New(cfg Config) (*Server, error) {
 	mcfg.DisableCH = cfg.DisableCH
 	mcfg.Metrics = cfg.Metrics
 	mcfg.Sharding = cfg.Sharding
+	mcfg.Parallelism = cfg.Parallelism
 	if cfg.TraceSampleEvery > 0 {
 		mcfg.Tracer = obs.NewTracer(cfg.TraceSampleEvery, cfg.TraceHandler)
 	}
@@ -193,6 +236,7 @@ func New(cfg Config) (*Server, error) {
 		pay:      payment.DefaultModel(),
 		reg:      eng.Metrics(),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 2)),
+		kappa:    kappa,
 		taxis:    make(map[int64]*fleet.Taxi),
 		requests: make(map[fleet.RequestID]*reqStatus),
 		stop:     make(chan struct{}),
@@ -207,14 +251,30 @@ func New(cfg Config) (*Server, error) {
 			s.retryEvery = 1
 		}
 	}
-	for i := 0; i < cfg.InitialTaxis; i++ {
-		s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
+	recovered := false
+	if cfg.Durability.Enabled() {
+		recovered, err = s.openDurability()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !recovered {
+		// Initial placement uses the seeded rng, and — with durability on
+		// — lands in the WAL as ordinary AddTaxi events; a recovering
+		// process replays those instead of re-seeding.
+		for i := 0; i < cfg.InitialTaxis; i++ {
+			s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
+		}
 	}
 	return s, nil
 }
 
-// Start launches the movement loop.
+// Start launches the movement loop. With ManualClock set there is no
+// loop: time advances only via POST /v1/advance.
 func (s *Server) Start() {
+	if s.cfg.ManualClock {
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -247,18 +307,54 @@ func (s *Server) Stop() {
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	s.mu.Lock()
+	s.sealWALLocked()
+	s.mu.Unlock()
 }
 
 // advance moves the world forward by dt simulated seconds.
 func (s *Server) advance(dt float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// dt round-trips through nanoseconds so the live tick and its WAL
+	// replay advance by bit-identical durations.
+	s.advanceTickLocked(int64(time.Duration(dt * float64(time.Second))))
+}
+
+// advanceTickLocked is one movement tick: queue maintenance, then every
+// taxi drives in ID order (the ride-event sequence must be a pure
+// function of the call history for the WAL to replay it). The tick is
+// recorded as a replay TickEvent carrying the rides it fired and the
+// queue outcomes, and triggers a background snapshot when the cadence
+// is due.
+func (s *Server) advanceTickLocked(dNanos int64) {
+	dt := time.Duration(dNanos).Seconds()
+	startNow := s.nowSeconds
 	s.nowSeconds += dt
-	s.serviceQueueLocked()
+	s.tickCount++
+	var tick *replay.TickEvent
+	if s.recordingLocked() {
+		tick = &replay.TickEvent{DNanos: dNanos}
+	}
+	s.serviceQueueLocked(tick)
 	speed := s.engine.Config().SpeedMps
-	for _, t := range s.taxis {
+	ids := make([]int64, 0, len(s.taxis))
+	for id := range s.taxis {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		t := s.taxis[id]
 		visits := t.Advance(speed * dt)
 		for _, v := range visits {
+			if tick != nil {
+				tick.Rides = append(tick.Rides, replay.Ride{
+					Request: int64(v.Event.Req.ID),
+					Taxi:    id,
+					Pickup:  v.Event.Kind == fleet.Pickup,
+					AtNanos: int64(time.Duration((startNow + v.MetersIntoTick/speed) * float64(time.Second))),
+				})
+			}
 			st := s.requests[v.Event.Req.ID]
 			if st == nil {
 				continue
@@ -277,22 +373,29 @@ func (s *Server) advance(dt float64) {
 			s.scheme.PlanIdle(t, s.nowSeconds)
 		}
 	}
+	if tick != nil {
+		s.recordLocked(replay.Event{Tick: tick})
+	}
+	s.maybeSnapshotLocked()
 }
 
 // serviceQueueLocked runs one movement tick of pending-queue
 // maintenance under mu: evict requests whose pickup deadline strictly
 // passed, then — when the retry interval is due — re-dispatch the
 // parked batch in deterministic (pickup deadline, request ID) order.
-func (s *Server) serviceQueueLocked() {
+// Outcomes are appended to tick when the tick is being recorded.
+func (s *Server) serviceQueueLocked(tick *replay.TickEvent) {
 	if s.queue == nil {
 		return
 	}
-	s.tickCount++
 	for _, it := range s.queue.ExpireBefore(s.nowSeconds) {
 		if st := s.requests[it.Req.ID]; st != nil {
 			st.Expired = true
 		}
 		s.engine.OnRequestDone(it.Req)
+		if tick != nil {
+			tick.QueueExpired = append(tick.QueueExpired, int64(it.Req.ID))
+		}
 	}
 	if s.tickCount%int64(s.retryEvery) != 0 {
 		return
@@ -302,8 +405,10 @@ func (s *Server) serviceQueueLocked() {
 		return
 	}
 	reqs := make([]*fleet.Request, len(batch))
+	enqueuedAt := make(map[fleet.RequestID]float64, len(batch))
 	for i, it := range batch {
 		reqs[i] = it.Req
+		enqueuedAt[it.Req.ID] = it.EnqueuedAt
 	}
 	for _, o := range s.engine.DispatchBatch(context.Background(), reqs, s.nowSeconds, s.cfg.Probabilistic) {
 		if !o.Served || !s.queue.MarkServed(o.Req.ID, s.nowSeconds) {
@@ -312,6 +417,14 @@ func (s *Server) serviceQueueLocked() {
 		if st := s.requests[o.Req.ID]; st != nil {
 			st.Served = true
 			st.TaxiID = o.Assignment.Taxi.ID
+		}
+		if tick != nil {
+			tick.QueueMatched = append(tick.QueueMatched, replay.QueueMatch{
+				Request:   int64(o.Req.ID),
+				Taxi:      o.Assignment.Taxi.ID,
+				WaitNanos: int64(time.Duration((s.nowSeconds - enqueuedAt[o.Req.ID]) * float64(time.Second))),
+				Conflict:  o.Conflict,
+			})
 		}
 	}
 }
@@ -322,6 +435,13 @@ func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
 	t := fleet.NewTaxi(s.g, s.nextTaxi, capacity, v)
 	s.taxis[t.ID] = t
 	s.engine.AddTaxi(t, s.nowSeconds)
+	if s.recordingLocked() {
+		s.recordLocked(replay.Event{AddTaxi: &replay.AddTaxiEvent{
+			At:       replay.Point{Lat: p.Lat, Lng: p.Lng},
+			Capacity: capacity,
+			Taxi:     t.ID,
+		}})
+	}
 	return t.ID
 }
 
@@ -331,13 +451,15 @@ func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := map[string]http.HandlerFunc{
-		"/taxis":    s.handleTaxis,
-		"/requests": s.handleRequests,
-		"/hails":    s.handleHails,
-		"/stats":    s.handleStats,
-		"/shards":   s.handleShards,
-		"/queue":    s.handleQueue,
-		"/metrics":  s.handleMetrics,
+		"/taxis":      s.handleTaxis,
+		"/requests":   s.handleRequests,
+		"/hails":      s.handleHails,
+		"/stats":      s.handleStats,
+		"/shards":     s.handleShards,
+		"/queue":      s.handleQueue,
+		"/metrics":    s.handleMetrics,
+		"/durability": s.handleDurability,
+		"/advance":    s.handleAdvance,
 	}
 	for path, h := range routes {
 		mux.HandleFunc("/v1"+path, h)
@@ -435,6 +557,7 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		s.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		var body struct {
@@ -532,15 +655,28 @@ func normalizeRho(rho float64) (float64, bool) {
 
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropoff pointJSON, rho float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.rejectIfStoppedLocked(w) {
+		s.mu.Unlock()
 		return
 	}
+	out, ok := s.dispatchLocked(s.eventCtx(r), pickup, dropoff, rho)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// dispatchLocked creates and dispatches one online ride request; false
+// means the endpoints did not snap to distinct vertices (no state was
+// touched). The mutation — including terminal misses and queue parks —
+// is recorded as a RequestEvent when durability is on.
+func (s *Server) dispatchLocked(ctx context.Context, pickup, dropoff pointJSON, rho float64) (requestJSON, bool) {
 	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: pickup.Lat, Lng: pickup.Lng})
 	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: dropoff.Lat, Lng: dropoff.Lng})
 	if !ok1 || !ok2 || o == d {
-		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
-		return
+		return requestJSON{}, false
 	}
 	speed := s.engine.Config().SpeedMps
 	direct := s.engine.Router().Cost(o, d)
@@ -558,35 +694,59 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 	}
 	st := &reqStatus{Req: req}
 	s.requests[req.ID] = st
-	a, ok := s.engine.DispatchContext(r.Context(), req, s.nowSeconds, s.cfg.Probabilistic)
+	a, ok := s.engine.DispatchContext(ctx, req, s.nowSeconds, s.cfg.Probabilistic)
 	out := requestJSON{ID: int64(req.ID), Candidates: a.Candidates}
-	if !ok {
+	if !ok || s.engine.Commit(a, s.nowSeconds) != nil {
 		s.parkUnservedLocked(st, &out)
-		writeJSON(w, http.StatusOK, out)
-		return
-	}
-	if err := s.engine.Commit(a, s.nowSeconds); err != nil {
-		s.parkUnservedLocked(st, &out)
-		writeJSON(w, http.StatusOK, out)
-		return
-	}
-	st.Served = true
-	st.TaxiID = a.Taxi.ID
-	out.Served = true
-	out.TaxiID = a.Taxi.ID
-	for i, ev := range a.Events {
-		if ev.Req.ID != req.ID {
-			continue
+	} else {
+		st.Served = true
+		st.TaxiID = a.Taxi.ID
+		out.Served = true
+		out.TaxiID = a.Taxi.ID
+		for i, ev := range a.Events {
+			if ev.Req.ID != req.ID {
+				continue
+			}
+			eta := a.Eval.ArrivalSeconds[i] - s.nowSeconds
+			if ev.Kind == fleet.Pickup {
+				out.PickupETASec = eta
+			} else {
+				out.DropoffETASec = eta
+			}
 		}
-		eta := a.Eval.ArrivalSeconds[i] - s.nowSeconds
-		if ev.Kind == fleet.Pickup {
-			out.PickupETASec = eta
-		} else {
-			out.DropoffETASec = eta
-		}
+		out.FareEstimate = s.pay.Tariff.Fare(direct)
 	}
-	out.FareEstimate = s.pay.Tariff.Fare(direct)
-	writeJSON(w, http.StatusOK, out)
+	if s.recordingLocked() {
+		s.recordLocked(replay.Event{Request: &replay.RequestEvent{
+			Pickup:      replay.Point{Lat: pickup.Lat, Lng: pickup.Lng},
+			Dropoff:     replay.Point{Lat: dropoff.Lat, Lng: dropoff.Lng},
+			Flexibility: rho,
+			Out: replay.RequestOutcome{
+				Err:             dispatchErrCode(&out, s.queue != nil),
+				Request:         out.ID,
+				Taxi:            out.TaxiID,
+				Candidates:      out.Candidates,
+				PickupETANanos:  int64(time.Duration(out.PickupETASec * float64(time.Second))),
+				DropoffETANanos: int64(time.Duration(out.DropoffETASec * float64(time.Second))),
+				FareEstimate:    out.FareEstimate,
+			},
+		}})
+	}
+	return out, true
+}
+
+// dispatchErrCode maps a dispatch response to the replay outcome code.
+func dispatchErrCode(out *requestJSON, queueEnabled bool) string {
+	switch {
+	case out.Served:
+		return ""
+	case out.Queued:
+		return "queued"
+	case queueEnabled:
+		return "queue_full"
+	default:
+		return "no_taxi"
+	}
 }
 
 // parkUnservedLocked pushes an unserved online request into the pending
@@ -766,20 +926,35 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.rejectIfStoppedLocked(w) {
+		s.mu.Unlock()
 		return
 	}
-	t, ok := s.taxis[body.TaxiID]
-	if !ok {
+	out, code := s.hailLocked(s.eventCtx(r), body.TaxiID, body.Pickup, body.Dropoff, rho)
+	s.mu.Unlock()
+	switch code {
+	case codeNotFound:
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown taxi")
-		return
-	}
-	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: body.Pickup.Lat, Lng: body.Pickup.Lng})
-	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: body.Dropoff.Lat, Lng: body.Dropoff.Lng})
-	if !ok1 || !ok2 || o == d {
+	case codeInvalidRequest:
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
-		return
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// hailLocked serves one roadside hail against the named taxi, falling
+// back to a full dispatch when it cannot fit the party. A non-empty
+// error code means nothing mutated; otherwise the event is recorded
+// when durability is on.
+func (s *Server) hailLocked(ctx context.Context, taxiID int64, pickup, dropoff pointJSON, rho float64) (requestJSON, string) {
+	t, ok := s.taxis[taxiID]
+	if !ok {
+		return requestJSON{}, codeNotFound
+	}
+	o, ok1 := s.spx.NearestVertex(geo.Point{Lat: pickup.Lat, Lng: pickup.Lng})
+	d, ok2 := s.spx.NearestVertex(geo.Point{Lat: dropoff.Lat, Lng: dropoff.Lng})
+	if !ok1 || !ok2 || o == d {
+		return requestJSON{}, codeInvalidRequest
 	}
 	speed := s.engine.Config().SpeedMps
 	direct := s.engine.Router().Cost(o, d)
@@ -804,16 +979,27 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		st.TaxiID = t.ID
 		out.Served = true
 		out.TaxiID = t.ID
-		writeJSON(w, http.StatusOK, out)
-		return
+	} else {
+		// The hailing taxi could not fit them: dispatch another.
+		if a, ok := s.engine.DispatchContext(ctx, req, s.nowSeconds, s.cfg.Probabilistic); ok && s.engine.Commit(a, s.nowSeconds) == nil {
+			st.Served = true
+			st.TaxiID = a.Taxi.ID
+			out.Served = true
+			out.TaxiID = a.Taxi.ID
+		}
 	}
-	// The hailing taxi could not fit them: dispatch another.
-	a, ok := s.engine.DispatchContext(r.Context(), req, s.nowSeconds, s.cfg.Probabilistic)
-	if ok && s.engine.Commit(a, s.nowSeconds) == nil {
-		st.Served = true
-		st.TaxiID = a.Taxi.ID
-		out.Served = true
-		out.TaxiID = a.Taxi.ID
+	if s.recordingLocked() {
+		hailErr := "no_taxi"
+		if out.Served {
+			hailErr = ""
+		}
+		s.recordLocked(replay.Event{Hail: &replay.HailEvent{
+			Taxi:        taxiID,
+			Pickup:      replay.Point{Lat: pickup.Lat, Lng: pickup.Lng},
+			Dropoff:     replay.Point{Lat: dropoff.Lat, Lng: dropoff.Lng},
+			Flexibility: rho,
+			Out:         replay.HailOutcome{Err: hailErr, ServedBy: out.TaxiID},
+		}})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, ""
 }

@@ -2,10 +2,12 @@ package sim
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/replay"
+	"repro/internal/wal"
 )
 
 // recordRun executes one scripted peak-hour simulation with recording
@@ -196,4 +198,76 @@ func TestSimQueueRecordingDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Fatalf("sequential and parallel queue-enabled logs differ (%d divergences); first: %v", len(divs), divs[0])
+}
+
+// TestSimDurabilityTeesRecordStream runs the scripted simulation with
+// both RecordTo and a WAL attached and requires the WAL's logical
+// payload stream to be byte-identical to the in-memory log — the WAL is
+// the same replay evidence, just crash-safe. A second run with only the
+// WAL must produce the same stream, and a half-synced log must still be
+// readable up to its last committed frame.
+func TestSimDurabilityTeesRecordStream(t *testing.T) {
+	w := newWorld(t)
+	reqs := w.peakRequests(t, 0.2)
+	params := DefaultParams()
+	params.Parallelism = 1
+	var buf bytes.Buffer
+	params.RecordTo = &buf
+	params.RecordSeed = 3
+	params.Durability = wal.Options{Dir: t.TempDir(), SyncEvery: 8}
+	eng, err := NewEngine(w.g, w.mtShare(t, false), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 8 * 3600.0
+	eng.PlaceTaxis(30, 3, 1, start)
+	eng.Run(reqs, start)
+	if err := eng.RecordErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	wlog, err := wal.Open(wal.Options{Dir: params.Durability.Dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog.Close()
+	walBytes, err := io.ReadAll(wlog.NewReader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walBytes, buf.Bytes()) {
+		divs, derr := replay.CompareLogs(bytes.NewReader(buf.Bytes()), bytes.NewReader(walBytes))
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		t.Fatalf("WAL stream differs from RecordTo stream (%d divergences); first: %v", len(divs), divs)
+	}
+	if _, evs, err := replay.ReadAll(bytes.NewReader(walBytes)); err != nil {
+		t.Fatal(err)
+	} else if len(evs) == 0 || evs[len(evs)-1].Metrics == nil {
+		t.Fatalf("WAL stream must end with the counters seal (%d events)", len(evs))
+	}
+}
+
+// TestSimDurabilityRejectsReuse proves the simulation refuses to append
+// to a directory that already holds a log — batch runs never resume.
+func TestSimDurabilityRejectsReuse(t *testing.T) {
+	w := newWorld(t)
+	params := DefaultParams()
+	params.Parallelism = 1
+	params.RecordSeed = 3
+	params.Durability = wal.Options{Dir: t.TempDir(), SyncEvery: 1}
+	eng, err := NewEngine(w.g, w.mtShare(t, false), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 8 * 3600.0
+	eng.PlaceTaxis(5, 3, 1, start)
+	eng.Run(w.peakRequests(t, 0)[:4], start)
+	if st, ok := eng.WALStats(); !ok || st.Records == 0 {
+		t.Fatalf("expected WAL records, got %+v ok=%v", st, ok)
+	}
+	if _, err := NewEngine(w.g, w.mtShare(t, false), params); err == nil {
+		t.Fatal("NewEngine over a used durability dir must fail")
+	}
 }

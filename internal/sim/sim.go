@@ -26,6 +26,7 @@ import (
 	"repro/internal/payment"
 	"repro/internal/replay"
 	"repro/internal/roadnet"
+	"repro/internal/wal"
 )
 
 // Params configures a simulation run.
@@ -89,6 +90,16 @@ type Params struct {
 	// RecordSeed stamps the log header with the workload seed for
 	// provenance; it does not affect the simulation.
 	RecordSeed int64
+
+	// Durability, when enabled, appends the run's event stream to a
+	// crash-safe WAL in wal.Options.Dir — the same replay-v3 records
+	// RecordTo would see, framed and fsynced per the group-commit
+	// settings. The simulation is batch-oriented, so this is event
+	// durability only: a crashed run's WAL is complete, replayable
+	// evidence of everything committed before the crash, but there is no
+	// snapshot/resume path (use the facade's Options.Durability for
+	// stateful recovery). SnapshotEveryTicks must be 0.
+	Durability wal.Options
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -123,6 +134,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("sim: RetryEveryTicks negative")
 	case p.RetryEveryTicks > 0 && p.QueueDepth == 0:
 		return fmt.Errorf("sim: RetryEveryTicks requires QueueDepth > 0")
+	case p.Durability.Enabled() && p.Durability.SnapshotEveryTicks != 0:
+		return fmt.Errorf("sim: Durability.SnapshotEveryTicks is not supported (event durability only)")
 	}
 	return p.Sharding.Validate()
 }
@@ -229,6 +242,7 @@ type Engine struct {
 	ins simInstruments
 
 	rec      *replay.Encoder
+	wal      *wal.Log
 	eventIdx int64
 }
 
@@ -300,8 +314,25 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 			e.retryEvery = 1
 		}
 	}
-	if params.RecordTo != nil {
-		rec, err := replay.NewEncoder(params.RecordTo, replay.Header{
+	target := params.RecordTo
+	if params.Durability.Enabled() {
+		wlog, err := wal.Open(params.Durability, reg)
+		if err != nil {
+			return nil, err
+		}
+		if wlog.Records() > 0 {
+			wlog.Close()
+			return nil, fmt.Errorf("sim: durability dir %q already holds %d records; the simulation starts fresh logs only", params.Durability.Dir, wlog.Records())
+		}
+		e.wal = wlog
+		if target != nil {
+			target = io.MultiWriter(target, wlog.AppendWriter())
+		} else {
+			target = wlog.AppendWriter()
+		}
+	}
+	if target != nil {
+		rec, err := replay.NewEncoder(target, replay.Header{
 			Version:          replay.Version,
 			Kind:             replay.KindSim,
 			Seed:             params.RecordSeed,
@@ -313,6 +344,9 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 			GraphFingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
 		})
 		if err != nil {
+			if e.wal != nil {
+				e.wal.Close()
+			}
 			return nil, err
 		}
 		e.rec = rec
@@ -332,12 +366,26 @@ func (e *Engine) record(build func(i int64) replay.Event) {
 }
 
 // RecordErr returns the log encoder's sticky write error, if recording
-// was enabled and a write failed.
+// was enabled and a write failed; with durability on, the WAL's sticky
+// append/fsync error surfaces here too.
 func (e *Engine) RecordErr() error {
-	if e.rec == nil {
-		return nil
+	if e.rec != nil {
+		if err := e.rec.Err(); err != nil {
+			return err
+		}
 	}
-	return e.rec.Err()
+	if e.wal != nil {
+		return e.wal.Err()
+	}
+	return nil
+}
+
+// WALStats returns the durability log's statistics, when enabled.
+func (e *Engine) WALStats() (wal.Stats, bool) {
+	if e.wal == nil {
+		return wal.Stats{}, false
+	}
+	return e.wal.Stats(), true
 }
 
 // Metrics returns the registry holding the simulation's instruments.
@@ -421,6 +469,9 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 			Counters: replay.DeterministicCounters(e.reg.Snapshot().Counters),
 		}}
 	})
+	if e.wal != nil {
+		e.wal.Close() // final flush+fsync; errors stay sticky for RecordErr
+	}
 	return e.collectMetrics()
 }
 

@@ -1,0 +1,165 @@
+// Snapshot files: point-in-time engine state that lets recovery skip
+// replaying the log prefix. Each snapshot is one CRC-framed record in its
+// own file snap-<events>.snap, where <events> is the number of WAL events
+// the state reflects (its watermark); recovery restores the newest valid
+// snapshot and replays only events at or past the watermark.
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshotsToKeep bounds disk use: older snapshots beyond this many are
+// pruned after each successful write. Keeping more than one means a
+// corrupt newest snapshot still leaves a valid fallback.
+const snapshotsToKeep = 2
+
+func snapshotPath(dir string, events int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d.snap", events))
+}
+
+// WriteSnapshot atomically persists a snapshot taken after applying the
+// first `events` WAL events. The payload is written CRC-framed to a temp
+// file, fsync'd, renamed into place, and the directory fsync'd, so a
+// crash mid-write leaves either the complete snapshot or none.
+func (l *Log) WriteSnapshot(events int64, payload []byte) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	final := snapshotPath(l.dir, events)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := writeFrameTo(w, payload); err == nil {
+		err = w.Flush()
+	} else {
+		w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.snapshots++
+	if events > l.lastSnapEvents {
+		l.lastSnapEvents = events
+	}
+	if l.snapsC != nil {
+		l.snapsC.Inc()
+	}
+	l.pruneSnapshotsLocked()
+	return nil
+}
+
+func writeFrameTo(w *bufio.Writer, payload []byte) error {
+	var hdr [frameHeaderBytes]byte
+	putFrameHeader(hdr[:], payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// LatestSnapshot returns the newest snapshot whose CRC verifies, skipping
+// corrupt or torn ones. ok is false when no usable snapshot exists (the
+// host then replays the log from genesis).
+func (l *Log) LatestSnapshot() (events int64, payload []byte, ok bool, err error) {
+	files, err := listSnapshots(l.dir)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		payload, rerr := readSnapshotFile(files[i].path)
+		if rerr != nil {
+			continue // torn or corrupt: fall back to the previous one
+		}
+		return files[i].events, payload, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+type snapshotFile struct {
+	path   string
+	events int64
+}
+
+// listSnapshots returns the directory's snapshot files sorted ascending
+// by watermark.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []snapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		ev, perr := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, snapshotFile{path: filepath.Join(dir, name), events: ev})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].events < out[j].events })
+	return out, nil
+}
+
+func readSnapshotFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	payload, err := readFrame(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// scanSnapshots counts existing snapshot files at Open time.
+func (l *Log) scanSnapshots() (count, lastEvents int64, err error) {
+	files, err := listSnapshots(l.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(files) > 0 {
+		lastEvents = files[len(files)-1].events
+	}
+	return int64(len(files)), lastEvents, nil
+}
+
+// pruneSnapshotsLocked deletes all but the newest snapshotsToKeep files.
+// Best-effort: a failed remove is retried implicitly on the next write.
+func (l *Log) pruneSnapshotsLocked() {
+	files, err := listSnapshots(l.dir)
+	if err != nil {
+		return
+	}
+	for i := 0; i+snapshotsToKeep < len(files); i++ {
+		os.Remove(files[i].path)
+	}
+}

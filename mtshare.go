@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/fleet"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Point is a geographic location in degrees.
@@ -70,6 +72,11 @@ type Options struct {
 	// routing for taxis with spare seats and demand-seeking cruising of
 	// idle taxis.
 	Probabilistic bool
+
+	// Parallelism bounds the dispatch worker pool that evaluates
+	// candidate taxis concurrently. 0 uses GOMAXPROCS; 1 is strictly
+	// sequential. Every level produces identical assignments.
+	Parallelism int
 
 	// DisableLandmarkLB turns off the landmark distance oracle that
 	// screens candidate taxis with an admissible lower bound before exact
@@ -137,6 +144,17 @@ type Options struct {
 	// history: a custom History is not serialised into the log.
 	RecordTo io.Writer
 
+	// Durability, when Dir is set, makes the system crash-recoverable:
+	// every event is appended to a CRC-framed, fsync'd write-ahead log in
+	// Dir (the replay event encoding, so the WAL doubles as a replay
+	// log), and — when SnapshotEveryTicks is positive — a deterministic
+	// state snapshot is written every N Advance ticks so recovery replays
+	// only the tail. Reopening a System over a non-empty Dir recovers:
+	// the latest valid snapshot is restored and the WAL tail re-executed,
+	// with every re-executed outcome verified against the recorded one.
+	// Like RecordTo, durability requires the synthetic history.
+	Durability DurabilityOptions
+
 	// Faults enables the deterministic fault-injection layer: router
 	// unreachability faults and latency spikes, pre-cancelled dispatch
 	// contexts, and a forced shutdown, all derived from the plan's seed
@@ -159,6 +177,11 @@ type ShardingOptions = match.ShardingConfig
 // FaultPlan configures deterministic fault injection; see
 // Options.Faults. The zero Every/At fields disable each fault class.
 type FaultPlan = replay.FaultPlan
+
+// DurabilityOptions configures the write-ahead log and snapshot cadence;
+// see Options.Durability and wal.Options for field semantics. The zero
+// value (empty Dir) disables durability.
+type DurabilityOptions = wal.Options
 
 // DefaultOptions returns the configuration New applies when fields are
 // left zero: a deterministic 24x24 synthetic city, the paper's 15 km/h
@@ -212,6 +235,17 @@ func (o Options) Validate() error {
 	}
 	if o.RecordTo != nil && o.History != nil {
 		return fail("recording requires the synthetic history; custom History is not serialised into the log")
+	}
+	if o.Parallelism < 0 {
+		return fail("parallelism %d must not be negative", o.Parallelism)
+	}
+	if o.Durability.Enabled() {
+		if o.History != nil {
+			return fail("durability requires the synthetic history; custom History is not serialised into the WAL")
+		}
+		if o.Durability.SnapshotEveryTicks < 0 {
+			return fail("snapshot interval %d ticks must not be negative", o.Durability.SnapshotEveryTicks)
+		}
 	}
 	if err := o.Sharding.Validate(); err != nil {
 		return fail("sharding: %v", err)
@@ -279,6 +313,20 @@ type System struct {
 	faults      *replay.FaultPlan
 	faultRouter *replay.FaultRouter
 	eventIndex  int64
+
+	// Durability state (nil/zero without Options.Durability): the WAL,
+	// the encoder appending events to it, the serialized header line the
+	// WAL opened under (snapshot fingerprint), the snapshot cadence, and
+	// the in-flight background snapshot writes Close waits for. onEvent,
+	// when set, intercepts recorded events instead of appending them —
+	// recovery re-executes the WAL tail under it to verify outcomes.
+	wlog      *wal.Log
+	walEnc    *replay.Encoder
+	walDone   bool
+	walHeader []byte
+	snapEvery int
+	snapWG    sync.WaitGroup
+	onEvent   func(replay.Event)
 }
 
 // New builds a System. Zero-valued Options fields take the
@@ -359,6 +407,7 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	cfg.Sharding = opts.Sharding
+	cfg.Parallelism = opts.Parallelism
 	engine, err := match.NewDispatcher(pt, spx, cfg)
 	if err != nil {
 		return nil, err
@@ -383,32 +432,48 @@ func New(opts Options) (*System, error) {
 		if ver == 0 {
 			ver = replay.Version
 		}
-		rec, err := replay.NewEncoder(opts.RecordTo, replay.Header{
-			Version:                 ver,
-			Kind:                    replay.KindSystem,
-			Seed:                    opts.Seed,
-			Rows:                    opts.SyntheticCityRows,
-			Cols:                    opts.SyntheticCityCols,
-			Partitions:              opts.Partitions,
-			SpeedKmh:                opts.SpeedKmh,
-			SearchRangeMeters:       opts.SearchRangeMeters,
-			MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
-			Probabilistic:           opts.Probabilistic,
-			DisableLandmarkLB:       opts.DisableLandmarkLB,
-			DisableCH:               opts.DisableCH,
-			QueueDepth:              opts.QueueDepth,
-			RetryEveryTicks:         opts.RetryEveryTicks,
-			Shards:                  opts.Sharding.Shards,
-			BorderPolicy:            opts.Sharding.BorderPolicy,
-			GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),
-			Faults:                  opts.Faults,
-		})
+		rec, err := replay.NewEncoder(opts.RecordTo, buildHeader(opts, g, ver))
 		if err != nil {
 			return nil, err
 		}
 		s.rec = rec
 	}
+	if opts.Durability.Enabled() {
+		if err := s.openDurability(opts); err != nil {
+			if s.rec != nil {
+				s.rec.Close()
+			}
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// buildHeader assembles the replay log header both the RecordTo log and
+// the WAL open under. The same options must always serialize to the same
+// bytes: snapshot fingerprinting and recovery's header check depend on
+// it.
+func buildHeader(opts Options, g *roadnet.Graph, version int) replay.Header {
+	return replay.Header{
+		Version:                 version,
+		Kind:                    replay.KindSystem,
+		Seed:                    opts.Seed,
+		Rows:                    opts.SyntheticCityRows,
+		Cols:                    opts.SyntheticCityCols,
+		Partitions:              opts.Partitions,
+		SpeedKmh:                opts.SpeedKmh,
+		SearchRangeMeters:       opts.SearchRangeMeters,
+		MaxDirectionDiffDegrees: opts.MaxDirectionDiffDegrees,
+		Probabilistic:           opts.Probabilistic,
+		DisableLandmarkLB:       opts.DisableLandmarkLB,
+		DisableCH:               opts.DisableCH,
+		QueueDepth:              opts.QueueDepth,
+		RetryEveryTicks:         opts.RetryEveryTicks,
+		Shards:                  opts.Sharding.Shards,
+		BorderPolicy:            opts.Sharding.BorderPolicy,
+		GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),
+		Faults:                  opts.Faults,
+	}
 }
 
 // beginEvent consumes the next event index and applies the fault plan's
@@ -425,10 +490,25 @@ func (s *System) beginEvent() int64 {
 	return i
 }
 
-// record appends one event line when recording is active.
+// recording reports whether events must be assembled at all: a log
+// encoder is active, the WAL is open, or recovery is intercepting.
+func (s *System) recording() bool {
+	return s.onEvent != nil || (s.rec != nil && !s.recDone) || (s.walEnc != nil && !s.walDone)
+}
+
+// record routes one event line: to the recovery interceptor during tail
+// re-execution (and nowhere else — re-executed events are already in the
+// WAL), otherwise to the record log and the WAL.
 func (s *System) record(ev replay.Event) {
+	if s.onEvent != nil {
+		s.onEvent(ev)
+		return
+	}
 	if s.rec != nil && !s.recDone {
 		s.rec.Encode(ev)
+	}
+	if s.walEnc != nil && !s.walDone {
+		s.walEnc.Encode(ev)
 	}
 }
 
@@ -477,14 +557,39 @@ func (s *System) Now() time.Duration {
 func (s *System) Close() error {
 	s.closed = true
 	s.engine.Drain()
-	if s.rec != nil && !s.recDone {
+	if (s.rec != nil && !s.recDone) || (s.walEnc != nil && !s.walDone) {
 		s.record(replay.Event{I: s.eventIndex, Metrics: &replay.MetricsRecord{
 			Counters: s.deterministicCounters(),
 		}})
-		s.recDone = true
-		return s.rec.Close()
 	}
-	return nil
+	var firstErr error
+	if s.rec != nil && !s.recDone {
+		s.recDone = true
+		firstErr = s.rec.Close()
+	}
+	if s.walEnc != nil && !s.walDone {
+		s.walDone = true
+		if err := s.walEnc.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.wlog != nil {
+		s.snapWG.Wait()
+		if err := s.wlog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.wlog = nil
+	}
+	return firstErr
+}
+
+// DurabilityStats reports the WAL's segment, snapshot, and fsync
+// accounting; ok is false when Options.Durability was not enabled.
+func (s *System) DurabilityStats() (stats wal.Stats, ok bool) {
+	if s.wlog == nil {
+		return wal.Stats{}, false
+	}
+	return s.wlog.Stats(), true
 }
 
 // deterministicCounters snapshots the counters whose values are a pure
@@ -760,9 +865,10 @@ func (s *System) Advance(d time.Duration) []RideEvent {
 // always empty.
 func (s *System) AdvanceWithQueue(d time.Duration) ([]RideEvent, QueueOutcome) {
 	i := s.beginEvent()
+	s.ticks++
 	qo := s.serviceQueue()
 	events := s.advance(d)
-	if s.rec != nil && !s.recDone {
+	if s.recording() {
 		rides := make([]replay.Ride, len(events))
 		for k, ev := range events {
 			rides[k] = replay.Ride{
@@ -786,6 +892,7 @@ func (s *System) AdvanceWithQueue(d time.Duration) ([]RideEvent, QueueOutcome) {
 		}
 		s.record(replay.Event{I: i, Tick: tick})
 	}
+	s.maybeSnapshot()
 	return events, qo
 }
 
@@ -797,7 +904,6 @@ func (s *System) serviceQueue() QueueOutcome {
 	if s.queue == nil {
 		return out
 	}
-	s.ticks++
 	for _, it := range s.queue.ExpireBefore(s.now) {
 		out.Expired = append(out.Expired, RequestID(it.Req.ID))
 		s.engine.OnRequestDone(it.Req)

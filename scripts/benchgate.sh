@@ -15,6 +15,12 @@
 #     (BenchmarkCHBuild) and Chengdu-scale (~214k vertex) routing queries
 #     per backend (BenchmarkChengduCHRouting). The first roadnet run
 #     pays the one-time ~2.5-minute hierarchy build; -count reuses it.
+#   - WAL benchmarks (./internal/wal, -bench=WAL) against
+#     testdata/bench/wal_baseline.txt — append throughput across the
+#     group-commit spectrum (fsync every record / every 64 / never) and
+#     the snapshot write/restore paths. fsync latency is the most
+#     machine-sensitive number in the suite, which is exactly why the
+#     geomean gate (not per-benchmark deltas) decides.
 #
 # With two arguments, compares just that pair (for by-hand use).
 #
@@ -104,4 +110,6 @@ gate "${1:-testdata/bench/dispatch_baseline.txt}" ./internal/match/ Dispatch \
     "go test -run '^\$' -bench=Dispatch -count=5 -benchtime=50x ./internal/match/ > testdata/bench/dispatch_baseline.txt" || rc=1
 gate testdata/bench/roadnet_ch_baseline.txt ./internal/roadnet/ CH \
     "go test -run '^\$' -bench=CH -count=5 -benchtime=50x -timeout 30m ./internal/roadnet/ > testdata/bench/roadnet_ch_baseline.txt" || rc=1
+gate testdata/bench/wal_baseline.txt ./internal/wal/ WAL \
+    "go test -run '^\$' -bench=WAL -count=5 -benchtime=50x ./internal/wal/ > testdata/bench/wal_baseline.txt" || rc=1
 exit $rc
