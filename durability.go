@@ -99,7 +99,7 @@ func (s *System) recoverFromWAL(wlog *wal.Log, hdrLine []byte) error {
 	}
 
 	var watermark int64
-	if w, payload, ok, err := wlog.LatestSnapshot(); err != nil {
+	if w, payload, ok, err := wlog.LatestSnapshotAtOrBefore(int64(len(events))); err != nil {
 		return err
 	} else if ok {
 		var snap sysSnapshot
@@ -242,11 +242,17 @@ func (s *System) maybeSnapshot() {
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
-		payload, err := json.Marshal(snap)
-		if err != nil {
+		// The watermark promises every event below it is in the log, so
+		// the group-committed tail must be fsynced before the snapshot
+		// can become durable — otherwise a crash in between recovers a
+		// snapshot carrying events the log lost. A dead WAL skips the
+		// snapshot; recovery would reject it anyway.
+		if wlog.Sync() != nil {
 			return
 		}
-		wlog.WriteSnapshot(snap.Events, payload) // error is sticky in the log
+		// Failures (marshal included) land in Stats.SnapshotErr and the
+		// mtshare_wal_snapshot_errors_total counter.
+		wlog.WriteSnapshotJSON(snap.Events, snap)
 	}()
 }
 

@@ -3,6 +3,7 @@ package mtshare
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -341,3 +342,69 @@ func TestWALDispatchOverhead(t *testing.T) {
 }
 
 var _ = wal.Options{} // keep the import for the DurabilityOptions alias
+
+// TestDurableRecoveryIgnoresSnapshotAheadOfWAL plants a CRC-valid
+// snapshot whose watermark exceeds the log's record count — the state a
+// crashed process snapshotted after events its unsynced WAL tail lost —
+// and requires recovery to skip it and genesis-replay instead of
+// resurrecting phantom state.
+func TestDurableRecoveryIgnoresSnapshotAheadOfWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableBaseOptions(0, 1)
+	opts.Durability = DurabilityOptions{Dir: dir, SyncEvery: 1}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(s, 0, 12)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := wal.Open(wal.Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(500, []byte("phantom state")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	recovered, err := New(opts)
+	if err != nil {
+		t.Fatalf("recovery must skip the snapshot ahead of the WAL: %v", err)
+	}
+	defer recovered.Close()
+	if recovered.eventIndex != 12 {
+		t.Fatalf("recovered at event %d, want 12", recovered.eventIndex)
+	}
+}
+
+// TestDurableWALFailureStopsAcks proves a dead WAL surfaces on the
+// facade's serve path: the call whose event failed to persist returns
+// the durability error instead of a clean ack, and the system refuses
+// everything after with ErrShutdown.
+func TestDurableWALFailureStopsAcks(t *testing.T) {
+	opts := durableBaseOptions(0, 1)
+	opts.Durability = DurabilityOptions{Dir: t.TempDir(), SyncEvery: 1}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := s.Bounds()
+	mid := Point{Lat: (min.Lat + max.Lat) / 2, Lng: (min.Lng + max.Lng) / 2}
+	if _, err := s.AddTaxi(mid, 3); err != nil {
+		t.Fatalf("healthy AddTaxi: %v", err)
+	}
+
+	// Kill the log out from under the system: the next append fails and
+	// the error sticks in the encoder.
+	s.wlog.Close()
+
+	if _, err := s.AddTaxi(mid, 3); err == nil {
+		t.Fatal("AddTaxi acknowledged an event the WAL never persisted")
+	}
+	if _, err := s.SubmitRequest(context.Background(), min, mid, 1.3); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-failure SubmitRequest error = %v, want ErrShutdown", err)
+	}
+}

@@ -402,3 +402,115 @@ func TestServerCrashRecoveryKill9(t *testing.T) {
 		}
 	}
 }
+
+// TestServerWALFailureFailsRequests proves a dead WAL stops the serve
+// path: the request whose append hit the sticky error is answered with
+// the wal_failed envelope instead of an ack, and every later mutation
+// is rejected — the server must not keep acknowledging work it is no
+// longer persisting.
+func TestServerWALFailureFailsRequests(t *testing.T) {
+	s, err := New(durableTestConfig(t.TempDir(), 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	h := s.Handler()
+
+	method, path, body := crashOp(1) // a plain dispatch op
+	if rec, _ := do(t, h, method, path, body); rec.Code != http.StatusOK {
+		t.Fatalf("healthy dispatch = %d, want 200", rec.Code)
+	}
+
+	// Kill the log out from under the server: the next append fails and
+	// the error sticks in the encoder.
+	s.mu.Lock()
+	s.wlog.Close()
+	s.mu.Unlock()
+
+	rec, out := do(t, h, method, path, body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dispatch with dead WAL = %d, want 503", rec.Code)
+	}
+	if string(out["code"]) != `"wal_failed"` {
+		t.Fatalf("error code = %s, want \"wal_failed\"", out["code"])
+	}
+
+	// Everything after is rejected up front, still naming the WAL.
+	rec, out = do(t, h, method, path, body)
+	if rec.Code != http.StatusServiceUnavailable || string(out["code"]) != `"wal_failed"` {
+		t.Fatalf("follow-up = (%d, %s), want (503, \"wal_failed\")", rec.Code, out["code"])
+	}
+}
+
+// TestServerRecoveryTopsUpSeeding proves a recovery that replays fewer
+// seeded taxis than the configured fleet (the WAL lost the tail of the
+// seeding burst) tops the fleet back up instead of silently running
+// undersized forever.
+func TestServerRecoveryTopsUpSeeding(t *testing.T) {
+	dir := t.TempDir()
+	small := durableTestConfig(dir, 1, 1)
+	small.InitialTaxis = 3
+	s, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+
+	full := durableTestConfig(dir, 1, 1) // InitialTaxis = 6
+	r, err := New(full)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if len(r.taxis) != 6 {
+		t.Fatalf("recovered fleet has %d taxis, want topped up to 6", len(r.taxis))
+	}
+	r.Stop()
+
+	// The top-up landed in the WAL as ordinary AddTaxi events: the next
+	// restart replays the full fleet.
+	again, err := New(full)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if len(again.taxis) != 6 {
+		t.Fatalf("re-recovered fleet has %d taxis, want 6", len(again.taxis))
+	}
+	again.Stop()
+}
+
+// TestServerRecoveryIgnoresSnapshotAheadOfWAL plants a CRC-valid
+// snapshot whose watermark exceeds the log's record count — the state a
+// crashed process snapshotted after events its unsynced WAL tail lost —
+// and requires recovery to skip it and genesis-replay instead of
+// resurrecting phantom state (or failing on its payload).
+func TestServerRecoveryIgnoresSnapshotAheadOfWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(durableTestConfig(dir, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for k := 0; k < 9; k++ {
+		method, path, body := crashOp(k)
+		do(t, h, method, path, body)
+	}
+	s.Stop()
+
+	l, err := wal.Open(wal.Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(1000, []byte("phantom state")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	r, err := New(durableTestConfig(dir, 1, 1))
+	if err != nil {
+		t.Fatalf("recovery must skip the snapshot ahead of the WAL: %v", err)
+	}
+	if r.eventIdx != 6+9 {
+		t.Fatalf("recovered at event %d, want %d", r.eventIdx, 6+9)
+	}
+	r.Stop()
+}

@@ -87,38 +87,37 @@ func (s *Server) buildWALHeader() replay.Header {
 }
 
 // openDurability attaches the WAL to the freshly built (still virgin)
-// server. It returns true when an existing log was recovered — the
-// caller must then skip initial fleet seeding, because the seeded
-// AddTaxi events already live in the log.
-func (s *Server) openDurability() (bool, error) {
+// server: a fresh directory starts a new log with the header as record
+// 0; a non-empty one triggers recovery, after which New's seeding loop
+// only tops up whatever AddTaxi events the log already replayed.
+func (s *Server) openDurability() error {
 	hdr := s.buildWALHeader()
 	hdrLine, err := json.Marshal(hdr)
 	if err != nil {
-		return false, fmt.Errorf("server: durability: marshal header: %w", err)
+		return fmt.Errorf("server: durability: marshal header: %w", err)
 	}
 	wlog, err := wal.Open(s.cfg.Durability, s.reg)
 	if err != nil {
-		return false, err
+		return err
 	}
-	recovered := wlog.Records() > 0
-	if !recovered {
+	if wlog.Records() == 0 {
 		enc, err := replay.NewEncoder(wlog.AppendWriter(), hdr)
 		if err != nil {
 			wlog.Close()
-			return false, err
+			return err
 		}
 		s.walEnc = enc
 	} else {
 		if err := s.recoverFromWAL(wlog, hdrLine); err != nil {
 			wlog.Close()
-			return false, fmt.Errorf("server: durability: recover: %w", err)
+			return fmt.Errorf("server: durability: recover: %w", err)
 		}
 		s.walEnc = replay.ResumeEncoder(wlog.AppendWriter())
 	}
 	s.wlog = wlog
 	s.walHeader = hdrLine
 	s.snapEvery = s.cfg.Durability.SnapshotEveryTicks
-	return recovered, nil
+	return nil
 }
 
 // recordingLocked reports whether events should be assembled at all —
@@ -129,9 +128,13 @@ func (s *Server) recordingLocked() bool {
 
 // recordLocked stamps ev with the next event index and appends it to
 // the WAL — or hands it to the recovery verifier, which never
-// re-appends. When the configured crash point is reached the record is
-// fsynced and the process SIGKILLs itself: the harness's deterministic
-// stand-in for a power cut.
+// re-appends. A sticky append or fsync error stops the whole service:
+// the server must not keep acknowledging work it is no longer
+// persisting, so the error is latched in walErr (handlers fail the
+// triggering request with it) and stopped rejects everything after.
+// When the configured crash point is reached the record is fsynced and
+// the process SIGKILLs itself: the harness's deterministic stand-in for
+// a power cut.
 func (s *Server) recordLocked(ev replay.Event) {
 	ev.I = s.eventIdx
 	s.eventIdx++
@@ -143,6 +146,16 @@ func (s *Server) recordLocked(ev replay.Event) {
 		return
 	}
 	s.walEnc.Encode(ev)
+	if s.walErr == nil {
+		err := s.walEnc.Err()
+		if err == nil {
+			err = s.wlog.Err() // interval-loop fsync failures surface here first
+		}
+		if err != nil {
+			s.walErr = err
+			s.stopped = true
+		}
+	}
 	if s.cfg.CrashAtEvent > 0 && ev.I == s.cfg.CrashAtEvent {
 		s.wlog.Sync()
 		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
@@ -193,7 +206,7 @@ func (s *Server) recoverFromWAL(wlog *wal.Log, hdrLine []byte) error {
 		return err
 	}
 	var watermark int64
-	if w, payload, ok, err := wlog.LatestSnapshot(); err != nil {
+	if w, payload, ok, err := wlog.LatestSnapshotAtOrBefore(int64(len(events))); err != nil {
 		return err
 	} else if ok {
 		var snap serverSnapshot
@@ -326,11 +339,17 @@ func (s *Server) maybeSnapshotLocked() {
 	s.snapWG.Add(1)
 	go func() {
 		defer s.snapWG.Done()
-		payload, err := json.Marshal(snap)
-		if err != nil {
+		// The watermark promises every event below it is in the log, so
+		// the group-committed tail must be fsynced before the snapshot
+		// can become durable — otherwise a crash in between recovers a
+		// snapshot carrying events the log lost. A dead WAL skips the
+		// snapshot; recovery would reject it anyway.
+		if wlog.Sync() != nil {
 			return
 		}
-		wlog.WriteSnapshot(snap.Events, payload) // error is sticky in the log
+		// Failures (marshal included) land in Stats.SnapshotErr and the
+		// mtshare_wal_snapshot_errors_total counter.
+		wlog.WriteSnapshotJSON(snap.Events, snap)
 	}()
 }
 
@@ -426,7 +445,11 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.advanceTickLocked(int64(time.Duration(body.DSeconds * float64(time.Second))))
-	now, n := s.nowSeconds, s.eventIdx
+	now, n, walErr := s.nowSeconds, s.eventIdx, s.walErr
 	s.mu.Unlock()
+	if walErr != nil {
+		writeWALFailed(w, walErr)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"sim_seconds": now, "events": n})
 }

@@ -156,6 +156,12 @@ type Server struct {
 	snapEvery int
 	snapWG    sync.WaitGroup
 	onEvent   func(replay.Event)
+	// walErr latches the WAL's sticky append/fsync error the moment
+	// recordLocked observes it (setting stopped alongside): the request
+	// whose record failed is answered with it instead of an ack, and
+	// every later mutation is rejected — a server that cannot persist
+	// must not keep acknowledging work.
+	walErr error
 }
 
 type reqStatus struct {
@@ -251,20 +257,22 @@ func New(cfg Config) (*Server, error) {
 			s.retryEvery = 1
 		}
 	}
-	recovered := false
 	if cfg.Durability.Enabled() {
-		recovered, err = s.openDurability()
-		if err != nil {
+		if err := s.openDurability(); err != nil {
 			return nil, err
 		}
 	}
-	if !recovered {
-		// Initial placement uses the seeded rng, and — with durability on
-		// — lands in the WAL as ordinary AddTaxi events; a recovering
-		// process replays those instead of re-seeding.
-		for i := 0; i < cfg.InitialTaxis; i++ {
-			s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
-		}
+	// Initial placement uses the seeded rng, and — with durability on —
+	// lands in the WAL as ordinary AddTaxi events; a recovering process
+	// replays those instead of re-seeding. Recovery can restore fewer
+	// than InitialTaxis when the crash tore the tail of the seeding
+	// burst itself, so the fleet is topped up (appending fresh AddTaxi
+	// events) rather than silently running undersized forever.
+	for len(s.taxis) < cfg.InitialTaxis {
+		s.addTaxiLocked(g.Point(roadnet.VertexID(s.rng.Intn(g.NumVertices()))), cfg.Capacity)
+	}
+	if s.walErr != nil {
+		return nil, fmt.Errorf("server: durability: seeding: %w", s.walErr)
 	}
 	return s, nil
 }
@@ -312,10 +320,16 @@ func (s *Server) Stop() {
 	s.mu.Unlock()
 }
 
-// advance moves the world forward by dt simulated seconds.
+// advance moves the world forward by dt simulated seconds. A stopped
+// server (Stop, or a WAL failure latched by recordLocked) no longer
+// moves: ticking on would keep mutating state that can never be
+// persisted or recovered.
 func (s *Server) advance(dt float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
 	// dt round-trips through nanoseconds so the live tick and its WAL
 	// replay advance by bit-identical durations.
 	s.advanceTickLocked(int64(time.Duration(dt * float64(time.Second))))
@@ -496,6 +510,7 @@ const (
 	codeNotFound         = "not_found"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeShutdown         = "shutdown"
+	codeWALFailed        = "wal_failed"
 )
 
 // errorJSON is the uniform error envelope of every non-2xx response.
@@ -522,15 +537,29 @@ func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow ...string) {
 		fmt.Sprintf("method %s not allowed", r.Method))
 }
 
-// rejectIfStoppedLocked answers mutating requests arriving after Stop.
+// rejectIfStoppedLocked answers mutating requests arriving after Stop —
+// or after a WAL failure stopped the service, in which case the error
+// envelope names the durability failure rather than a plain shutdown.
 // The caller must hold mu: the shutdown decision is only race-free when
 // it shares the critical section with the mutation it guards.
 func (s *Server) rejectIfStoppedLocked(w http.ResponseWriter) bool {
 	if !s.stopped {
 		return false
 	}
+	if s.walErr != nil {
+		writeWALFailed(w, s.walErr)
+		return true
+	}
 	writeError(w, http.StatusServiceUnavailable, codeShutdown, "server is shut down")
 	return true
+}
+
+// writeWALFailed answers a mutating request that cannot be acknowledged
+// because the write-ahead log is dead: any in-memory state change was
+// never persisted and would not survive a restart.
+func writeWALFailed(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusServiceUnavailable, codeWALFailed,
+		fmt.Sprintf("durability failure, state not persisted: %v", err))
 }
 
 // handleMetrics serves the instrument registry in Prometheus text
@@ -578,7 +607,12 @@ func (s *Server) handleTaxis(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		id := s.addTaxiLocked(geo.Point{Lat: body.Lat, Lng: body.Lng}, body.Capacity)
+		walErr := s.walErr
 		s.mu.Unlock()
+		if walErr != nil {
+			writeWALFailed(w, walErr)
+			return
+		}
 		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
 	default:
 		methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
@@ -660,9 +694,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 		return
 	}
 	out, ok := s.dispatchLocked(s.eventCtx(r), pickup, dropoff, rho)
+	walErr := s.walErr
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
+		return
+	}
+	if walErr != nil {
+		writeWALFailed(w, walErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -931,12 +970,15 @@ func (s *Server) handleHails(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, code := s.hailLocked(s.eventCtx(r), body.TaxiID, body.Pickup, body.Dropoff, rho)
+	walErr := s.walErr
 	s.mu.Unlock()
-	switch code {
-	case codeNotFound:
+	switch {
+	case code == codeNotFound:
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown taxi")
-	case codeInvalidRequest:
+	case code == codeInvalidRequest:
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
+	case walErr != nil:
+		writeWALFailed(w, walErr)
 	default:
 		writeJSON(w, http.StatusOK, out)
 	}

@@ -7,6 +7,7 @@ package wal
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,10 +28,48 @@ func snapshotPath(dir string, events int64) string {
 // WriteSnapshot atomically persists a snapshot taken after applying the
 // first `events` WAL events. The payload is written CRC-framed to a temp
 // file, fsync'd, renamed into place, and the directory fsync'd, so a
-// crash mid-write leaves either the complete snapshot or none.
+// crash mid-write leaves either the complete snapshot or none. The
+// caller must ensure those `events` records are already durable (Sync
+// the log first): a snapshot whose watermark is ahead of the durable
+// tail would make recovery resurrect events the log lost. Failures are
+// remembered in Stats.SnapshotErr and counted, so fire-and-forget
+// callers cannot fail forever unnoticed; the error clears on the next
+// successful write.
 func (l *Log) WriteSnapshot(events int64, payload []byte) error {
 	l.snapMu.Lock()
 	defer l.snapMu.Unlock()
+	if err := l.writeSnapshotLocked(events, payload); err != nil {
+		l.noteSnapshotErrLocked(err)
+		return err
+	}
+	l.snapErr = nil
+	l.snapshots++
+	if events > l.lastSnapEvents {
+		l.lastSnapEvents = events
+	}
+	if l.snapsC != nil {
+		l.snapsC.Inc()
+	}
+	l.pruneSnapshotsLocked()
+	return nil
+}
+
+// WriteSnapshotJSON marshals state and persists it via WriteSnapshot, so
+// a marshal failure is recorded the same way as a write failure instead
+// of vanishing in a background goroutine.
+func (l *Log) WriteSnapshotJSON(events int64, state interface{}) error {
+	payload, err := json.Marshal(state)
+	if err != nil {
+		err = fmt.Errorf("wal: snapshot: marshal: %w", err)
+		l.snapMu.Lock()
+		l.noteSnapshotErrLocked(err)
+		l.snapMu.Unlock()
+		return err
+	}
+	return l.WriteSnapshot(events, payload)
+}
+
+func (l *Log) writeSnapshotLocked(events int64, payload []byte) error {
 	final := snapshotPath(l.dir, events)
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -57,18 +96,17 @@ func (l *Log) WriteSnapshot(events int64, payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
-		return err
+	return syncDir(l.dir)
+}
+
+// noteSnapshotErrLocked records a failed snapshot attempt: the latest
+// error surfaces in Stats.SnapshotErr and every failure increments the
+// mtshare_wal_snapshot_errors_total counter.
+func (l *Log) noteSnapshotErrLocked(err error) {
+	l.snapErr = err
+	if l.snapErrsC != nil {
+		l.snapErrsC.Inc()
 	}
-	l.snapshots++
-	if events > l.lastSnapEvents {
-		l.lastSnapEvents = events
-	}
-	if l.snapsC != nil {
-		l.snapsC.Inc()
-	}
-	l.pruneSnapshotsLocked()
-	return nil
 }
 
 func writeFrameTo(w *bufio.Writer, payload []byte) error {
@@ -85,11 +123,24 @@ func writeFrameTo(w *bufio.Writer, payload []byte) error {
 // corrupt or torn ones. ok is false when no usable snapshot exists (the
 // host then replays the log from genesis).
 func (l *Log) LatestSnapshot() (events int64, payload []byte, ok bool, err error) {
+	return l.LatestSnapshotAtOrBefore(int64(^uint64(0) >> 1))
+}
+
+// LatestSnapshotAtOrBefore is LatestSnapshot restricted to snapshots
+// whose watermark does not exceed maxEvents — the number of records the
+// reopened log actually holds. A snapshot ahead of that bound reflects
+// events the log lost (it became durable before the WAL tail it
+// promises), so recovery must skip it and fall back to an older
+// snapshot or a genesis replay rather than resurrect phantom state.
+func (l *Log) LatestSnapshotAtOrBefore(maxEvents int64) (events int64, payload []byte, ok bool, err error) {
 	files, err := listSnapshots(l.dir)
 	if err != nil {
 		return 0, nil, false, err
 	}
 	for i := len(files) - 1; i >= 0; i-- {
+		if files[i].events > maxEvents {
+			continue // durable ahead of the recovered log: unusable
+		}
 		payload, rerr := readSnapshotFile(files[i].path)
 		if rerr != nil {
 			continue // torn or corrupt: fall back to the previous one

@@ -22,7 +22,11 @@
 // atomically (temp file, fsync, rename, directory fsync) by
 // WriteSnapshot; LatestSnapshot returns the newest one whose CRC checks
 // out, falling back to older snapshots — or to a full genesis replay when
-// none survive — so a torn snapshot can never poison recovery.
+// none survive — so a torn snapshot can never poison recovery. Hosts
+// Sync the log before writing a snapshot and recover through
+// LatestSnapshotAtOrBefore, so a snapshot whose watermark is ahead of
+// the durable record count (its events died with the unsynced tail) is
+// never written in the first place and is skipped if one exists anyway.
 package wal
 
 import (
@@ -119,6 +123,7 @@ type Stats struct {
 	SyncEvery          int    `json:"sync_every"`
 	SnapshotEveryTicks int    `json:"snapshot_every_ticks"`
 	Err                string `json:"err,omitempty"`
+	SnapshotErr        string `json:"snapshot_err,omitempty"`
 }
 
 type segment struct {
@@ -155,10 +160,11 @@ type Log struct {
 	snapMu         sync.Mutex
 	snapshots      int64
 	lastSnapEvents int64
+	snapErr        error // latest failed snapshot attempt; nil after a success
 
-	appendsC, bytesC, syncsC, rotationsC, truncC, snapsC *obs.Counter
-	segGauge, lastSyncGauge                              *obs.Gauge
-	fsyncH                                               *obs.Histogram
+	appendsC, bytesC, syncsC, rotationsC, truncC, snapsC, snapErrsC *obs.Counter
+	segGauge, lastSyncGauge                                         *obs.Gauge
+	fsyncH                                                          *obs.Histogram
 }
 
 // Open opens (creating if needed) the log in opts.Dir, scans and repairs
@@ -179,6 +185,7 @@ func Open(opts Options, reg *obs.Registry) (*Log, error) {
 		l.rotationsC = reg.Counter("mtshare_wal_rotations_total")
 		l.truncC = reg.Counter("mtshare_wal_truncated_bytes_total")
 		l.snapsC = reg.Counter("mtshare_wal_snapshots_total")
+		l.snapErrsC = reg.Counter("mtshare_wal_snapshot_errors_total")
 		l.segGauge = reg.Gauge("mtshare_wal_segments")
 		l.lastSyncGauge = reg.Gauge("mtshare_wal_last_sync_unix_seconds")
 		l.fsyncH = reg.Histogram("mtshare_wal_fsync_seconds")
@@ -538,6 +545,9 @@ func (l *Log) Stats() Stats {
 	l.snapMu.Lock()
 	st.Snapshots = l.snapshots
 	st.LastSnapshotEvents = l.lastSnapEvents
+	if l.snapErr != nil {
+		st.SnapshotErr = l.snapErr.Error()
+	}
 	l.snapMu.Unlock()
 	return st
 }

@@ -488,3 +488,62 @@ func TestReadFrameRejectsOversizedLength(t *testing.T) {
 		t.Fatal("readFrame accepted an oversized length")
 	}
 }
+
+func TestLatestSnapshotAtOrBeforeSkipsFutureWatermark(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.WriteSnapshot(10, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(20, []byte("ahead")); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened log holds only 15 events: the snapshot at 20 became
+	// durable ahead of the WAL tail a crash then tore off, so recovery
+	// must fall back to the snapshot at 10.
+	ev, got, ok, err := l.LatestSnapshotAtOrBefore(15)
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshotAtOrBefore(15): ok=%v err=%v", ok, err)
+	}
+	if ev != 10 || string(got) != "durable" {
+		t.Fatalf("bounded lookup = (%d, %q), want (10, \"durable\")", ev, got)
+	}
+	// No snapshot at or below the bound: genesis replay.
+	if _, _, ok, err := l.LatestSnapshotAtOrBefore(5); err != nil || ok {
+		t.Fatalf("LatestSnapshotAtOrBefore(5) = ok=%v err=%v, want no snapshot", ok, err)
+	}
+	// The unbounded lookup still sees the newest one.
+	if ev, _, ok, _ := l.LatestSnapshot(); !ok || ev != 20 {
+		t.Fatalf("LatestSnapshot = (%d, ok=%v), want (20, true)", ev, ok)
+	}
+}
+
+func TestSnapshotWriteFailureSurfacesInStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, err := Open(Options{Dir: t.TempDir()}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A channel cannot marshal: the background-goroutine failure mode.
+	if err := l.WriteSnapshotJSON(5, make(chan int)); err == nil {
+		t.Fatal("WriteSnapshotJSON(chan) succeeded")
+	}
+	st := l.Stats()
+	if st.SnapshotErr == "" {
+		t.Fatal("failed snapshot left Stats.SnapshotErr empty")
+	}
+	if got := reg.Snapshot().Counters["mtshare_wal_snapshot_errors_total"]; got != 1 {
+		t.Fatalf("snapshot error counter = %d, want 1", got)
+	}
+	// A later successful write clears the latched error.
+	if err := l.WriteSnapshotJSON(6, map[string]int{"ok": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.SnapshotErr != "" || st.Snapshots != 1 {
+		t.Fatalf("after success: SnapshotErr=%q Snapshots=%d, want \"\" and 1", st.SnapshotErr, st.Snapshots)
+	}
+}

@@ -327,6 +327,12 @@ type System struct {
 	snapEvery int
 	snapWG    sync.WaitGroup
 	onEvent   func(replay.Event)
+	// walErr latches the WAL's sticky append/fsync error the moment
+	// record observes it (setting closed alongside): the call whose
+	// event failed to persist returns it instead of a clean ack, and
+	// every later submission fails — a system that can no longer
+	// persist must not keep acknowledging work.
+	walErr error
 }
 
 // New builds a System. Zero-valued Options fields take the
@@ -498,7 +504,10 @@ func (s *System) recording() bool {
 
 // record routes one event line: to the recovery interceptor during tail
 // re-execution (and nowhere else — re-executed events are already in the
-// WAL), otherwise to the record log and the WAL.
+// WAL), otherwise to the record log and the WAL. A sticky WAL append or
+// fsync error is latched in walErr and closes the system: the caller
+// whose event failed to persist gets the error back (see durabilityErr),
+// and everything after fails with ErrShutdown.
 func (s *System) record(ev replay.Event) {
 	if s.onEvent != nil {
 		s.onEvent(ev)
@@ -509,7 +518,28 @@ func (s *System) record(ev replay.Event) {
 	}
 	if s.walEnc != nil && !s.walDone {
 		s.walEnc.Encode(ev)
+		if s.walErr == nil {
+			err := s.walEnc.Err()
+			if err == nil {
+				err = s.wlog.Err() // interval-loop fsync failures surface here first
+			}
+			if err != nil {
+				s.walErr = err
+				s.closed = true
+			}
+		}
 	}
+}
+
+// durabilityErr converts a just-latched WAL failure into the error the
+// triggering call must return: its outcome is in memory but was never
+// persisted, so acknowledging it cleanly would lie about what survives
+// a restart. A call that already failed keeps its own error.
+func (s *System) durabilityErr(err error) error {
+	if err == nil && s.walErr != nil {
+		return fmt.Errorf("mtshare: durability: %w", s.walErr)
+	}
+	return err
 }
 
 // errCode maps an API error onto the stable code the log stores; replay
@@ -620,7 +650,7 @@ func (s *System) AddTaxi(at Point, capacity int) (TaxiID, error) {
 		Taxi:     int64(id),
 		Err:      errCode(err),
 	}})
-	return id, err
+	return id, s.durabilityErr(err)
 }
 
 func (s *System) addTaxi(at Point, capacity int) (TaxiID, error) {
@@ -669,7 +699,7 @@ func (s *System) SubmitRequest(ctx context.Context, pickup, dropoff Point, flexi
 		Flexibility: flexibility,
 		Out:         requestOutcome(a, err),
 	}})
-	return a, err
+	return a, s.durabilityErr(err)
 }
 
 // requestOutcome renders an Assignment and error as the log outcome.
@@ -752,7 +782,7 @@ func (s *System) ReportStreetHail(ctx context.Context, taxi TaxiID, pickup, drop
 		Flexibility: flexibility,
 		Out:         replay.HailOutcome{Err: errCode(err), ServedBy: int64(served)},
 	}})
-	return served, err
+	return served, s.durabilityErr(err)
 }
 
 func (s *System) reportStreetHail(ctx context.Context, taxi TaxiID, pickup, dropoff Point, flexibility float64) (TaxiID, error) {
