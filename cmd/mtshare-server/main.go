@@ -7,7 +7,8 @@
 // Usage:
 //
 //	mtshare-server [-addr :8080] [-rows 28] [-cols 28] [-taxis 50] [-speedup 20]
-//	               [-queue N] [-queue-retry N] [-shards N] [-border twophase|local]
+//	               [-queue N] [-queue-retry N] [-batch-assign]
+//	               [-shards N] [-border twophase|local]
 //	               [-parallelism N] [-trace-sample N] [-pprof]
 //	               [-wal-dir DIR] [-wal-sync-every N] [-wal-sync-interval D]
 //	               [-snapshot-every N] [-manual-clock]
@@ -62,6 +63,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	queueDepth := flag.Int("queue", 0, "pending-queue capacity: park unserved requests and retry until their deadline (0 = reject immediately)")
 	queueRetry := flag.Int("queue-retry", 1, "retry the pending queue every N simulation ticks")
+	batchAssign := flag.Bool("batch-assign", false, "run queue retry rounds as a global min-cost assignment instead of greedy deadline-order commits")
 	shards := flag.Int("shards", 0, "shard the dispatcher into N territory-owning engines (0 or 1 = single engine)")
 	border := flag.String("border", "", "border candidate policy for sharded dispatch: twophase (default) or local")
 	parallelism := flag.Int("parallelism", 0, "dispatcher worker count per dispatch (0 = default)")
@@ -79,6 +81,7 @@ func main() {
 		InitialTaxis: *taxis, Capacity: *capacity,
 		Speedup: *speedup, Seed: *seed,
 		QueueDepth: *queueDepth, RetryEveryTicks: *queueRetry,
+		BatchAssign: *batchAssign,
 		Sharding:    match.ShardingConfig{Shards: *shards, BorderPolicy: *border},
 		Parallelism: *parallelism,
 		ManualClock: *manualClock,

@@ -23,6 +23,12 @@ var (
 	// no room (backpressure): the request is terminally rejected.
 	ErrQueueFull = errors.New("mtshare: pending queue is full")
 
+	// ErrRequestExpired reports that dispatch failed and the request's
+	// pickup deadline had already passed when it would have parked in the
+	// pending queue: terminally rejected, but not backpressure — retrying
+	// the same request cannot succeed.
+	ErrRequestExpired = errors.New("mtshare: request pickup deadline already passed")
+
 	// ErrInvalidRequest reports a request that could not be interpreted:
 	// endpoints off the road network, degenerate pickup/dropoff, or an
 	// out-of-range flexibility factor.

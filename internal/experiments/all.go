@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"ablate-landmark", (*Lab).AblationLandmark},
 		{"ablate-ch", (*Lab).AblationCH},
 		{"ablate-shard", (*Lab).AblationShard},
+		{"ablate-batch-assign", (*Lab).AblationBatchAssign},
 		{"verify", (*Lab).Verify},
 	}
 }

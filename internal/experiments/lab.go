@@ -58,6 +58,11 @@ type Scenario struct {
 	// RetryEveryTicks sets the retry cadence (0 = every tick).
 	QueueDepth      int
 	RetryEveryTicks int
+	// BatchAssign runs queue retry rounds as a global min-cost assignment
+	// over the full (request, taxi) cost graph instead of greedy
+	// deadline-order commits (the ablate-batch-assign experiment); see
+	// match.Config.BatchAssign.
+	BatchAssign bool
 	// DisableLandmarkLB turns off the landmark lower-bound candidate
 	// screen for mT-Share engines (the ablate-landmark experiment).
 	DisableLandmarkLB bool
@@ -192,6 +197,7 @@ func (l *Lab) buildScheme(sc Scenario) (dispatch.Scheme, error) {
 		cfg.ProbMaxLegInflation = sc.ProbInflation
 		cfg.DisableLandmarkLB = sc.DisableLandmarkLB
 		cfg.DisableCH = sc.DisableCH
+		cfg.BatchAssign = sc.BatchAssign
 		cfg.Sharding = match.ShardingConfig{Shards: sc.Shards, BorderPolicy: sc.BorderPolicy}
 		if !sc.DisableCH {
 			// Share the lab-wide CH: preprocessing is the expensive part
@@ -232,6 +238,7 @@ func (l *Lab) Run(sc Scenario) (*sim.Metrics, error) {
 	if sc.QueueDepth > 0 {
 		params.RetryEveryTicks = sc.RetryEveryTicks
 	}
+	params.BatchAssign = sc.BatchAssign
 	params.Sharding = match.ShardingConfig{Shards: sc.Shards, BorderPolicy: sc.BorderPolicy}
 	eng, err := sim.NewEngine(l.World.G, scheme, params)
 	if err != nil {

@@ -263,19 +263,30 @@ func (e *Engine) dispatchLocked(ctx context.Context, req *fleet.Request, nowSeco
 
 	if best.Legs == nil {
 		_, spl := obs.StartSpan(ctx, "dispatch.legbuild")
-		t2 := time.Now()
-		vertices := make([]roadnet.VertexID, len(best.Events))
-		for i, ev := range best.Events {
-			vertices[i] = ev.Vertex()
-		}
-		legs, ok := e.BuildBasicLegs(best.Taxi.NextVertex(), vertices)
-		e.ins.legBuildSeconds.ObserveSince(t2)
+		ok := e.materializeLegsLocked(best)
 		spl.End()
 		if !ok {
 			return false
 		}
-		best.Legs = legs
 	}
+	return true
+}
+
+// materializeLegsLocked fills a winning assignment's basic route legs from
+// its schedule events. The caller holds a fleet read lock covering the
+// taxi, so NextVertex cannot shift mid-build.
+func (e *Engine) materializeLegsLocked(a *Assignment) bool {
+	t0 := time.Now()
+	defer e.ins.legBuildSeconds.ObserveSince(t0)
+	vertices := make([]roadnet.VertexID, len(a.Events))
+	for i, ev := range a.Events {
+		vertices[i] = ev.Vertex()
+	}
+	legs, ok := e.BuildBasicLegs(a.Taxi.NextVertex(), vertices)
+	if !ok {
+		return false
+	}
+	a.Legs = legs
 	return true
 }
 

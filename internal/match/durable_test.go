@@ -182,7 +182,7 @@ func TestQueueDurableRoundTrip(t *testing.T) {
 	reqs := make(map[fleet.RequestID]*fleet.Request)
 	for i := int64(1); i <= 5; i++ {
 		req := env.request(i, env.vertexNear(t, 0.2, 0.2), env.vertexNear(t, 0.8, 0.8), 0, 3+float64(i))
-		if !q.Push(req, 0) {
+		if !q.Push(req, 0).Accepted() {
 			t.Fatalf("push %d rejected", i)
 		}
 		reqs[req.ID] = req
@@ -225,7 +225,7 @@ func TestQueueGroupDurableRoundTrip(t *testing.T) {
 	for i := int64(1); i <= 8; i++ {
 		o := env.vertexNear(t, 0.05+0.1*float64(i%9), 0.1+0.1*float64(i%8))
 		req := env.request(i, o, env.vertexNear(t, 0.5, 0.5), 0, 4)
-		if !q.Push(req, 0) {
+		if !q.Push(req, 0).Accepted() {
 			t.Fatalf("push %d rejected", i)
 		}
 		reqs[req.ID] = req

@@ -92,6 +92,19 @@ type Config struct {
 	// bound (legs are limited only by deadlines).
 	ProbMaxLegInflation float64
 
+	// BatchAssign switches DispatchBatch's retry rounds from greedy
+	// deadline-order commits to a global min-cost assignment over the full
+	// (request, taxi) cost graph: every feasible pairing is enumerated
+	// through the ordinary pipeline (landmark screening included), a
+	// deterministic Hungarian solve picks the maximum-cardinality minimum-
+	// detour matching with (cost, request, taxi) tie-breaks, and a
+	// remainder pass re-dispatches the leftovers greedily so ridesharing
+	// absorption is never lost to the one-to-one matching. Degenerate
+	// graphs (singleton batch, no contested taxi, no feasible pair) fall
+	// back to the greedy order. The zero value keeps greedy rounds; see
+	// the ablate-batch-assign experiment for the trade-off.
+	BatchAssign bool
+
 	// Sharding splits the dispatcher into independent per-territory
 	// engines (see ShardedEngine). It is consumed by NewDispatcher; the
 	// zero value (and Shards <= 1) selects the classic single Engine.

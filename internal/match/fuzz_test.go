@@ -44,17 +44,21 @@ func (m *modelQueue) sorted() []modelItem {
 	return out
 }
 
-func (m *modelQueue) push(id fleet.RequestID, pd, now float64) bool {
+func (m *modelQueue) push(id fleet.RequestID, pd, now float64) PushResult {
 	if m.find(id) >= 0 {
-		return true
+		return PushAccepted
 	}
-	if pd < now || len(m.items) >= m.capacity {
+	if pd < now {
 		m.stats.Rejected++
-		return false
+		return PushRejectedExpired
+	}
+	if len(m.items) >= m.capacity {
+		m.stats.Rejected++
+		return PushRejectedFull
 	}
 	m.items = append(m.items, modelItem{id: id, pd: pd})
 	m.stats.Enqueued++
-	return true
+	return PushAccepted
 }
 
 func (m *modelQueue) expireBefore(now float64) []modelItem {

@@ -871,7 +871,7 @@ func BenchmarkDispatchQueueBatch(b *testing.B) {
 		placeFleet(fresh, 12, 42)
 		q := NewPendingQueue(len(reqs), e.Config().SpeedMps)
 		for _, r := range reqs {
-			if !q.Push(r, 0) {
+			if !q.Push(r, 0).Accepted() {
 				b.Fatalf("request %d rejected at push", r.ID)
 			}
 		}

@@ -10,6 +10,40 @@ import (
 	"repro/internal/obs"
 )
 
+// PushResult is the outcome of Pool.Push: accepted, or refused with the
+// reason — a full pool (backpressure the caller can surface as a retryable
+// reject) versus a pickup deadline that had already passed at push time (a
+// terminal miss no amount of queueing can save).
+type PushResult int
+
+const (
+	// PushAccepted reports the request is parked (including the no-op
+	// re-push of an already-parked request).
+	PushAccepted PushResult = iota
+	// PushRejectedFull reports the pool was at capacity — backpressure.
+	PushRejectedFull
+	// PushRejectedExpired reports the request's pickup deadline had
+	// already strictly passed, so parking it would only ever expire it.
+	PushRejectedExpired
+)
+
+// Accepted reports whether the push parked the request.
+func (r PushResult) Accepted() bool { return r == PushAccepted }
+
+// String names the result for logs and tests.
+func (r PushResult) String() string {
+	switch r {
+	case PushAccepted:
+		return "accepted"
+	case PushRejectedFull:
+		return "rejected_full"
+	case PushRejectedExpired:
+		return "rejected_expired"
+	default:
+		return "unknown"
+	}
+}
+
 // Pool is the pending-request pool surface the facade, simulator, and
 // server program against: a single PendingQueue, or a sharded QueueGroup
 // routing each request to its home shard's queue. Obtain one matched to a
@@ -17,7 +51,7 @@ import (
 type Pool interface {
 	Capacity() int
 	Len() int
-	Push(req *fleet.Request, nowSeconds float64) bool
+	Push(req *fleet.Request, nowSeconds float64) PushResult
 	ExpireBefore(nowSeconds float64) []*PendingItem
 	NextBatch() []*PendingItem
 	Snapshot() []*PendingItem
@@ -49,8 +83,11 @@ type QueueStats struct {
 	// Depth is the number of requests currently parked; Capacity the bound.
 	Depth    int
 	Capacity int
-	// Enqueued counts accepted pushes; Rejected pushes refused because the
-	// queue was full (backpressure).
+	// Enqueued counts accepted pushes; Rejected pushes refused — whether
+	// because the queue was full (backpressure) or because the request's
+	// pickup deadline had already passed (Pool.Push's PushResult carries
+	// the distinction; the aggregate keeps sharded and single-queue
+	// accounting identical).
 	Enqueued int64
 	Rejected int64
 	// Retries counts request re-dispatch attempts across batch rounds.
@@ -154,23 +191,28 @@ func (q *PendingQueue) Len() int {
 	return q.items.Len()
 }
 
-// Push parks a request. It returns false — explicit backpressure, the
-// caller surfaces it as a terminal reject — when the queue is full or the
-// request's pickup deadline has already strictly passed; pushing a request
-// that is already parked is a no-op reporting true.
-func (q *PendingQueue) Push(req *fleet.Request, nowSeconds float64) bool {
+// Push parks a request. A refused push — the caller surfaces it as a
+// terminal reject — reports why: PushRejectedExpired when the request's
+// pickup deadline has already strictly passed, PushRejectedFull when the
+// queue is at capacity (expiry wins when both hold — a doomed request is
+// not backpressure). Pushing a request that is already parked is a no-op
+// reporting PushAccepted.
+func (q *PendingQueue) Push(req *fleet.Request, nowSeconds float64) PushResult {
 	pd := req.PickupDeadline(q.speedMps).Seconds()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if _, ok := q.byID[req.ID]; ok {
-		return true
+		return PushAccepted
 	}
 	if pd < nowSeconds || q.items.Len() >= q.capacity {
 		q.stats.Rejected++
 		if q.rejected != nil {
 			q.rejected.Inc()
 		}
-		return false
+		if pd < nowSeconds {
+			return PushRejectedExpired
+		}
+		return PushRejectedFull
 	}
 	it := &PendingItem{Req: req, EnqueuedAt: nowSeconds, pickupDeadline: pd}
 	heap.Push(&q.items, it)
@@ -180,7 +222,7 @@ func (q *PendingQueue) Push(req *fleet.Request, nowSeconds float64) bool {
 		q.enqueued.Inc()
 	}
 	q.setDepthLocked()
-	return true
+	return PushAccepted
 }
 
 // ExpireBefore evicts and returns every parked request whose pickup
@@ -330,14 +372,31 @@ type BatchOutcome struct {
 // taxi takes over. The sequential evaluate-then-commit structure makes the
 // whole round deterministic at every Config.Parallelism level.
 //
+// With Config.BatchAssign the round instead builds the full (request,
+// taxi) cost graph and solves a global min-cost assignment before
+// committing (see runBatchAssign); greedy remains the default and the
+// fallback for degenerate graphs.
+//
 // Outcomes are returned in commit order. Requests that still found no taxi
 // are simply not served this round; eviction of expired requests is the
 // queue's job (ExpireBefore), not DispatchBatch's.
 func (e *Engine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSeconds float64, probabilistic bool) []BatchOutcome {
-	return runBatch(ctx, e, reqs, nowSeconds, probabilistic, batchHooks{
+	h := batchHooks{
 		evaluated: func(*fleet.Request) { e.ins.batchRequests.Inc() },
 		conflict:  func(*BatchOutcome) { e.ins.batchConflicts.Inc() },
-	})
+		assignRound: func(options int, fallback bool) {
+			e.ins.batchAssignRounds.Inc()
+			e.ins.batchAssignOptions.Add(int64(options))
+			if fallback {
+				e.ins.batchAssignFallbacks.Inc()
+			}
+		},
+		assignRemainderServed: func() { e.ins.batchAssignRemainder.Inc() },
+	}
+	if e.cfg.BatchAssign {
+		return runBatchAssign(ctx, e, reqs, nowSeconds, probabilistic, h)
+	}
+	return runBatch(ctx, e, reqs, nowSeconds, probabilistic, h)
 }
 
 // batchDispatcher is what runBatch needs from a dispatcher; Engine and
@@ -350,10 +409,19 @@ type batchDispatcher interface {
 
 // batchHooks attribute batch accounting to the right instruments —
 // engine-wide counters for a single engine, per-home-shard counters for a
-// sharded dispatcher.
+// sharded dispatcher. The assign hooks are optional (nil-safe); only the
+// global-assignment rounds of runBatchAssign fire them.
 type batchHooks struct {
 	evaluated func(r *fleet.Request)
 	conflict  func(o *BatchOutcome)
+	// assignRound reports a global-assignment round past the batch-size
+	// threshold: the number of feasible (request, taxi) options its cost
+	// graph held, and whether the round degenerated to the greedy commit
+	// order (no contested taxi, or no feasible pair at all).
+	assignRound func(options int, fallback bool)
+	// assignRemainderServed reports a request the post-solve remainder
+	// pass served against live fleet state.
+	assignRemainderServed func()
 }
 
 // runBatch is the two-phase batch protocol shared by Engine and
@@ -363,6 +431,22 @@ type batchHooks struct {
 // conflict. Both phases are deterministic at every parallelism level and
 // shard count.
 func runBatch(ctx context.Context, d batchDispatcher, reqs []*fleet.Request, nowSeconds float64, probabilistic bool, h batchHooks) []BatchOutcome {
+	order := batchOrder(d, reqs)
+	out := make([]BatchOutcome, len(order))
+	// Phase 1: evaluate everything against the same fleet state (no
+	// commits interleave), each evaluation fanning across the worker pool.
+	for i, r := range order {
+		a, ok := d.DispatchContext(ctx, r, nowSeconds, probabilistic)
+		out[i] = BatchOutcome{Req: r, Assignment: a, Served: ok}
+		h.evaluated(r)
+	}
+	commitBatch(ctx, d, out, nowSeconds, probabilistic, h, nil)
+	return out
+}
+
+// batchOrder sorts a batch into its deterministic (pickup deadline,
+// request ID) evaluation-and-commit order.
+func batchOrder(d batchDispatcher, reqs []*fleet.Request) []*fleet.Request {
 	order := make([]*fleet.Request, len(reqs))
 	copy(order, reqs)
 	speed := d.Config().SpeedMps
@@ -373,15 +457,15 @@ func runBatch(ctx context.Context, d batchDispatcher, reqs []*fleet.Request, now
 		}
 		return order[i].ID < order[j].ID
 	})
-	out := make([]BatchOutcome, len(order))
-	// Phase 1: evaluate everything against the same fleet state (no
-	// commits interleave), each evaluation fanning across the worker pool.
-	for i, r := range order {
-		a, ok := d.DispatchContext(ctx, r, nowSeconds, probabilistic)
-		out[i] = BatchOutcome{Req: r, Assignment: a, Served: ok}
-		h.evaluated(r)
-	}
-	// Phase 2: commit in order, re-dispatching on conflicts.
+	return order
+}
+
+// commitBatch is phase 2 of the batch protocol: commit served outcomes in
+// order, re-dispatching on conflicts. finish, when non-nil, materialises
+// an assignment's route legs right before its commit (the global-
+// assignment round defers leg building to winners); runBatch passes nil
+// because DispatchContext already returns materialised winners.
+func commitBatch(ctx context.Context, d batchDispatcher, out []BatchOutcome, nowSeconds float64, probabilistic bool, h batchHooks, finish func(*Assignment) bool) {
 	taken := make(map[int64]bool)
 	for i := range out {
 		o := &out[i]
@@ -391,9 +475,26 @@ func runBatch(ctx context.Context, d batchDispatcher, reqs []*fleet.Request, now
 		if taken[o.Assignment.Taxi.ID] {
 			o.Conflict = true
 			h.conflict(o)
+			contested := o.Assignment.Taxi.ID
 			if !redispatch(ctx, d, o, nowSeconds, probabilistic) {
 				continue
 			}
+			// Re-winning the contested taxi with a revised shared schedule
+			// is this conflict's designed resolution, not a new one. But
+			// the re-dispatch may instead land on a *different* taxi an
+			// earlier commit took — a chained conflict, and one more
+			// contention event to count. Either way the commit below is
+			// sound: the re-evaluation saw the taxi's live post-commit
+			// schedule, so the winning insertion shares the ride on it;
+			// re-dispatching yet again would loop without progress, since
+			// nothing has changed since the evaluation that picked it.
+			if o.Assignment.Taxi.ID != contested && taken[o.Assignment.Taxi.ID] {
+				h.conflict(o)
+			}
+		}
+		if finish != nil && o.Assignment.Legs == nil && !finish(&o.Assignment) {
+			o.Served = false
+			continue
 		}
 		if d.Commit(o.Assignment, nowSeconds) != nil {
 			// The evaluation went stale under a concurrent commit outside
@@ -406,7 +507,6 @@ func runBatch(ctx context.Context, d batchDispatcher, reqs []*fleet.Request, now
 		}
 		taken[o.Assignment.Taxi.ID] = true
 	}
-	return out
 }
 
 // redispatch re-evaluates a batch outcome's request against the current
@@ -452,19 +552,27 @@ func (g *QueueGroup) depthLocked() int {
 }
 
 // Push parks a request on its home shard's queue, subject to the global
-// bound. Re-pushing a parked request is a no-op reporting true; the
-// rejection bookkeeping matches a single queue's exactly (one Rejected
-// count whether the refusal came from the bound or a passed deadline).
-func (g *QueueGroup) Push(req *fleet.Request, nowSeconds float64) bool {
+// bound. Re-pushing a parked request is a no-op reporting PushAccepted;
+// the rejection bookkeeping matches a single queue's exactly (one
+// Rejected count whether the refusal came from the bound or a passed
+// deadline), and so does the refusal reason — an already-expired request
+// reports PushRejectedExpired even when the group is simultaneously at
+// its bound, exactly as a single queue of the same capacity would.
+func (g *QueueGroup) Push(req *fleet.Request, nowSeconds float64) PushResult {
 	q := g.queues[g.se.HomeShard(req)]
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if q.contains(req.ID) {
-		return true
+		return PushAccepted
+	}
+	if req.PickupDeadline(q.speedMps).Seconds() < nowSeconds {
+		// Delegate so the shard queue does the expiry rejection and its
+		// bookkeeping itself.
+		return q.Push(req, nowSeconds)
 	}
 	if g.depthLocked() >= g.capacity {
 		q.noteRejected()
-		return false
+		return PushRejectedFull
 	}
 	return q.Push(req, nowSeconds)
 }

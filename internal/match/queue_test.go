@@ -28,17 +28,17 @@ func TestPendingQueueOrderAndBackpressure(t *testing.T) {
 	q := NewPendingQueue(3, speed).InstrumentWith(obs.NewRegistry())
 	// Push out of deadline order; batches must come back sorted by
 	// (pickup deadline, request ID).
-	if !q.Push(queueRequest(3, 300, speed), 0) ||
-		!q.Push(queueRequest(1, 100, speed), 0) ||
-		!q.Push(queueRequest(2, 100, speed), 0) {
+	if !q.Push(queueRequest(3, 300, speed), 0).Accepted() ||
+		!q.Push(queueRequest(1, 100, speed), 0).Accepted() ||
+		!q.Push(queueRequest(2, 100, speed), 0).Accepted() {
 		t.Fatal("push rejected below capacity")
 	}
-	// Full: explicit backpressure.
-	if q.Push(queueRequest(4, 50, speed), 0) {
-		t.Fatal("push accepted past capacity")
+	// Full: explicit backpressure, named as such.
+	if got := q.Push(queueRequest(4, 50, speed), 0); got != PushRejectedFull {
+		t.Fatalf("push past capacity = %v, want PushRejectedFull", got)
 	}
 	// Double-push of a parked request is a no-op, not a reject.
-	if !q.Push(queueRequest(1, 100, speed), 0) {
+	if !q.Push(queueRequest(1, 100, speed), 0).Accepted() {
 		t.Fatal("re-push of parked request rejected")
 	}
 	if q.Len() != 3 {
@@ -79,9 +79,10 @@ func TestPendingQueueExpiryIsStrict(t *testing.T) {
 	if q.Len() != 1 {
 		t.Fatalf("Len = %d after expiry", q.Len())
 	}
-	// A push whose pickup deadline already passed is refused outright.
-	if q.Push(queueRequest(3, 50, speed), 100.5) {
-		t.Fatal("accepted an already-expired request")
+	// A push whose pickup deadline already passed is refused outright,
+	// reporting expiry — not backpressure.
+	if got := q.Push(queueRequest(3, 50, speed), 100.5); got != PushRejectedExpired {
+		t.Fatalf("already-expired push = %v, want PushRejectedExpired", got)
 	}
 	if st := q.Stats(); st.Expired != 1 {
 		t.Fatalf("Expired = %d", st.Expired)
@@ -144,6 +145,82 @@ func TestDispatchBatchServesAndResolvesConflicts(t *testing.T) {
 	st := env.e.Stats()
 	if st.BatchRequests != 2 || st.BatchConflicts != 1 {
 		t.Fatalf("batch stats = %d requests, %d conflicts", st.BatchRequests, st.BatchConflicts)
+	}
+}
+
+// scriptedBatchDispatcher drives runBatch with a scripted evaluation
+// sequence: each DispatchContext call for a request pops its next taxi
+// choice, and every commit succeeds. It pins the phase-2 protocol itself
+// — conflict detection, re-dispatch, and conflict accounting — without
+// the geometry of a real engine in the way.
+type scriptedBatchDispatcher struct {
+	choices map[fleet.RequestID][]*fleet.Taxi
+	commits []Assignment
+}
+
+func (d *scriptedBatchDispatcher) DispatchContext(_ context.Context, req *fleet.Request, _ float64, _ bool) (Assignment, bool) {
+	next := d.choices[req.ID]
+	if len(next) == 0 {
+		return Assignment{Req: req}, false
+	}
+	taxi := next[0]
+	d.choices[req.ID] = next[1:]
+	return Assignment{Req: req, Taxi: taxi}, true
+}
+
+func (d *scriptedBatchDispatcher) Commit(a Assignment, _ float64) error {
+	d.commits = append(d.commits, a)
+	return nil
+}
+
+func (d *scriptedBatchDispatcher) Config() Config { return DefaultConfig() }
+
+// TestDispatchBatchChainedConflictAccounting pins phase 2's semantics for
+// a chained conflict — three requests, two taxis: A commits taxi 1, B
+// conflicts on taxi 1 and re-dispatches to taxi 2, then C conflicts on
+// taxi 2 and its re-dispatch lands on the already-taken taxi 1. The
+// chained landing still commits (the re-evaluation saw taxi 1's live
+// post-commit schedule, so the insertion shares the ride — no reservation
+// is lost), and it counts as a second conflict event for C: three events
+// total, not the two that per-outcome counting would report.
+func TestDispatchBatchChainedConflictAccounting(t *testing.T) {
+	t1 := &fleet.Taxi{ID: 1, Capacity: 3}
+	t2 := &fleet.Taxi{ID: 2, Capacity: 3}
+	mkReq := func(id int64, pd float64) *fleet.Request {
+		// DirectMeters is zero, so the pickup deadline equals Deadline.
+		return &fleet.Request{ID: fleet.RequestID(id), Deadline: time.Duration(pd * float64(time.Second)), Passengers: 1}
+	}
+	rA, rB, rC := mkReq(1, 100), mkReq(2, 200), mkReq(3, 300)
+	d := &scriptedBatchDispatcher{choices: map[fleet.RequestID][]*fleet.Taxi{
+		rA.ID: {t1},
+		rB.ID: {t1, t2}, // conflicts on taxi 1, re-dispatches to taxi 2
+		rC.ID: {t2, t1}, // conflicts on taxi 2, chains onto taken taxi 1
+	}}
+	conflicts := 0
+	out := runBatch(context.Background(), d, []*fleet.Request{rC, rA, rB}, 0, false, batchHooks{
+		evaluated: func(*fleet.Request) {},
+		conflict:  func(*BatchOutcome) { conflicts++ },
+	})
+	if len(out) != 3 || out[0].Req.ID != 1 || out[1].Req.ID != 2 || out[2].Req.ID != 3 {
+		t.Fatalf("commit order = %v", out)
+	}
+	for i, o := range out {
+		if !o.Served {
+			t.Fatalf("outcome %d unserved: %+v", i, o)
+		}
+	}
+	if out[0].Conflict || !out[1].Conflict || !out[2].Conflict {
+		t.Fatalf("conflict flags = [%v %v %v], want [false true true]",
+			out[0].Conflict, out[1].Conflict, out[2].Conflict)
+	}
+	if got := []int64{out[0].Assignment.Taxi.ID, out[1].Assignment.Taxi.ID, out[2].Assignment.Taxi.ID}; got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("winning taxis = %v, want [1 2 1]", got)
+	}
+	if len(d.commits) != 3 {
+		t.Fatalf("commits = %d, want 3 (the chained landing must still commit)", len(d.commits))
+	}
+	if conflicts != 3 {
+		t.Fatalf("conflict events = %d, want 3 (B's conflict + C's conflict + C's chained landing)", conflicts)
 	}
 }
 

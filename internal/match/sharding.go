@@ -634,7 +634,7 @@ func (se *ShardedEngine) TryServeOffline(t *fleet.Taxi, req *fleet.Request, nowS
 // contested taxi lives on a different shard than the request's home is a
 // border conflict — two shards reserved the same taxi in one round.
 func (se *ShardedEngine) DispatchBatch(ctx context.Context, reqs []*fleet.Request, nowSeconds float64, probabilistic bool) []BatchOutcome {
-	return runBatch(ctx, se, reqs, nowSeconds, probabilistic, batchHooks{
+	h := batchHooks{
 		evaluated: func(r *fleet.Request) {
 			se.shards[se.HomeShard(r)].ins.batchRequests.Inc()
 		},
@@ -645,7 +645,22 @@ func (se *ShardedEngine) DispatchBatch(ctx context.Context, reqs []*fleet.Reques
 				se.ins[home].borderConflicts.Inc()
 			}
 		},
-	})
+		// Round-level accounting has no per-request home; it lands on
+		// shard 0 so the cross-shard aggregate equals the single engine's.
+		assignRound: func(options int, fallback bool) {
+			ins := &se.shards[0].ins
+			ins.batchAssignRounds.Inc()
+			ins.batchAssignOptions.Add(int64(options))
+			if fallback {
+				ins.batchAssignFallbacks.Inc()
+			}
+		},
+		assignRemainderServed: func() { se.shards[0].ins.batchAssignRemainder.Inc() },
+	}
+	if se.cfg.BatchAssign {
+		return runBatchAssign(ctx, se, reqs, nowSeconds, probabilistic, h)
+	}
+	return runBatch(ctx, se, reqs, nowSeconds, probabilistic, h)
 }
 
 // NewPendingPool builds the sharded pending-request pool: one queue per

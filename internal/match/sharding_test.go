@@ -578,3 +578,103 @@ func TestSchemeSingleCruisePlan(t *testing.T) {
 		t.Fatal("no idle taxi ever received a cruise plan")
 	}
 }
+
+// TestQueueGroupGlobalBoundRejection fills the sharded pool to its
+// global bound with requests spread over several shard queues — each
+// individually far below its own capacity — and checks the next push is
+// refused through the noteRejected path: reported as PushRejectedFull,
+// with rejection accounting identical to a single PendingQueue of the
+// same capacity fed the same stream.
+func TestQueueGroupGlobalBoundRejection(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, nil)
+	const capacity = 6
+	single := env.e.NewPendingPool(capacity)
+	group := se.NewPendingPool(capacity)
+	reqs := seededWorkload(env, capacity+4, 17)
+	for i, r := range reqs {
+		ga, gb := single.Push(r, 0), group.Push(r, 0)
+		if ga != gb {
+			t.Fatalf("req %d: single %v, group %v", i, ga, gb)
+		}
+		if i < capacity && ga != PushAccepted {
+			t.Fatalf("req %d refused below the bound: %v", i, ga)
+		}
+		if i >= capacity && ga != PushRejectedFull {
+			t.Fatalf("req %d past the bound = %v, want PushRejectedFull", i, ga)
+		}
+	}
+	// The bound must have tripped while every shard queue had room of its
+	// own (per-shard capacity equals the group bound), and the workload
+	// must genuinely span shards — otherwise this test shows nothing.
+	depths := group.(*QueueGroup).ShardDepths()
+	nonEmpty := 0
+	for sh, d := range depths {
+		if d >= capacity {
+			t.Fatalf("shard %d queue full (%d/%d): the global bound was not the binding constraint", sh, d, capacity)
+		}
+		if d > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("workload landed on %d shard queues, need >= 2 for the global bound to differ from a shard bound", nonEmpty)
+	}
+	gs, ss := group.Stats(), single.Stats()
+	if gs.Rejected != ss.Rejected || gs.Rejected != 4 {
+		t.Fatalf("Rejected: group %d, single %d, want 4", gs.Rejected, ss.Rejected)
+	}
+	if gs.Enqueued != ss.Enqueued || gs.Depth != ss.Depth {
+		t.Fatalf("accounting diverged: group %+v, single %+v", gs, ss)
+	}
+}
+
+// TestQueueGroupStatsConservation drives the sharded pool through a
+// mixed push/serve/expire sequence and checks the lifecycle conservation
+// law Enqueued == Depth + Served + Expired — every accepted push is
+// still parked, was served, or expired; refused pushes touch only
+// Rejected.
+func TestQueueGroupStatsConservation(t *testing.T) {
+	env := newTestEnv(t, nil)
+	se := shardedOver(t, env, 3, nil)
+	group := se.NewPendingPool(16)
+	check := func(when string) {
+		st := group.Stats()
+		if st.Enqueued != int64(st.Depth)+st.Served+st.Expired {
+			t.Fatalf("%s: Enqueued %d != Depth %d + Served %d + Expired %d (stats %+v)",
+				when, st.Enqueued, st.Depth, st.Served, st.Expired, st)
+		}
+	}
+	reqs := seededWorkload(env, 10, 23)
+	for i, r := range reqs {
+		if !group.Push(r, 0).Accepted() {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+		check("push")
+	}
+	// Serve three of them.
+	for _, r := range reqs[:3] {
+		if !group.MarkServed(r.ID, 1) {
+			t.Fatalf("MarkServed(%d) missed a parked request", r.ID)
+		}
+		check("serve")
+	}
+	// Expire a strict prefix of the remainder: sweep past the median
+	// parked pickup deadline.
+	snap := group.Snapshot()
+	cut := snap[len(snap)/2].Req.PickupDeadline(env.e.Config().SpeedMps).Seconds()
+	expired := group.ExpireBefore(cut + 0.001)
+	if len(expired) == 0 || len(expired) == len(snap) {
+		t.Fatalf("expiry swept %d of %d parked requests; need a strict subset", len(expired), len(snap))
+	}
+	check("expire")
+	// An already-expired push is refused and must not disturb the law.
+	if got := group.Push(expired[0].Req, cut+0.001); got != PushRejectedExpired {
+		t.Fatalf("re-push of expired request = %v, want PushRejectedExpired", got)
+	}
+	check("expired re-push")
+	st := group.Stats()
+	if st.Served != 3 || st.Expired != int64(len(expired)) || st.Enqueued != int64(len(reqs)) {
+		t.Fatalf("final stats %+v, want Enqueued=%d Served=3 Expired=%d", st, len(reqs), len(expired))
+	}
+}

@@ -39,6 +39,17 @@ type EngineStats struct {
 	// commit of the same batch (forcing a re-dispatch).
 	BatchRequests  int64
 	BatchConflicts int64
+	// BatchAssignRounds counts global-assignment batch rounds past the
+	// size threshold (Config.BatchAssign); BatchAssignOptions sums the
+	// feasible (request, taxi) options their cost graphs held;
+	// BatchAssignFallbacks the rounds whose degenerate graph (no contested
+	// taxi, or no feasible pair) fell back to the greedy commit order; and
+	// BatchAssignRemainder the requests the post-solve remainder pass
+	// served against live fleet state. All stay 0 without BatchAssign.
+	BatchAssignRounds    int64
+	BatchAssignOptions   int64
+	BatchAssignFallbacks int64
+	BatchAssignRemainder int64
 	// LBEvaluated counts candidates screened by the landmark lower-bound
 	// oracle, and LBPruned those it proved infeasible (skipping exact
 	// schedule evaluation). Both stay 0 with Config.DisableLandmarkLB.
@@ -68,6 +79,10 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.CruisePlans += o.CruisePlans
 	s.BatchRequests += o.BatchRequests
 	s.BatchConflicts += o.BatchConflicts
+	s.BatchAssignRounds += o.BatchAssignRounds
+	s.BatchAssignOptions += o.BatchAssignOptions
+	s.BatchAssignFallbacks += o.BatchAssignFallbacks
+	s.BatchAssignRemainder += o.BatchAssignRemainder
 	s.LBEvaluated += o.LBEvaluated
 	s.LBPruned += o.LBPruned
 	s.CandidateSearchNanos += o.CandidateSearchNanos
@@ -133,6 +148,10 @@ type instruments struct {
 	cruisePlans           *obs.Counter
 	batchRequests         *obs.Counter
 	batchConflicts        *obs.Counter
+	batchAssignRounds     *obs.Counter
+	batchAssignOptions    *obs.Counter
+	batchAssignFallbacks  *obs.Counter
+	batchAssignRemainder  *obs.Counter
 	lbEvaluated           *obs.Counter
 	lbPruned              *obs.Counter
 
@@ -160,6 +179,10 @@ func newInstruments(reg *obs.Registry) instruments {
 		cruisePlans:           reg.Counter("mtshare_match_cruise_plans_total"),
 		batchRequests:         reg.Counter("mtshare_match_batch_requests_total"),
 		batchConflicts:        reg.Counter("mtshare_match_batch_conflicts_total"),
+		batchAssignRounds:     reg.Counter("mtshare_match_batch_assign_rounds_total"),
+		batchAssignOptions:    reg.Counter("mtshare_match_batch_assign_options_total"),
+		batchAssignFallbacks:  reg.Counter("mtshare_match_batch_assign_fallbacks_total"),
+		batchAssignRemainder:  reg.Counter("mtshare_match_batch_assign_remainder_total"),
 		lbEvaluated:           reg.Counter("mtshare_match_lb_evaluated_total"),
 		lbPruned:              reg.Counter("mtshare_match_lb_pruned_total"),
 
@@ -191,6 +214,10 @@ func (e *Engine) Stats() EngineStats {
 		CruisePlans:           e.ins.cruisePlans.Value(),
 		BatchRequests:         e.ins.batchRequests.Value(),
 		BatchConflicts:        e.ins.batchConflicts.Value(),
+		BatchAssignRounds:     e.ins.batchAssignRounds.Value(),
+		BatchAssignOptions:    e.ins.batchAssignOptions.Value(),
+		BatchAssignFallbacks:  e.ins.batchAssignFallbacks.Value(),
+		BatchAssignRemainder:  e.ins.batchAssignRemainder.Value(),
 		LBEvaluated:           e.ins.lbEvaluated.Value(),
 		LBPruned:              e.ins.lbPruned.Value(),
 		CandidateSearchNanos:  toNanos(e.ins.candidateSearchSeconds),

@@ -75,6 +75,11 @@ type Header struct {
 	// Pending-request queue configuration (0 = queue disabled).
 	QueueDepth      int `json:"queue_depth,omitempty"`
 	RetryEveryTicks int `json:"retry_every_ticks,omitempty"`
+	// BatchAssign records whether the queue's retry rounds ran the global
+	// min-cost assignment instead of greedy deadline-order commits. The
+	// knob changes which requests are served, so a replay must rebuild
+	// the same round scheme; omitempty keeps pre-knob logs byte-stable.
+	BatchAssign bool `json:"batch_assign,omitempty"`
 	// Sharded-dispatcher configuration (0 / "" = single engine). Sharding
 	// is outcome-neutral by construction, but the per-shard counters land
 	// in the sealed metrics snapshot, so a replay must rebuild the same

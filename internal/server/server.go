@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -67,6 +68,12 @@ type Config struct {
 	// RetryEveryTicks runs the batch re-dispatch every Nth movement tick
 	// (default 1). Expired requests are evicted on every tick regardless.
 	RetryEveryTicks int
+	// BatchAssign runs the retry rounds as a global min-cost assignment
+	// over the full (request, taxi) cost graph instead of greedy deadline-
+	// order commits (see match.Config.BatchAssign). The
+	// mtshare_match_batch_assign_* instruments on /v1/metrics report the
+	// rounds, option counts, and fallbacks.
+	BatchAssign bool
 
 	// Sharding splits the dispatcher into independent per-territory match
 	// engines with deterministic cross-shard handoff (outcome-identical
@@ -108,6 +115,11 @@ type Config struct {
 	// Durability.
 	CrashAtEvent int64
 }
+
+// tickInterval is the movement loop's wall-clock period; each tick
+// advances simulated time by tickInterval × Config.Speedup. Retry-After
+// hints on backpressured requests derive from it.
+const tickInterval = 200 * time.Millisecond
 
 // Server is the dispatch service.
 type Server struct {
@@ -223,6 +235,7 @@ func New(cfg Config) (*Server, error) {
 	mcfg := match.DefaultConfig()
 	mcfg.DisableLandmarkLB = cfg.DisableLandmarkLB
 	mcfg.DisableCH = cfg.DisableCH
+	mcfg.BatchAssign = cfg.BatchAssign
 	mcfg.Metrics = cfg.Metrics
 	mcfg.Sharding = cfg.Sharding
 	mcfg.Parallelism = cfg.Parallelism
@@ -286,15 +299,14 @@ func (s *Server) Start() {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		const tick = 200 * time.Millisecond
-		t := time.NewTicker(tick)
+		t := time.NewTicker(tickInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-s.stop:
 				return
 			case <-t.C:
-				s.advance(tick.Seconds() * s.cfg.Speedup)
+				s.advance(tickInterval.Seconds() * s.cfg.Speedup)
 			}
 		}
 	}()
@@ -511,6 +523,7 @@ const (
 	codeMethodNotAllowed = "method_not_allowed"
 	codeShutdown         = "shutdown"
 	codeWALFailed        = "wal_failed"
+	codeQueueFull        = "queue_full"
 )
 
 // errorJSON is the uniform error envelope of every non-2xx response.
@@ -695,6 +708,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 	}
 	out, ok := s.dispatchLocked(s.eventCtx(r), pickup, dropoff, rho)
 	walErr := s.walErr
+	// True backpressure — the queue is on but had no room — maps to 429
+	// with a Retry-After hint; queued parks, expiries, and queue-less
+	// no-taxi misses stay 200 (the body reports the outcome).
+	queueFull := ok && s.queue != nil && !out.Served && !out.Queued && !out.Expired
+	retryAfter := s.retryAfterSecondsLocked()
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "bad endpoints")
@@ -704,7 +722,25 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, pickup, dropof
 		writeWALFailed(w, walErr)
 		return
 	}
+	if queueFull {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeError(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("pending queue is full; retry request %d after the next re-dispatch round", out.ID))
+		return
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// retryAfterSecondsLocked derives the Retry-After hint for a
+// backpressured request: the wall-clock period of the queue's batch
+// re-dispatch round (RetryEveryTicks movement ticks at tickInterval),
+// rounded up to the 1-second floor of HTTP's delta-seconds form.
+func (s *Server) retryAfterSecondsLocked() int {
+	secs := int(math.Ceil(float64(s.retryEvery) * tickInterval.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // dispatchLocked creates and dispatches one online ride request; false
@@ -775,12 +811,18 @@ func (s *Server) dispatchLocked(ctx context.Context, pickup, dropoff pointJSON, 
 }
 
 // dispatchErrCode maps a dispatch response to the replay outcome code.
+// With the queue enabled an unserved, unparked request is either a
+// terminal expiry (its pickup deadline had already passed at push time)
+// or true backpressure (queue_full) — the queue's refusal reason, carried
+// on the response flags, keeps the two distinct.
 func dispatchErrCode(out *requestJSON, queueEnabled bool) string {
 	switch {
 	case out.Served:
 		return ""
 	case out.Queued:
 		return "queued"
+	case out.Expired:
+		return "expired"
 	case queueEnabled:
 		return "queue_full"
 	default:
@@ -790,15 +832,20 @@ func dispatchErrCode(out *requestJSON, queueEnabled bool) string {
 
 // parkUnservedLocked pushes an unserved online request into the pending
 // queue (when enabled) and flags the response accordingly. A refused
-// push (already-expired deadline or a full queue) leaves the request
-// terminally unserved.
+// push leaves the request terminally unserved, flagged Expired when the
+// refusal was an already-passed pickup deadline rather than a full
+// queue.
 func (s *Server) parkUnservedLocked(st *reqStatus, out *requestJSON) {
 	if s.queue == nil {
 		return
 	}
-	if s.queue.Push(st.Req, s.nowSeconds) {
+	switch s.queue.Push(st.Req, s.nowSeconds) {
+	case match.PushAccepted:
 		st.Queued = true
 		out.Queued = true
+	case match.PushRejectedExpired:
+		st.Expired = true
+		out.Expired = true
 	}
 }
 

@@ -592,8 +592,10 @@ func stopMidFlightHammer(t *testing.T, s *Server) {
 					return
 				}
 				switch rec.Code {
-				case http.StatusOK, http.StatusCreated, http.StatusBadRequest, http.StatusNotFound:
-					// Normal outcomes while the server is live.
+				case http.StatusOK, http.StatusCreated, http.StatusBadRequest, http.StatusNotFound,
+					http.StatusTooManyRequests:
+					// Normal outcomes while the server is live (429 is
+					// queue-full backpressure on /v1/requests).
 				case http.StatusServiceUnavailable:
 					if err := checkShutdownEnvelope(rec, path); err != nil {
 						errc <- err
@@ -731,5 +733,135 @@ func TestServerQueueLifecycle(t *testing.T) {
 	rec, out = do(t, h, http.MethodGet, "/v1/queue", nil)
 	if string(out["depth"]) != "0" || string(out["served"]) != "1" {
 		t.Fatalf("queue after retry: %s", rec.Body)
+	}
+}
+
+// TestServerQueueBackpressure pins the 429 path: once the pending queue
+// is full, a further POST /v1/requests is true backpressure and answers
+// 429 with the uniform error envelope (code queue_full) and a
+// Retry-After hint derived from the retry cadence; the request that
+// filled the queue keeps its 200 "queued" response.
+func TestServerQueueBackpressure(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 0, Capacity: 3,
+		Speedup: 50, Seed: 1, QueueDepth: 1, RetryEveryTicks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	body := map[string]interface{}{
+		"pickup":  cityPoint(s, 0.3, 0.3),
+		"dropoff": cityPoint(s, 0.7, 0.7),
+		"rho":     1.8,
+	}
+
+	// No fleet: the first request parks and fills the depth-1 queue.
+	rec, out := do(t, h, http.MethodPost, "/v1/requests", body)
+	if rec.Code != http.StatusOK || string(out["queued"]) != "true" {
+		t.Fatalf("first request: %d %s", rec.Code, rec.Body)
+	}
+
+	// The second is refused for room, not deadline: 429 + envelope.
+	rec, out = do(t, h, http.MethodPost, "/v1/requests", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("POST with full queue = %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if string(out["code"]) != `"queue_full"` || len(out["error"]) == 0 {
+		t.Fatalf("backpressure envelope: %s", rec.Body)
+	}
+	// 10 retry ticks x 200ms movement period, rounded up to whole seconds.
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+
+	// The refusal is accounted as a rejection, not an expiry.
+	rec, out = do(t, h, http.MethodGet, "/v1/queue", nil)
+	if rec.Code != http.StatusOK || string(out["rejected"]) != "1" ||
+		string(out["expired"]) != "0" || string(out["depth"]) != "1" {
+		t.Fatalf("queue stats after backpressure: %s", rec.Body)
+	}
+}
+
+// TestServerQueueExpiry pins the other refusal surface: a parked request
+// whose pickup deadline passes while queued is evicted as expired —
+// visible on its status and in the queue counters — and never counted
+// as backpressure.
+func TestServerQueueExpiry(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 0, Capacity: 3,
+		Speedup: 50, Seed: 1, QueueDepth: 4, RetryEveryTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	rec, out := do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+		"pickup":  cityPoint(s, 0.3, 0.3),
+		"dropoff": cityPoint(s, 0.7, 0.7),
+		"rho":     1.1,
+	})
+	if rec.Code != http.StatusOK || string(out["queued"]) != "true" {
+		t.Fatalf("request not parked: %d %s", rec.Code, rec.Body)
+	}
+	var reqID int64
+	if err := json.Unmarshal(out["id"], &reqID); err != nil {
+		t.Fatal(err)
+	}
+
+	// One movement tick far past the pickup deadline evicts it.
+	s.advance(3600)
+	rec, out = do(t, h, http.MethodGet, fmt.Sprintf("/v1/requests?id=%d", reqID), nil)
+	if rec.Code != http.StatusOK || string(out["expired"]) != "true" ||
+		string(out["served"]) == "true" || string(out["queued"]) == "true" {
+		t.Fatalf("expired request status: %d %s", rec.Code, rec.Body)
+	}
+	rec, out = do(t, h, http.MethodGet, "/v1/queue", nil)
+	if rec.Code != http.StatusOK || string(out["expired"]) != "1" ||
+		string(out["rejected"]) != "0" || string(out["depth"]) != "0" {
+		t.Fatalf("queue stats after expiry: %s", rec.Body)
+	}
+}
+
+// TestServerBatchAssignDispatch smoke-tests the -batch-assign knob over
+// HTTP: the global solver serves the queue's retry rounds and the
+// mtshare_match_batch_assign_* instruments land on the metrics surface.
+func TestServerBatchAssignDispatch(t *testing.T) {
+	s, err := New(Config{CityRows: 14, CityCols: 14, InitialTaxis: 0, Capacity: 3,
+		Speedup: 50, Seed: 1, QueueDepth: 8, RetryEveryTicks: 1, BatchAssign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Two requests park (no fleet yet), forming a real retry batch.
+	ids := make([]int64, 0, 2)
+	for _, f := range []float64{0.30, 0.34} {
+		rec, out := do(t, h, http.MethodPost, "/v1/requests", map[string]interface{}{
+			"pickup":  cityPoint(s, f, f),
+			"dropoff": cityPoint(s, 0.7, 0.7),
+			"rho":     1.8,
+		})
+		if rec.Code != http.StatusOK || string(out["queued"]) != "true" {
+			t.Fatalf("request not parked: %d %s", rec.Code, rec.Body)
+		}
+		var id int64
+		if err := json.Unmarshal(out["id"], &id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, f := range []float64{0.30, 0.34} {
+		if rec, _ := do(t, h, http.MethodPost, "/v1/taxis", cityPoint(s, f, f)); rec.Code != http.StatusCreated {
+			t.Fatalf("POST /v1/taxis = %d", rec.Code)
+		}
+	}
+	s.advance(0.1)
+	for _, id := range ids {
+		rec, out := do(t, h, http.MethodGet, fmt.Sprintf("/v1/requests?id=%d", id), nil)
+		if rec.Code != http.StatusOK || string(out["served"]) != "true" {
+			t.Fatalf("request %d after batch-assign retry: %d %s", id, rec.Code, rec.Body)
+		}
+	}
+	rec, _ := do(t, h, http.MethodGet, "/v1/metrics", nil)
+	if !strings.Contains(rec.Body.String(), "mtshare_match_batch_assign_rounds_total 1") {
+		t.Fatalf("metrics exposition missing batch-assign round:\n%s", rec.Body)
 	}
 }

@@ -65,6 +65,13 @@ type Params struct {
 	// (default 1 — every tick). Expired requests are evicted on every
 	// tick regardless.
 	RetryEveryTicks int
+	// BatchAssign records that the scheme's dispatcher runs the queue's
+	// retry rounds as a global min-cost assignment (match.Config.
+	// BatchAssign). Like Sharding, the simulation does not build the
+	// dispatcher — the knob lives in the scheme's engine config — but it
+	// changes which requests are served, so it lands in the recorded log
+	// header for provenance and replay.
+	BatchAssign bool
 
 	// Sharding records the dispatch scheme's sharding topology for the
 	// run. The simulation does not build the dispatcher — the scheme
@@ -339,6 +346,7 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 			SpeedKmh:         params.SpeedMps * 3.6,
 			QueueDepth:       params.QueueDepth,
 			RetryEveryTicks:  params.RetryEveryTicks,
+			BatchAssign:      params.BatchAssign,
 			Shards:           params.Sharding.Shards,
 			BorderPolicy:     params.Sharding.BorderPolicy,
 			GraphFingerprint: fmt.Sprintf("%016x", g.Fingerprint()),
@@ -596,14 +604,20 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 		errCode = "no_taxi"
 		// Online requests park in the pending queue for batched
 		// re-dispatch instead of failing terminally; a full queue is an
-		// explicit backpressure rejection.
+		// explicit backpressure rejection, and a request whose pickup
+		// deadline already passed is a terminal expiry, not backpressure.
 		if !r.Offline && e.queue != nil {
-			if e.queue.Push(r, now) {
+			switch e.queue.Push(r, now) {
+			case match.PushAccepted:
 				errCode = "queued"
 				rec.Queued = true
 				e.ins.queueEnqueued.Inc()
 				e.ins.queueDepth.Set(float64(e.queueLen()))
-			} else {
+			case match.PushRejectedExpired:
+				errCode = "expired"
+				rec.Expired = true
+				e.ins.queueRejected.Inc()
+			default:
 				errCode = "queue_full"
 				e.ins.queueRejected.Inc()
 			}

@@ -104,6 +104,13 @@ type Options struct {
 	// Advance call (default 1 — every tick). Expired requests are evicted
 	// on every tick regardless.
 	RetryEveryTicks int
+	// BatchAssign switches the queue's retry rounds from greedy deadline-
+	// order commits to a global min-cost assignment over the full
+	// (request, taxi) cost graph, so a pending request can yield its
+	// first-choice taxi to a tighter competitor instead of starving it
+	// (see match.Config.BatchAssign). Deterministic at every Parallelism
+	// level and shard count; the default keeps the greedy rounds.
+	BatchAssign bool
 
 	// Sharding splits the dispatcher into Shards independent match
 	// engines, each owning a contiguous range of map partitions with its
@@ -414,6 +421,7 @@ func New(opts Options) (*System, error) {
 	}
 	cfg.Sharding = opts.Sharding
 	cfg.Parallelism = opts.Parallelism
+	cfg.BatchAssign = opts.BatchAssign
 	engine, err := match.NewDispatcher(pt, spx, cfg)
 	if err != nil {
 		return nil, err
@@ -475,6 +483,7 @@ func buildHeader(opts Options, g *roadnet.Graph, version int) replay.Header {
 		DisableCH:               opts.DisableCH,
 		QueueDepth:              opts.QueueDepth,
 		RetryEveryTicks:         opts.RetryEveryTicks,
+		BatchAssign:             opts.BatchAssign,
 		Shards:                  opts.Sharding.Shards,
 		BorderPolicy:            opts.Sharding.BorderPolicy,
 		GraphFingerprint:        fmt.Sprintf("%016x", g.Fingerprint()),
@@ -552,6 +561,8 @@ func errCode(err error) string {
 		return "queued"
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrRequestExpired):
+		return "expired"
 	case errors.Is(err, ErrNoTaxiAvailable):
 		return "no_taxi"
 	case errors.Is(err, ErrInvalidRequest):
@@ -732,12 +743,17 @@ func (s *System) submitRequest(ctx context.Context, pickup, dropoff Point, flexi
 		}
 		// With the pending queue enabled the request parks for batched
 		// re-dispatch instead of failing; a full queue is an explicit,
-		// terminal backpressure signal.
+		// terminal backpressure signal, while an already-passed pickup
+		// deadline is a terminal miss that no queueing could save.
 		if s.queue != nil {
-			if s.queue.Push(req, s.now) {
+			switch s.queue.Push(req, s.now) {
+			case match.PushAccepted:
 				return out, ErrQueued
+			case match.PushRejectedExpired:
+				return out, ErrRequestExpired
+			default:
+				return out, ErrQueueFull
 			}
-			return out, ErrQueueFull
 		}
 		return out, ErrNoTaxiAvailable
 	}

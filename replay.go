@@ -82,6 +82,7 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		DisableCH:               h.DisableCH,
 		QueueDepth:              h.QueueDepth,
 		RetryEveryTicks:         h.RetryEveryTicks,
+		BatchAssign:             h.BatchAssign,
 		Sharding:                ShardingOptions{Shards: h.Shards, BorderPolicy: h.BorderPolicy},
 		Seed:                    h.Seed,
 		Faults:                  h.Faults,
