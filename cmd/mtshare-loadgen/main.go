@@ -1,0 +1,108 @@
+// Command mtshare-loadgen drives a running mtshare-server with an
+// open-loop, seeded Poisson request stream and judges the run against
+// latency SLOs. Arrivals fire on schedule regardless of how slowly the
+// server answers — a melting server sees the full offered rate and its
+// queueing delay lands in the client-observed quantiles instead of
+// silently stretching the test (no coordinated omission).
+//
+// Usage:
+//
+//	mtshare-loadgen [-addr http://localhost:8080] [-rps 50] [-duration 30s]
+//	                [-seed 1] [-shape uniform|surge|hotspot|shift] [-rho 0]
+//	                [-slo-p99 2s] [-slo-error-frac 0.01] [-slo-shed-frac 0]
+//	                [-timeout 10s] [-print-schedule]
+//
+// The city bounding box is fetched from GET /v1/stats; endpoints are
+// sampled inside it per the chosen workload shape. After the run the
+// client-side per-route p50/p95/p99 (exact, from raw samples) print
+// alongside the server's own GET /v1/slo view, and the process exits 1
+// if any SLO is violated — including any 429 missing Retry-After.
+//
+// -print-schedule writes the schedule as JSONL to stdout without
+// sending anything: the determinism surface (same flags, same bytes).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the running mtshare-server")
+	rps := flag.Float64("rps", 50, "steady-state offered arrival rate (requests/second)")
+	duration := flag.Duration("duration", 30*time.Second, "schedule span")
+	seed := flag.Int64("seed", 1, "schedule seed (same seed = byte-identical schedule)")
+	shape := flag.String("shape", "uniform", "workload shape: uniform, surge, hotspot, or shift")
+	rho := flag.Float64("rho", 0, "flexibility factor per request (0 = server default)")
+	sloP99 := flag.Duration("slo-p99", 2*time.Second, "fail if any route's client-observed p99 exceeds this (0 disables)")
+	sloErrorFrac := flag.Float64("slo-error-frac", 0.01, "fail if any route's non-2xx/non-429 fraction exceeds this")
+	sloShedFrac := flag.Float64("slo-shed-frac", 0, "fail if any route's 429 fraction exceeds this (0 = sheds allowed freely)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	printSchedule := flag.Bool("print-schedule", false, "emit the schedule as JSONL on stdout and exit without sending")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		RPS: *rps, Duration: *duration, Seed: *seed,
+		Shape: loadgen.Shape(*shape), Rho: *rho,
+	}
+
+	if *printSchedule {
+		// A fixed box keeps the printed schedule a pure function of the
+		// flags — no server round-trip in the determinism surface.
+		cfg.Bounds = loadgen.Bounds{MinLat: 0, MinLng: 0, MaxLat: 1, MaxLng: 1}
+		sched, err := loadgen.Schedule(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		enc, err := loadgen.EncodeSchedule(sched)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(enc)
+		return
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	bounds, err := loadgen.FetchBounds(client, *addr)
+	if err != nil {
+		fatal(fmt.Errorf("fetching city bounds: %w", err))
+	}
+	cfg.Bounds = bounds
+	sched, err := loadgen.Schedule(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("open-loop: %d arrivals over %v (%.1f rps offered, shape %s, seed %d)\n",
+		len(sched), *duration, *rps, *shape, *seed)
+
+	coll := loadgen.NewCollector()
+	if err := loadgen.Run(context.Background(), client, *addr, sched, coll); err != nil {
+		fatal(err)
+	}
+
+	reports := coll.Report()
+	slo := loadgen.SLO{MaxP99: *sloP99, MaxErrorFrac: *sloErrorFrac, MaxShedFrac: *sloShedFrac}
+	violations := slo.Check(reports)
+	fmt.Print(loadgen.FormatReport(reports, violations))
+
+	if serverSide, err := loadgen.FetchServerSLO(client, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: server-side /v1/slo unavailable: %v\n", err)
+	} else {
+		fmt.Printf("server /v1/slo: %s\n", serverSide)
+	}
+
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

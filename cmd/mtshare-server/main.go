@@ -22,6 +22,7 @@
 //	GET  /v1/queue                                             -> pending-queue stats
 //	GET  /v1/shards                                            -> per-shard territory stats
 //	GET  /v1/stats                                             -> engine statistics
+//	GET  /v1/slo                                               -> per-route latency quantiles + admission state
 //	GET  /v1/metrics                                           -> Prometheus text metrics
 //	GET  /v1/durability[?state=1]                              -> WAL stats (and full state)
 //	POST /v1/advance   {"d_seconds":4}                         -> one tick (with -manual-clock)
@@ -74,6 +75,8 @@ func main() {
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "fsync the WAL at most this long after an unsynced append (0 disables)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "write a recovery snapshot every N movement ticks (0 = replay whole WAL on restart)")
 	manualClock := flag.Bool("manual-clock", false, "disable the wall-clock ticker; advance time only via POST /v1/advance")
+	maxInFlight := flag.Int("max-in-flight", 0, "admission control: max concurrently executing mutating requests; beyond this plus -admission-queue waiters, shed with 429 (0 disables)")
+	admissionQueue := flag.Int("admission-queue", 0, "admission control: bounded accept queue in front of -max-in-flight (0 = same as -max-in-flight)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -85,6 +88,7 @@ func main() {
 		Sharding:    match.ShardingConfig{Shards: *shards, BorderPolicy: *border},
 		Parallelism: *parallelism,
 		ManualClock: *manualClock,
+		MaxInFlight: *maxInFlight, AdmissionQueue: *admissionQueue,
 		Durability: wal.Options{
 			Dir:                *walDir,
 			SyncEvery:          *walSyncEvery,

@@ -41,6 +41,10 @@ func All() []Experiment {
 		{"ablate-ch", (*Lab).AblationCH},
 		{"ablate-shard", (*Lab).AblationShard},
 		{"ablate-batch-assign", (*Lab).AblationBatchAssign},
+		{"ablate-surge", (*Lab).AblationSurge},
+		{"ablate-hotspot", (*Lab).AblationHotspot},
+		{"ablate-shift", (*Lab).AblationShiftChange},
+		{"ablate-meeting-points", (*Lab).AblationMeetingPoints},
 		{"verify", (*Lab).Verify},
 	}
 }

@@ -1,0 +1,417 @@
+// Workload-shape ablations: four seeded scenarios the paper's plain
+// demand profiles never exercise — a concert-exit surge, a
+// partition-localized hotspot, a driver-shift changeover mid-run, and
+// the meeting-points variant (riders walk ≤ r to a cheaper pickup
+// vertex). Each is a deterministic A/B against the unshaped workload
+// with hard invariants: a scenario that fails to move the metric it
+// exists to move is reported as an error, not a row.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/match"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// workloadGenParams reconstructs the GenParams the Lab's Workday trace
+// was generated with, so a shaped day shares the base day's every draw
+// and the (base, shaped) pair differs only where the shape injects.
+func (l *Lab) workloadGenParams() trace.GenParams {
+	min, max := l.World.G.Bounds()
+	return trace.GenParams{
+		Center:           geo.Midpoint(min, max),
+		ExtentMeters:     geo.Equirect(geo.Point{Lat: min.Lat, Lng: min.Lng}, geo.Point{Lat: min.Lat, Lng: max.Lng}),
+		TripsPerHourPeak: l.World.Scale.PeakTripsPerHour,
+		UniformFrac:      0.15,
+		MinTripMeters:    l.World.Scale.BlockMeters * 2,
+		Seed:             l.World.Scale.Seed + 200,
+	}
+}
+
+// prepareWorkload converts shaped trips to requests with the same
+// options World.Requests uses, so shaped and unshaped runs differ only
+// in the trips themselves.
+func (l *Lab) prepareWorkload(trips []trace.Trip, meetingRadius float64) []*fleet.Request {
+	return sim.PrepareRequests(l.World.G, l.World.Spx, trips, sim.PrepareOptions{
+		SpeedMps:                 15.0 * 1000 / 3600,
+		Rho:                      l.World.Scale.Rho,
+		Seed:                     l.World.Scale.Seed + 7,
+		MeetingPointRadiusMeters: meetingRadius,
+	})
+}
+
+// runWorkloadCell builds a fresh dispatcher + sim engine and runs the
+// requests through the peak window. shards <= 1 keeps the single
+// engine; shift enables the changeover.
+func (l *Lab) runWorkloadCell(reqs []*fleet.Request, par, shards int, shift sim.ShiftChangeConfig) (*sim.Engine, *sim.Metrics, match.Dispatcher, error) {
+	pt, err := l.World.Partitioning("bipartite", l.World.Scale.Kappa)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := match.DefaultConfig()
+	cfg.SearchRangeMeters = l.World.Scale.GammaMeters
+	cfg.Parallelism = par
+	cfg.CH = l.World.CH(par)
+	if shards > 1 {
+		cfg.Sharding.Shards = shards
+	}
+	eng, err := match.NewDispatcher(pt, l.World.Spx, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	scheme := match.NewScheme(eng, false)
+	params := sim.DefaultParams()
+	params.Parallelism = par
+	params.QueueDepth = 64
+	params.Sharding = cfg.Sharding
+	params.ShiftChange = shift
+	se, err := sim.NewEngine(l.World.G, scheme, params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	start := PeakWindow().From.Seconds()
+	se.PlaceTaxis(l.World.Scale.DefaultTaxis, l.World.Scale.Capacity, l.World.Scale.Seed, start)
+	m := se.Run(reqs, start)
+	return se, m, eng, nil
+}
+
+// workloadSigs compresses a run into the per-request outcome signatures
+// the determinism checks compare.
+func workloadSigs(m *sim.Metrics) []chRecordSig {
+	sigs := make([]chRecordSig, len(m.Records))
+	for i, rec := range m.Records {
+		sigs[i] = chRecordSig{
+			ID: rec.Req.ID, Served: rec.Served, FromQueue: rec.ServedFromQueue, Exp: rec.Expired,
+			Assign:  math.Float64bits(rec.AssignSeconds),
+			Pickup:  math.Float64bits(rec.PickupSeconds),
+			Dropoff: math.Float64bits(rec.DropoffSeconds),
+		}
+	}
+	return sigs
+}
+
+func sameSigs(a, b []chRecordSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AblationSurge A/B-tests the concert-exit surge: the same workday with
+// a 3× demand spike injected into 8:15–8:45, every extra trip pouring
+// out of one venue at the city center. Hard invariants: the surge
+// window must actually carry ≥ 2× the base trips, the same fleet must
+// strand strictly more requests than on the base day (a spike that
+// costs nothing is dead weight), and the surge run must be
+// bit-identical across fleet parallelism 1, 2 and 4.
+func (l *Lab) AblationSurge() (*Result, error) {
+	r := &Result{
+		ID: "ablate-surge", Title: "Concert-exit surge vs base workday (peak, mT-Share)",
+		Header: []string{"workload", "parallelism", "requests", "served", "served frac", "unserved"},
+		Notes: []string{
+			"3x demand multiplier in 8:15-8:45, origins Gaussian (sigma 300 m) around the city-center venue, destinations residential",
+		},
+	}
+	gp := l.workloadGenParams()
+	win := PeakWindow()
+	surge := trace.SurgeParams{
+		Venue:       gp.Center,
+		SigmaMeters: 300,
+		Start:       8*time.Hour + 15*time.Minute,
+		End:         8*time.Hour + 45*time.Minute,
+		Multiplier:  3,
+		Seed:        l.World.Scale.Seed + 11,
+	}
+	dsSurge, err := trace.GenerateSurge(trace.Workday, gp, surge)
+	if err != nil {
+		return nil, err
+	}
+	baseWin := len(l.World.Workday.Between(surge.Start, surge.End))
+	surgeWin := len(dsSurge.Between(surge.Start, surge.End))
+	if surgeWin < 2*baseWin {
+		return nil, fmt.Errorf("experiments: ablate-surge: window carries %d trips vs base %d — no surge materialized", surgeWin, baseWin)
+	}
+
+	baseReqs := l.prepareWorkload(l.World.Workday.Between(win.From, win.To), 0)
+	surgeReqs := l.prepareWorkload(dsSurge.Between(win.From, win.To), 0)
+
+	_, mBase, _, err := l.runWorkloadCell(baseReqs, 1, 1, sim.ShiftChangeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, []string{"base", fi(1), fi(mBase.Requests), fi(mBase.Served),
+		f3(frac(mBase.Served, mBase.Requests)), fi(mBase.Requests - mBase.Served)})
+
+	var baseSigs []chRecordSig
+	for _, par := range []int{1, 2, 4} {
+		_, m, _, err := l.runWorkloadCell(surgeReqs, par, 1, sim.ShiftChangeConfig{})
+		if err != nil {
+			return nil, err
+		}
+		sigs := workloadSigs(m)
+		if baseSigs == nil {
+			baseSigs = sigs
+			if m.Requests-m.Served <= mBase.Requests-mBase.Served {
+				return nil, fmt.Errorf("experiments: ablate-surge: surge stranded %d requests vs base %d — the spike cost the fleet nothing",
+					m.Requests-m.Served, mBase.Requests-mBase.Served)
+			}
+		} else if !sameSigs(sigs, baseSigs) {
+			return nil, fmt.Errorf("experiments: ablate-surge: parallelism=%d diverged from the parallelism-1 surge run — the scenario is not deterministic", par)
+		}
+		r.Rows = append(r.Rows, []string{"surge", fi(par), fi(m.Requests), fi(m.Served),
+			f3(frac(m.Served, m.Requests)), fi(m.Requests - m.Served)})
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("surge window trips %d vs base %d; surge outcomes bit-identical at parallelism 1/2/4", surgeWin, baseWin))
+	return r, nil
+}
+
+// AblationHotspot A/B-tests partition-localized demand: 60%% of the
+// day's origins are re-drawn inside one small disc, so with a 2-shard
+// dispatcher the territory owning the disc absorbs a disproportionate
+// share of the offered load. Hard invariants: the hotspot day's maximum
+// per-shard request share must strictly exceed the base day's (the
+// imbalance must materialize in the dispatcher, not just the trace),
+// and the hotspot run must be bit-identical across parallelism.
+func (l *Lab) AblationHotspot() (*Result, error) {
+	r := &Result{
+		ID: "ablate-hotspot", Title: "Partition-localized hotspot vs base workday (peak, 2 shards, mT-Share)",
+		Header: []string{"workload", "parallelism", "requests", "served", "max shard share"},
+	}
+	gp := l.workloadGenParams()
+	win := PeakWindow()
+	hs := trace.HotspotShapeParams{
+		Center:       geo.Point{Lat: gp.Center.Lat - 0.25*extentLat(l), Lng: gp.Center.Lng - 0.25*extentLng(l)},
+		RadiusMeters: 0.1 * gp.ExtentMeters,
+		Frac:         0.6,
+		Seed:         l.World.Scale.Seed + 13,
+	}
+	dsHot, err := trace.GenerateHotspot(trace.Workday, gp, hs)
+	if err != nil {
+		return nil, err
+	}
+	baseReqs := l.prepareWorkload(l.World.Workday.Between(win.From, win.To), 0)
+	hotReqs := l.prepareWorkload(dsHot.Between(win.From, win.To), 0)
+
+	maxShare := func(eng match.Dispatcher) float64 {
+		var total, max int64
+		for _, sh := range eng.ShardStats() {
+			total += sh.Requests
+			if sh.Requests > max {
+				max = sh.Requests
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(max) / float64(total)
+	}
+
+	_, mBase, engBase, err := l.runWorkloadCell(baseReqs, 2, 2, sim.ShiftChangeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	baseShare := maxShare(engBase)
+	r.Rows = append(r.Rows, []string{"base", fi(2), fi(mBase.Requests), fi(mBase.Served), f3(baseShare)})
+
+	var refSigs []chRecordSig
+	var hotShare float64
+	for _, par := range []int{1, 2} {
+		_, m, eng, err := l.runWorkloadCell(hotReqs, par, 2, sim.ShiftChangeConfig{})
+		if err != nil {
+			return nil, err
+		}
+		sigs := workloadSigs(m)
+		if refSigs == nil {
+			refSigs = sigs
+			hotShare = maxShare(eng)
+		} else if !sameSigs(sigs, refSigs) {
+			return nil, fmt.Errorf("experiments: ablate-hotspot: parallelism=%d diverged — the scenario is not deterministic", par)
+		}
+		r.Rows = append(r.Rows, []string{"hotspot", fi(par), fi(m.Requests), fi(m.Served), f3(maxShare(eng))})
+	}
+	if hotShare <= baseShare {
+		return nil, fmt.Errorf("experiments: ablate-hotspot: max shard share %.3f vs base %.3f — the disc never skewed the dispatcher", hotShare, baseShare)
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%.0f%% of origins in a %.0f m disc; max per-shard request share %.3f vs base %.3f", hs.Frac*100, hs.RadiusMeters, hotShare, baseShare),
+		"hotspot outcomes bit-identical at parallelism 1/2")
+	return r, nil
+}
+
+func extentLat(l *Lab) float64 {
+	min, max := l.World.G.Bounds()
+	return max.Lat - min.Lat
+}
+
+func extentLng(l *Lab) float64 {
+	min, max := l.World.G.Bounds()
+	return max.Lng - min.Lng
+}
+
+// AblationShiftChange A/B-tests the driver-shift changeover: ten
+// minutes into the peak hour a seeded quarter of the fleet stops taking
+// new work and retires as soon as it stands empty; equally many
+// replacements come on shift five minutes later. Hard invariants: the
+// fleet ends at taxis + cohort, exactly the cohort retired, the supply
+// dip must cost something relative to the undisturbed run, and the
+// changeover must be bit-identical across parallelism 1, 2 and 4.
+func (l *Lab) AblationShiftChange() (*Result, error) {
+	r := &Result{
+		ID: "ablate-shift", Title: "Driver-shift changeover mid-run vs undisturbed fleet (peak, mT-Share)",
+		Header: []string{"workload", "parallelism", "served", "unserved", "fleet", "retired"},
+	}
+	win := PeakWindow()
+	start := win.From.Seconds()
+	reqs := l.World.Requests(win, l.World.Scale.Rho, 0)
+	sc := sim.ShiftChangeConfig{
+		AtSeconds:  start + 600,
+		Fraction:   0.25,
+		LagSeconds: 300,
+		Seed:       l.World.Scale.Seed + 17,
+	}
+	cohort := int(math.Round(sc.Fraction * float64(l.World.Scale.DefaultTaxis)))
+
+	_, mBase, _, err := l.runWorkloadCell(reqs, 1, 1, sim.ShiftChangeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	baseSigs := workloadSigs(mBase)
+	r.Rows = append(r.Rows, []string{"no shift", fi(1), fi(mBase.Served), fi(mBase.Requests - mBase.Served),
+		fi(l.World.Scale.DefaultTaxis), fi(0)})
+
+	var refSigs []chRecordSig
+	for _, par := range []int{1, 2, 4} {
+		se, m, _, err := l.runWorkloadCell(reqs, par, 1, sc)
+		if err != nil {
+			return nil, err
+		}
+		retired := 0
+		for _, tx := range se.Taxis() {
+			if tx.Capacity == 0 {
+				retired++
+				if !tx.Empty() {
+					return nil, fmt.Errorf("experiments: ablate-shift: taxi %d retired while carrying passengers", tx.ID)
+				}
+			}
+		}
+		if n := len(se.Taxis()); n != l.World.Scale.DefaultTaxis+cohort {
+			return nil, fmt.Errorf("experiments: ablate-shift: fleet ended at %d taxis, want %d + %d replacements",
+				n, l.World.Scale.DefaultTaxis, cohort)
+		}
+		if retired != cohort {
+			return nil, fmt.Errorf("experiments: ablate-shift: %d taxis retired, want the whole cohort of %d", retired, cohort)
+		}
+		sigs := workloadSigs(m)
+		if refSigs == nil {
+			refSigs = sigs
+			if m.Served == mBase.Served && sameSigs(sigs, baseSigs) {
+				return nil, fmt.Errorf("experiments: ablate-shift: changeover run is byte-identical to the undisturbed run — the scenario is dead weight")
+			}
+		} else if !sameSigs(sigs, refSigs) {
+			return nil, fmt.Errorf("experiments: ablate-shift: parallelism=%d diverged — the changeover is not deterministic", par)
+		}
+		r.Rows = append(r.Rows, []string{"shift", fi(par), fi(m.Served), fi(m.Requests - m.Served),
+			fi(l.World.Scale.DefaultTaxis + cohort), fi(retired)})
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("%.0f%% of the fleet off-shift at +10 min, replacements at +15 min; outcomes bit-identical at parallelism 1/2/4", sc.Fraction*100))
+	return r, nil
+}
+
+// AblationMeetingPoints sweeps the walking radius r of the
+// meeting-points variant over {0, 150, 300} m: riders walk up to r to
+// the pickup vertex with the cheapest direct drive, trading a delayed
+// release for insertion slack. Hard invariants: per surviving request
+// the direct drive never lengthens vs r=0; at r=300 some requests must
+// actually move and the total direct distance must measurably shrink
+// (the served-rate and detour columns are the payoff); and the r=300
+// run must be bit-identical across parallelism.
+func (l *Lab) AblationMeetingPoints() (*Result, error) {
+	r := &Result{
+		ID: "ablate-meeting-points", Title: "Meeting points: walk radius r vs door-snapped pickups (peak, mT-Share)",
+		Header: []string{"radius m", "requests", "moved", "total direct km", "served", "served frac"},
+		Notes: []string{
+			"walk at 1.4 m/s delays the release; the deadline keeps Eq. 9's span, so a shorter drive converts into insertion slack",
+		},
+	}
+	win := PeakWindow()
+	trips := l.World.Workday.Between(win.From, win.To)
+
+	base := l.prepareWorkload(trips, 0)
+	baseByID := make(map[fleet.RequestID]*fleet.Request, len(base))
+	var baseDirect float64
+	for _, q := range base {
+		baseByID[q.ID] = q
+		baseDirect += q.DirectMeters
+	}
+	_, mBase, _, err := l.runWorkloadCell(base, 1, 1, sim.ShiftChangeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	r.Rows = append(r.Rows, []string{fi(0), fi(mBase.Requests), fi(0),
+		f1(baseDirect / 1000), fi(mBase.Served), f3(frac(mBase.Served, mBase.Requests))})
+
+	for _, radius := range []float64{150, 300} {
+		reqs := l.prepareWorkload(trips, radius)
+		moved := 0
+		var direct float64
+		for _, q := range reqs {
+			direct += q.DirectMeters
+			b, ok := baseByID[q.ID]
+			if !ok {
+				continue
+			}
+			if q.DirectMeters > b.DirectMeters+1e-9 {
+				return nil, fmt.Errorf("experiments: ablate-meeting-points: r=%g lengthened request %d's direct drive (%.1f -> %.1f m)",
+					radius, q.ID, b.DirectMeters, q.DirectMeters)
+			}
+			if q.Origin != b.Origin {
+				moved++
+			}
+		}
+		_, m, _, err := l.runWorkloadCell(reqs, 1, 1, sim.ShiftChangeConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if radius == 300 {
+			if moved == 0 {
+				return nil, fmt.Errorf("experiments: ablate-meeting-points: no request moved at r=300 — the variant is dead weight on this world")
+			}
+			if direct >= baseDirect {
+				return nil, fmt.Errorf("experiments: ablate-meeting-points: total direct %.1f km at r=300 vs %.1f km at r=0 — no measurable detour delta",
+					direct/1000, baseDirect/1000)
+			}
+			_, m2, _, err := l.runWorkloadCell(reqs, 2, 1, sim.ShiftChangeConfig{})
+			if err != nil {
+				return nil, err
+			}
+			if !sameSigs(workloadSigs(m), workloadSigs(m2)) {
+				return nil, fmt.Errorf("experiments: ablate-meeting-points: r=300 diverged between parallelism 1 and 2")
+			}
+			r.Notes = append(r.Notes, fmt.Sprintf("r=300: %d/%d requests moved, total direct %.1f km vs %.1f km at r=0 (served %d vs %d)",
+				moved, len(reqs), direct/1000, baseDirect/1000, m.Served, mBase.Served))
+		}
+		r.Rows = append(r.Rows, []string{f1(radius), fi(m.Requests), fi(moved),
+			f1(direct / 1000), fi(m.Served), f3(frac(m.Served, m.Requests))})
+	}
+	return r, nil
+}
+
+// frac guards the served-rate division on an empty window.
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,256 @@
+// Package loadgen is the open-loop load harness for mtshare-server: a
+// seeded Poisson arrival schedule at a target request rate, shaped by
+// the same workload scenarios the simulation studies (uniform, concert
+// surge, spatial hotspot, demand changeover), fired at the server
+// without waiting for responses.
+//
+// Open-loop is the load-testing discipline here: arrival times come
+// from the schedule alone, never from request completions, so a slow
+// server faces the arrival rate it would face in production and its
+// queueing delay is *observed* instead of silently throttled away (the
+// coordinated-omission trap of closed-loop clients). The schedule is a
+// pure function of the config — same seed, same byte stream — so runs
+// are comparable and the schedule itself is unit-testable without a
+// socket in sight.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Shape names the demand scenario a schedule follows.
+type Shape string
+
+const (
+	// ShapeUniform is steady Poisson traffic with uniform endpoints.
+	ShapeUniform Shape = "uniform"
+	// ShapeSurge multiplies the arrival rate inside a window and pulls
+	// the window's origins toward a venue point — the concert-exit spike.
+	ShapeSurge Shape = "surge"
+	// ShapeHotspot keeps the rate flat but concentrates a fraction of
+	// origins in a small disc — localized demand pressure.
+	ShapeHotspot Shape = "hotspot"
+	// ShapeShift moves the demand's home region at mid-run — the
+	// client-side analog of a shift changeover, stressing re-dispatch
+	// as the fleet's plans go stale.
+	ShapeShift Shape = "shift"
+)
+
+// Shapes lists the valid Shape values, for flag validation.
+func Shapes() []Shape {
+	return []Shape{ShapeUniform, ShapeSurge, ShapeHotspot, ShapeShift}
+}
+
+// Bounds is the server city's bounding box, as reported by /v1/stats.
+type Bounds struct {
+	MinLat, MinLng, MaxLat, MaxLng float64
+}
+
+// Valid reports whether the box is non-degenerate.
+func (b Bounds) Valid() bool {
+	return b.MinLat < b.MaxLat && b.MinLng < b.MaxLng
+}
+
+func (b Bounds) lerp(fLat, fLng float64) (lat, lng float64) {
+	return b.MinLat + fLat*(b.MaxLat-b.MinLat), b.MinLng + fLng*(b.MaxLng-b.MinLng)
+}
+
+// Config parameterizes a schedule.
+type Config struct {
+	// RPS is the steady-state offered arrival rate.
+	RPS float64
+	// Duration is the schedule's span.
+	Duration time.Duration
+	Seed     int64
+	Shape    Shape
+	Bounds   Bounds
+	// Rho is the flexibility factor each ride request carries (the
+	// server's 1.3 default applies when 0; values below 1.05 are the
+	// server's to reject).
+	Rho float64
+
+	// SurgeMultiplier scales the rate inside [SurgeStartFrac,
+	// SurgeEndFrac]·Duration (defaults 3.0, 0.4, 0.6).
+	SurgeMultiplier              float64
+	SurgeStartFrac, SurgeEndFrac float64
+	// HotspotFrac of origins land in a disc of HotspotRadiusFrac of the
+	// box around (0.25, 0.25) (defaults 0.7, 0.1).
+	HotspotFrac, HotspotRadiusFrac float64
+}
+
+func (c *Config) defaults() error {
+	if c.RPS <= 0 {
+		return fmt.Errorf("loadgen: RPS must be positive, got %g", c.RPS)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: Duration must be positive, got %v", c.Duration)
+	}
+	if !c.Bounds.Valid() {
+		return fmt.Errorf("loadgen: degenerate bounds %+v", c.Bounds)
+	}
+	if c.Shape == "" {
+		c.Shape = ShapeUniform
+	}
+	switch c.Shape {
+	case ShapeUniform, ShapeSurge, ShapeHotspot, ShapeShift:
+	default:
+		return fmt.Errorf("loadgen: unknown shape %q", c.Shape)
+	}
+	if c.SurgeMultiplier <= 0 {
+		c.SurgeMultiplier = 3
+	}
+	if c.SurgeEndFrac <= c.SurgeStartFrac {
+		c.SurgeStartFrac, c.SurgeEndFrac = 0.4, 0.6
+	}
+	if c.HotspotFrac <= 0 || c.HotspotFrac > 1 {
+		c.HotspotFrac = 0.7
+	}
+	if c.HotspotRadiusFrac <= 0 {
+		c.HotspotRadiusFrac = 0.1
+	}
+	return nil
+}
+
+// Request is one scheduled arrival: fire Body at Method Path when the
+// run's clock reaches At.
+type Request struct {
+	At     time.Duration   `json:"at_nanos"`
+	Method string          `json:"method"`
+	Path   string          `json:"path"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// rideBody is the POST /v1/requests payload. Field order is fixed by
+// the struct so the encoded schedule is byte-stable.
+type rideBody struct {
+	Pickup  pointBody `json:"pickup"`
+	Dropoff pointBody `json:"dropoff"`
+	Rho     float64   `json:"rho,omitempty"`
+}
+
+type pointBody struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// rate is the instantaneous arrival rate at time t into the schedule.
+func (c *Config) rate(t time.Duration) float64 {
+	if c.Shape == ShapeSurge {
+		f := float64(t) / float64(c.Duration)
+		if f >= c.SurgeStartFrac && f < c.SurgeEndFrac {
+			return c.RPS * c.SurgeMultiplier
+		}
+	}
+	return c.RPS
+}
+
+// peakRate bounds rate(t) for thinning.
+func (c *Config) peakRate() float64 {
+	if c.Shape == ShapeSurge {
+		return c.RPS * c.SurgeMultiplier
+	}
+	return c.RPS
+}
+
+// endpoints draws one request's pickup and dropoff for arrival time t.
+// All randomness comes from rng, consumed in a fixed order per call so
+// the schedule stays deterministic.
+func (c *Config) endpoints(rng *rand.Rand, t time.Duration) (pickup, dropoff pointBody) {
+	f := float64(t) / float64(c.Duration)
+	oLatF, oLngF := rng.Float64(), rng.Float64()
+	dLatF, dLngF := rng.Float64(), rng.Float64()
+	aux1, aux2 := rng.Float64(), rng.Float64()
+	switch c.Shape {
+	case ShapeSurge:
+		// Inside the window, origins cluster near the venue at (0.5, 0.5):
+		// everyone leaves the same place at once.
+		if f >= c.SurgeStartFrac && f < c.SurgeEndFrac {
+			z1, z2 := gaussPair(aux1, aux2)
+			oLatF = clamp01(0.5 + 0.08*z1)
+			oLngF = clamp01(0.5 + 0.08*z2)
+		}
+	case ShapeHotspot:
+		if aux1 < c.HotspotFrac {
+			// Uniform in the disc around (0.25, 0.25).
+			r := c.HotspotRadiusFrac * math.Sqrt(aux2)
+			theta := 2 * math.Pi * oLatF
+			oLatF = clamp01(0.25 + r*math.Sin(theta))
+			oLngF = clamp01(0.25 + r*math.Cos(theta))
+		}
+	case ShapeShift:
+		// Demand lives in the west half, then snaps to the east half at
+		// mid-run; destinations stay city-wide.
+		if f < 0.5 {
+			oLngF *= 0.5
+		} else {
+			oLngF = 0.5 + oLngF*0.5
+		}
+	}
+	oLat, oLng := c.Bounds.lerp(oLatF, oLngF)
+	dLat, dLng := c.Bounds.lerp(dLatF, dLngF)
+	return pointBody{oLat, oLng}, pointBody{dLat, dLng}
+}
+
+// gaussPair builds two independent standard normals from two uniforms
+// (Box–Muller), keeping the rng draw count per request fixed regardless
+// of shape.
+func gaussPair(u1, u2 float64) (float64, float64) {
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(1, math.Max(0, v))
+}
+
+// Schedule generates the full arrival sequence: a thinned Poisson
+// process at the shape's time-varying rate, each arrival carrying a
+// ready-to-send ride request. Deterministic in Config alone.
+func Schedule(cfg Config) ([]Request, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	peak := cfg.peakRate()
+	var out []Request
+	for t := time.Duration(0); ; {
+		// Exponential inter-arrival at the peak rate, then thin to the
+		// instantaneous rate — the standard non-homogeneous sampler.
+		t += time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+		if t >= cfg.Duration {
+			break
+		}
+		if rng.Float64() > cfg.rate(t)/peak {
+			continue
+		}
+		pickup, dropoff := cfg.endpoints(rng, t)
+		body, err := json.Marshal(rideBody{Pickup: pickup, Dropoff: dropoff, Rho: cfg.Rho})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Request{At: t, Method: "POST", Path: "/v1/requests", Body: body})
+	}
+	return out, nil
+}
+
+// EncodeSchedule renders a schedule as JSONL, one request per line —
+// the byte stream the determinism contract is stated over.
+func EncodeSchedule(reqs []Request) ([]byte, error) {
+	var buf []byte
+	for _, r := range reqs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	return buf, nil
+}

@@ -1,0 +1,322 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the schedule golden file")
+
+func testBounds() Bounds {
+	return Bounds{MinLat: 31.10, MinLng: 121.30, MaxLat: 31.20, MaxLng: 121.40}
+}
+
+func baseConfig(shape Shape) Config {
+	return Config{RPS: 40, Duration: 30 * time.Second, Seed: 42, Shape: shape,
+		Bounds: testBounds(), Rho: 1.8}
+}
+
+// TestScheduleDeterministicGolden is the determinism contract, stated
+// over bytes: the same config must produce the identical JSONL stream,
+// across calls and across checkouts (the golden file). Regenerate with
+// go test ./internal/loadgen -update-golden after an intentional change.
+func TestScheduleDeterministicGolden(t *testing.T) {
+	reqs1, err := Schedule(baseConfig(ShapeSurge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs2, err := Schedule(baseConfig(ShapeSurge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := EncodeSchedule(reqs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, _ := EncodeSchedule(reqs2)
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("two Schedule calls with the same config produced different bytes")
+	}
+
+	golden := filepath.Join("testdata", "schedule_surge_seed42.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, enc1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, want) {
+		t.Fatalf("schedule drifted from golden %s (%d vs %d bytes); rerun with -update-golden if intentional",
+			golden, len(enc1), len(want))
+	}
+}
+
+// TestScheduleSeedSensitivity: a different seed must actually produce a
+// different stream, or the determinism test is vacuous.
+func TestScheduleSeedSensitivity(t *testing.T) {
+	cfg := baseConfig(ShapeUniform)
+	a, _ := Schedule(cfg)
+	cfg.Seed++
+	b, _ := Schedule(cfg)
+	ea, _ := EncodeSchedule(a)
+	eb, _ := EncodeSchedule(b)
+	if bytes.Equal(ea, eb) {
+		t.Fatal("seed change did not change the schedule")
+	}
+}
+
+// scheduleStats buckets arrivals for rate assertions.
+func window(reqs []Request, from, to time.Duration) int {
+	n := 0
+	for _, r := range reqs {
+		if r.At >= from && r.At < to {
+			n++
+		}
+	}
+	return n
+}
+
+func decodeBody(t *testing.T, r Request) rideBody {
+	t.Helper()
+	var b rideBody
+	if err := json.Unmarshal(r.Body, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestScheduleInvariants pins the properties every shape shares:
+// arrivals sorted and inside [0, Duration), bodies inside the bounds,
+// total count near RPS·Duration, rho carried through.
+func TestScheduleInvariants(t *testing.T) {
+	for _, shape := range Shapes() {
+		t.Run(string(shape), func(t *testing.T) {
+			cfg := baseConfig(shape)
+			reqs, err := Schedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected := cfg.RPS * cfg.Duration.Seconds()
+			if shape == ShapeSurge {
+				// The default window runs at 3× for 20% of the run.
+				expected *= 1 + 0.2*(3-1)
+			}
+			if f := float64(len(reqs)) / expected; f < 0.7 || f > 1.3 {
+				t.Fatalf("%d arrivals, want ~%.0f", len(reqs), expected)
+			}
+			b := cfg.Bounds
+			for i, r := range reqs {
+				if r.At < 0 || r.At >= cfg.Duration {
+					t.Fatalf("arrival %d at %v outside [0,%v)", i, r.At, cfg.Duration)
+				}
+				if i > 0 && r.At < reqs[i-1].At {
+					t.Fatalf("arrivals out of order at %d", i)
+				}
+				if r.Method != "POST" || r.Path != "/v1/requests" {
+					t.Fatalf("arrival %d is %s %s", i, r.Method, r.Path)
+				}
+				body := decodeBody(t, r)
+				for _, p := range []pointBody{body.Pickup, body.Dropoff} {
+					if p.Lat < b.MinLat-1e-9 || p.Lat > b.MaxLat+1e-9 ||
+						p.Lng < b.MinLng-1e-9 || p.Lng > b.MaxLng+1e-9 {
+						t.Fatalf("arrival %d endpoint %+v outside bounds", i, p)
+					}
+				}
+				if body.Rho != cfg.Rho {
+					t.Fatalf("arrival %d rho %g, want %g", i, body.Rho, cfg.Rho)
+				}
+			}
+		})
+	}
+}
+
+// TestSurgeShape: the surge window must run well above the baseline
+// rate and its origins must pull toward the venue.
+func TestSurgeShape(t *testing.T) {
+	cfg := baseConfig(ShapeSurge)
+	cfg.Duration = 60 * time.Second
+	reqs, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cfg.Duration
+	inWindow := window(reqs, time.Duration(0.4*float64(d)), time.Duration(0.6*float64(d)))
+	before := window(reqs, 0, time.Duration(0.4*float64(d)))
+	rateIn := float64(inWindow) / (0.2 * d.Seconds())
+	rateOut := float64(before) / (0.4 * d.Seconds())
+	if rateIn < 2*rateOut {
+		t.Fatalf("surge window rate %.1f/s vs baseline %.1f/s — no surge", rateIn, rateOut)
+	}
+	// Window origins concentrate near the venue (box center).
+	cLat, cLng := cfg.Bounds.lerp(0.5, 0.5)
+	near := 0
+	total := 0
+	for _, r := range reqs {
+		f := float64(r.At) / float64(d)
+		if f < 0.4 || f >= 0.6 {
+			continue
+		}
+		total++
+		body := decodeBody(t, r)
+		if math.Abs(body.Pickup.Lat-cLat) < 0.25*(cfg.Bounds.MaxLat-cfg.Bounds.MinLat) &&
+			math.Abs(body.Pickup.Lng-cLng) < 0.25*(cfg.Bounds.MaxLng-cfg.Bounds.MinLng) {
+			near++
+		}
+	}
+	if total == 0 || float64(near)/float64(total) < 0.8 {
+		t.Fatalf("only %d/%d surge origins near the venue", near, total)
+	}
+}
+
+// TestHotspotShape: a dominant fraction of origins in the configured disc.
+func TestHotspotShape(t *testing.T) {
+	cfg := baseConfig(ShapeHotspot)
+	reqs, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hLat, hLng := cfg.Bounds.lerp(0.25, 0.25)
+	rLat := 0.1 * (cfg.Bounds.MaxLat - cfg.Bounds.MinLat)
+	rLng := 0.1 * (cfg.Bounds.MaxLng - cfg.Bounds.MinLng)
+	in := 0
+	for _, r := range reqs {
+		body := decodeBody(t, r)
+		dLat := (body.Pickup.Lat - hLat) / rLat
+		dLng := (body.Pickup.Lng - hLng) / rLng
+		if dLat*dLat+dLng*dLng <= 1+1e-9 {
+			in++
+		}
+	}
+	// 70% are drawn in-disc; uniform background adds a little more.
+	if f := float64(in) / float64(len(reqs)); f < 0.6 {
+		t.Fatalf("only %.0f%% of hotspot origins in the disc, want >= 60%%", f*100)
+	}
+}
+
+// TestShiftShape: origins live west before mid-run and east after.
+func TestShiftShape(t *testing.T) {
+	cfg := baseConfig(ShapeShift)
+	reqs, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := cfg.Bounds.MinLng + 0.5*(cfg.Bounds.MaxLng-cfg.Bounds.MinLng)
+	for i, r := range reqs {
+		body := decodeBody(t, r)
+		early := float64(r.At) < 0.5*float64(cfg.Duration)
+		if early && body.Pickup.Lng > mid+1e-9 {
+			t.Fatalf("arrival %d before the changeover originates east of the midline", i)
+		}
+		if !early && body.Pickup.Lng < mid-1e-9 {
+			t.Fatalf("arrival %d after the changeover originates west of the midline", i)
+		}
+	}
+}
+
+// TestConfigValidation gates the bad configs.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero rps":      {Duration: time.Second, Bounds: testBounds()},
+		"zero duration": {RPS: 1, Bounds: testBounds()},
+		"bad bounds":    {RPS: 1, Duration: time.Second},
+		"bad shape":     {RPS: 1, Duration: time.Second, Bounds: testBounds(), Shape: "wavy"},
+	} {
+		if _, err := Schedule(cfg); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCollectorQuantilesAndSLO pins the exact order statistics and the
+// SLO verdicts, including the unconditional bare-429 violation.
+func TestCollectorQuantilesAndSLO(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.Observe("requests", time.Duration(i)*time.Millisecond, 200, false)
+	}
+	c.Observe("requests", 500*time.Millisecond, 429, true)
+	c.Observe("requests", time.Millisecond, 429, false) // bare shed: protocol bug
+	c.Observe("requests", time.Millisecond, 500, false)
+	c.ObserveTransportError("requests")
+
+	reps := c.Report()
+	if len(reps) != 1 {
+		t.Fatalf("%d routes, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.OK != 100 || r.Shed != 2 || r.Errors != 1 || r.TransportErrors != 1 || r.ShedNoRetryAfter != 1 {
+		t.Fatalf("tallies: %+v", r)
+	}
+	// 103 samples sorted: 1,1,1,2..100,500ms. Nearest-rank p50 = index 51.
+	if r.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", r.P50)
+	}
+	if r.Max != 500*time.Millisecond {
+		t.Fatalf("max = %v", r.Max)
+	}
+
+	v := SLO{MaxP99: time.Second, MaxErrorFrac: 0.05, MaxShedFrac: 0.05}.Check(reps)
+	if len(v) != 1 {
+		t.Fatalf("want exactly the bare-429 violation, got %v", v)
+	}
+	v = SLO{MaxP99: time.Millisecond}.Check(reps)
+	if len(v) < 2 {
+		t.Fatalf("tight SLO must flag p99 and errors, got %v", v)
+	}
+}
+
+// TestRunOpenLoop fires a small schedule at a stub server and checks
+// the open-loop property: a stalled server cannot slow the arrival
+// rate, so all requests overlap despite a per-request handler delay far
+// longer than the inter-arrival gap.
+func TestRunOpenLoop(t *testing.T) {
+	const n = 20
+	var inFlight, peak atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(300 * time.Millisecond) // far beyond the 10ms spacing
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	sched := make([]Request, n)
+	for i := range sched {
+		sched[i] = Request{At: time.Duration(i) * 10 * time.Millisecond,
+			Method: "POST", Path: "/v1/requests", Body: json.RawMessage(`{}`)}
+	}
+	c := NewCollector()
+	if err := Run(t.Context(), nil, srv.URL, sched, c); err != nil {
+		t.Fatal(err)
+	}
+	reps := c.Report()
+	if len(reps) != 1 || reps[0].Count != n || reps[0].OK != n {
+		t.Fatalf("report: %+v", reps)
+	}
+	// A closed-loop client would cap concurrency at 1; open-loop must
+	// overlap nearly everything.
+	if p := peak.Load(); p < n/2 {
+		t.Fatalf("peak concurrency %d — arrivals waited on completions (closed loop)", p)
+	}
+}

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Collector accumulates per-route client-observed outcomes. It keeps
+// the raw latency samples, so the quantiles it reports are exact order
+// statistics, not histogram interpolations — the client side of the SLO
+// report, to set against the server's bucketed /v1/slo view.
+type Collector struct {
+	mu     sync.Mutex
+	routes map[string]*routeAgg
+}
+
+type routeAgg struct {
+	durations []time.Duration
+	status    map[int]int
+	// shedNoRetryAfter counts 429s missing the Retry-After header — a
+	// protocol bug on the server's shed path, always an SLO violation.
+	shedNoRetryAfter int
+	transportErrors  int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{routes: make(map[string]*routeAgg)}
+}
+
+func (c *Collector) agg(route string) *routeAgg {
+	a := c.routes[route]
+	if a == nil {
+		a = &routeAgg{status: make(map[int]int)}
+		c.routes[route] = a
+	}
+	return a
+}
+
+// Observe records one completed request. hasRetryAfter only matters for
+// status 429.
+func (c *Collector) Observe(route string, d time.Duration, status int, hasRetryAfter bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.agg(route)
+	a.durations = append(a.durations, d)
+	a.status[status]++
+	if status == 429 && !hasRetryAfter {
+		a.shedNoRetryAfter++
+	}
+}
+
+// ObserveTransportError records a request that never produced an HTTP
+// status (connection refused, timeout).
+func (c *Collector) ObserveTransportError(route string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.agg(route).transportErrors++
+}
+
+// RouteReport is one route's client-side summary.
+type RouteReport struct {
+	Route            string        `json:"route"`
+	Count            int           `json:"count"`
+	P50              time.Duration `json:"p50_nanos"`
+	P95              time.Duration `json:"p95_nanos"`
+	P99              time.Duration `json:"p99_nanos"`
+	Max              time.Duration `json:"max_nanos"`
+	OK               int           `json:"ok_2xx"`
+	Shed             int           `json:"shed_429"`
+	ShedNoRetryAfter int           `json:"shed_429_no_retry_after"`
+	Errors           int           `json:"errors"`
+	TransportErrors  int           `json:"transport_errors"`
+}
+
+// ErrorFrac is the fraction of outcomes that were neither 2xx nor a
+// well-formed shed.
+func (r RouteReport) ErrorFrac() float64 {
+	total := r.Count + r.TransportErrors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Errors+r.TransportErrors) / float64(total)
+}
+
+// ShedFrac is the fraction of outcomes the server refused with 429.
+func (r RouteReport) ShedFrac() float64 {
+	total := r.Count + r.TransportErrors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(total)
+}
+
+// Report summarizes every route, sorted by route name.
+func (c *Collector) Report() []RouteReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RouteReport, 0, len(c.routes))
+	for route, a := range c.routes {
+		r := RouteReport{Route: route, Count: len(a.durations),
+			ShedNoRetryAfter: a.shedNoRetryAfter, TransportErrors: a.transportErrors}
+		ds := append([]time.Duration(nil), a.durations...)
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		if len(ds) > 0 {
+			r.P50, r.P95, r.P99 = quantile(ds, 0.50), quantile(ds, 0.95), quantile(ds, 0.99)
+			r.Max = ds[len(ds)-1]
+		}
+		for status, n := range a.status {
+			switch {
+			case status >= 200 && status < 300:
+				r.OK += n
+			case status == 429:
+				r.Shed += n
+			default:
+				r.Errors += n
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// quantile is the nearest-rank order statistic over sorted samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SLO is the pass/fail contract a run is judged against.
+type SLO struct {
+	// MaxP99 bounds every route's client-observed p99; 0 disables.
+	MaxP99 time.Duration
+	// MaxErrorFrac bounds each route's non-2xx/non-429 fraction
+	// (transport errors included).
+	MaxErrorFrac float64
+	// MaxShedFrac bounds each route's 429 fraction; a shed response
+	// missing Retry-After violates unconditionally.
+	MaxShedFrac float64
+}
+
+// Check returns one human-readable violation per breached bound, empty
+// when the run met the SLO.
+func (s SLO) Check(reports []RouteReport) []string {
+	var v []string
+	for _, r := range reports {
+		if s.MaxP99 > 0 && r.P99 > s.MaxP99 {
+			v = append(v, fmt.Sprintf("route %s: p99 %v exceeds SLO %v", r.Route, r.P99, s.MaxP99))
+		}
+		if ef := r.ErrorFrac(); ef > s.MaxErrorFrac {
+			v = append(v, fmt.Sprintf("route %s: error fraction %.4f exceeds SLO %.4f (%d errors, %d transport)",
+				r.Route, ef, s.MaxErrorFrac, r.Errors, r.TransportErrors))
+		}
+		if s.MaxShedFrac > 0 {
+			if sf := r.ShedFrac(); sf > s.MaxShedFrac {
+				v = append(v, fmt.Sprintf("route %s: shed fraction %.4f exceeds SLO %.4f (%d of %d)",
+					r.Route, sf, s.MaxShedFrac, r.Shed, r.Count))
+			}
+		}
+		if r.ShedNoRetryAfter > 0 {
+			v = append(v, fmt.Sprintf("route %s: %d shed responses missing Retry-After", r.Route, r.ShedNoRetryAfter))
+		}
+	}
+	return v
+}
+
+// FormatReport renders the per-route table plus the verdict, for the
+// CLI's stdout.
+func FormatReport(reports []RouteReport, violations []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %10s %8s %8s %8s\n",
+		"route", "count", "p50", "p95", "p99", "2xx", "429", "err")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-12s %8d %10v %10v %10v %8d %8d %8d\n",
+			r.Route, r.Count, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+			r.P99.Round(time.Microsecond), r.OK, r.Shed, r.Errors+r.TransportErrors)
+	}
+	if len(violations) == 0 {
+		b.WriteString("SLO: PASS\n")
+	} else {
+		b.WriteString("SLO: FAIL\n")
+		for _, v := range violations {
+			b.WriteString("  " + v + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Run fires the schedule at baseURL open-loop: each request launches at
+// t0+At on its own goroutine whether or not earlier ones came back, so
+// server-side queueing shows up as client-observed latency instead of a
+// reduced arrival rate. Blocks until every response (or transport
+// error) is in. The context cancels the remaining sends, not the ones
+// already in flight.
+func Run(ctx context.Context, client *http.Client, baseURL string, schedule []Request, c *Collector) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for _, req := range schedule {
+		wait := req.At - time.Since(t0)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			fire(ctx, client, baseURL, req, c)
+		}(req)
+	}
+	wg.Wait()
+	return nil
+}
+
+// routeOf maps a request path to its SLO route name (the path's last
+// versioned segment, matching the server's histogram labels).
+func routeOf(path string) string {
+	p := strings.TrimPrefix(path, "/v1/")
+	if i := strings.IndexAny(p, "?/"); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+func fire(ctx context.Context, client *http.Client, baseURL string, req Request, c *Collector) {
+	route := routeOf(req.Path)
+	hr, err := http.NewRequestWithContext(ctx, req.Method, baseURL+req.Path, bytes.NewReader(req.Body))
+	if err != nil {
+		c.ObserveTransportError(route)
+		return
+	}
+	if len(req.Body) > 0 {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(hr)
+	if err != nil {
+		c.ObserveTransportError(route)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	c.Observe(route, time.Since(start), resp.StatusCode, resp.Header.Get("Retry-After") != "")
+}
+
+// FetchBounds asks a running server for its city bounding box via
+// GET /v1/stats — the sampling box every schedule draws endpoints from.
+func FetchBounds(client *http.Client, baseURL string) (Bounds, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/v1/stats")
+	if err != nil {
+		return Bounds{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Bounds{}, fmt.Errorf("loadgen: GET /v1/stats: %s", resp.Status)
+	}
+	var body struct {
+		Bounds struct {
+			Min struct{ Lat, Lng float64 } `json:"min"`
+			Max struct{ Lat, Lng float64 } `json:"max"`
+		} `json:"bounds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return Bounds{}, err
+	}
+	b := Bounds{MinLat: body.Bounds.Min.Lat, MinLng: body.Bounds.Min.Lng,
+		MaxLat: body.Bounds.Max.Lat, MaxLng: body.Bounds.Max.Lng}
+	if !b.Valid() {
+		return Bounds{}, fmt.Errorf("loadgen: server reported degenerate bounds %+v", b)
+	}
+	return b, nil
+}
+
+// FetchServerSLO retrieves the server-side GET /v1/slo snapshot raw, so
+// the CLI can print the bucketed server view next to the client one.
+func FetchServerSLO(client *http.Client, baseURL string) (json.RawMessage, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/v1/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /v1/slo: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -68,6 +68,18 @@ type Config struct {
 	// RetryEveryTicks runs the batch re-dispatch every Nth movement tick
 	// (default 1). Expired requests are evicted on every tick regardless.
 	RetryEveryTicks int
+	// MaxInFlight bounds how many mutating requests (taxi registration,
+	// ride requests, street hails) may be executing concurrently; up to
+	// AdmissionQueue more may wait for a slot, and beyond that the server
+	// sheds with 429 + Retry-After (code "overloaded") before the request
+	// touches the engine. This is admission control — distinct from the
+	// pending-queue's "queue_full" 429, which is a dispatch outcome.
+	// Zero disables the gate. Read-only routes are never gated.
+	MaxInFlight int
+	// AdmissionQueue bounds the accept queue in front of MaxInFlight;
+	// 0 defaults to MaxInFlight.
+	AdmissionQueue int
+
 	// BatchAssign runs the retry rounds as a global min-cost assignment
 	// over the full (request, taxi) cost graph instead of greedy deadline-
 	// order commits (see match.Config.BatchAssign). The
@@ -132,6 +144,12 @@ type Server struct {
 	reg    *obs.Registry
 	rng    *rand.Rand // guarded by mu; seeded from Config.Seed
 	kappa  int        // effective partition count (derived when Config.Kappa is 0)
+
+	// adm is the admission gate (nil when Config.MaxInFlight is 0);
+	// httpHists holds the per-route latency histograms, populated once in
+	// Handler and read lock-free by handleSLO.
+	adm       *admission
+	httpHists map[string]*obs.Histogram
 
 	mu         sync.Mutex
 	nowSeconds float64
@@ -259,6 +277,14 @@ func New(cfg Config) (*Server, error) {
 		taxis:    make(map[int64]*fleet.Taxi),
 		requests: make(map[fleet.RequestID]*reqStatus),
 		stop:     make(chan struct{}),
+	}
+	s.httpHists = make(map[string]*obs.Histogram)
+	if cfg.MaxInFlight > 0 {
+		maxWait := cfg.AdmissionQueue
+		if maxWait <= 0 {
+			maxWait = cfg.MaxInFlight
+		}
+		s.adm = newAdmission(s.reg, cfg.MaxInFlight, maxWait)
 	}
 	if cfg.QueueDepth > 0 {
 		// The dispatcher-built pool surfaces the queue's depth gauge and
@@ -476,18 +502,22 @@ func (s *Server) addTaxiLocked(p geo.Point, capacity int) int64 {
 // their replacement via Deprecation and Link headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Admission-gated routes are the ones whose POST bodies reach the
+	// dispatch engine; everything else stays observable under overload.
 	routes := map[string]http.HandlerFunc{
-		"/taxis":      s.handleTaxis,
-		"/requests":   s.handleRequests,
-		"/hails":      s.handleHails,
+		"/taxis":      s.admit(s.handleTaxis),
+		"/requests":   s.admit(s.handleRequests),
+		"/hails":      s.admit(s.handleHails),
 		"/stats":      s.handleStats,
 		"/shards":     s.handleShards,
 		"/queue":      s.handleQueue,
 		"/metrics":    s.handleMetrics,
 		"/durability": s.handleDurability,
 		"/advance":    s.handleAdvance,
+		"/slo":        s.handleSLO,
 	}
 	for path, h := range routes {
+		h = s.instrument(strings.TrimPrefix(path, "/"), h)
 		mux.HandleFunc("/v1"+path, h)
 		mux.HandleFunc("/api"+path, deprecatedAlias("/v1"+path, h))
 	}
@@ -524,6 +554,7 @@ const (
 	codeShutdown         = "shutdown"
 	codeWALFailed        = "wal_failed"
 	codeQueueFull        = "queue_full"
+	codeOverloaded       = "overloaded"
 )
 
 // errorJSON is the uniform error envelope of every non-2xx response.
@@ -893,7 +924,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	es := s.engine.Stats()
+	min, max := s.g.Bounds()
 	stats := map[string]interface{}{
+		"bounds": map[string]pointJSON{
+			"min": {Lat: min.Lat, Lng: min.Lng},
+			"max": {Lat: max.Lat, Lng: max.Lng},
+		},
 		"sim_seconds":         s.nowSeconds,
 		"taxis":               len(s.taxis),
 		"requests":            len(s.requests),

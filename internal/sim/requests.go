@@ -2,9 +2,11 @@ package sim
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/geo"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
 )
@@ -25,7 +27,24 @@ type PrepareOptions struct {
 	// setting).
 	PartySizes []float64
 	Seed       int64
+
+	// MeetingPointRadiusMeters, when positive, enables the meeting-points
+	// variant (Laupichler & Sanders): instead of boarding at the vertex
+	// nearest their door, riders walk up to this far to the candidate
+	// pickup vertex with the cheapest direct drive to their destination.
+	// The walk delays the request's release (the rider must get there)
+	// while the deadline keeps Eq. 9's span, so a shorter drive converts
+	// into insertion slack. Zero keeps the paper's nearest-vertex
+	// snapping — and, deliberately, an identical random stream, so a
+	// radius sweep shares the same party/offline draws per trip.
+	MeetingPointRadiusMeters float64
+	// WalkSpeedMps prices the walk (default 1.4 m/s).
+	WalkSpeedMps float64
 }
+
+// maxMeetingCandidates bounds the exact-cost evaluations per trip; the
+// nearest candidates by walk distance are kept (deterministic order).
+const maxMeetingCandidates = 16
 
 // drawParty samples a party size from the configured distribution.
 func (o PrepareOptions) drawParty(r *rand.Rand) int {
@@ -66,13 +85,24 @@ func PrepareRequests(g *roadnet.Graph, spx *roadnet.SpatialIndex, trips []trace.
 		if !ok {
 			continue
 		}
-		directSec := direct / opts.SpeedMps
+		release, span := tr.ReleaseAt, time.Duration(direct/opts.SpeedMps*opts.Rho*float64(time.Second))
+		if opts.MeetingPointRadiusMeters > 0 {
+			if mp, mpDirect, found := chooseMeetingPoint(g, spx, tr.Origin, o, d, direct, opts.MeetingPointRadiusMeters); found {
+				walk := geo.Equirect(tr.Origin, g.Point(mp))
+				speed := opts.WalkSpeedMps
+				if speed <= 0 {
+					speed = 1.4
+				}
+				o, direct = mp, mpDirect
+				release = tr.ReleaseAt + time.Duration(walk/speed*float64(time.Second))
+			}
+		}
 		req := &fleet.Request{
 			ID:           fleet.RequestID(tr.ID),
-			ReleaseAt:    tr.ReleaseAt,
+			ReleaseAt:    release,
 			Origin:       o,
 			Dest:         d,
-			Deadline:     tr.ReleaseAt + time.Duration(directSec*opts.Rho*float64(time.Second)),
+			Deadline:     release + span,
 			DirectMeters: direct,
 			Passengers:   opts.drawParty(rng),
 			Offline:      rng.Float64() < opts.OfflineFrac,
@@ -85,4 +115,51 @@ func PrepareRequests(g *roadnet.Graph, spx *roadnet.SpatialIndex, trips []trace.
 		out = append(out, req)
 	}
 	return out
+}
+
+// chooseMeetingPoint picks the pickup vertex within walking radius of
+// the rider's door that minimizes the direct drive to d, ties broken by
+// (walk distance, vertex ID) so the choice is deterministic. It returns
+// found=false when no in-radius candidate beats the nearest-vertex
+// snap o (whose cost is nearestDirect), keeping the request identical
+// to the radius-0 baseline.
+func chooseMeetingPoint(g *roadnet.Graph, spx *roadnet.SpatialIndex, door geo.Point, o, d roadnet.VertexID, nearestDirect, radius float64) (roadnet.VertexID, float64, bool) {
+	cands := spx.VerticesWithin(door, radius)
+	if len(cands) == 0 {
+		return o, 0, false
+	}
+	type cand struct {
+		v    roadnet.VertexID
+		walk float64
+	}
+	cs := make([]cand, 0, len(cands))
+	for _, v := range cands {
+		if v == d {
+			continue
+		}
+		cs = append(cs, cand{v, geo.Equirect(door, g.Point(v))})
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].walk != cs[j].walk {
+			return cs[i].walk < cs[j].walk
+		}
+		return cs[i].v < cs[j].v
+	})
+	if len(cs) > maxMeetingCandidates {
+		cs = cs[:maxMeetingCandidates]
+	}
+	best, bestDirect, found := o, nearestDirect, false
+	for _, c := range cs {
+		if c.v == o {
+			continue
+		}
+		direct, _, ok := g.AStar(c.v, d)
+		if !ok {
+			continue
+		}
+		if direct < bestDirect {
+			best, bestDirect, found = c.v, direct, true
+		}
+	}
+	return best, bestDirect, found
 }

@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -81,6 +82,14 @@ type Params struct {
 	// queued requests route to their home shard's queue.
 	Sharding match.ShardingConfig
 
+	// ShiftChange models a driver-shift changeover mid-run: at AtSeconds
+	// a seeded Fraction of the then-current fleet goes off shift — each
+	// cohort taxi finishes its committed schedule, then stops accepting
+	// passengers (its capacity drops to zero) — and LagSeconds later the
+	// same number of fresh taxis come on shift at seeded vertices. The
+	// zero value disables the changeover.
+	ShiftChange ShiftChangeConfig
+
 	// Metrics receives the simulation's instruments under mtshare_sim_*
 	// (ticks, tick latency, request lifecycle, roadside encounters). nil
 	// gives the engine a private registry; pass the dispatcher's registry
@@ -107,6 +116,40 @@ type Params struct {
 	// snapshot/resume path (use the facade's Options.Durability for
 	// stateful recovery). SnapshotEveryTicks must be 0.
 	Durability wal.Options
+}
+
+// ShiftChangeConfig parameterizes the mid-run driver-shift changeover.
+// Everything is seeded and applied at tick boundaries in taxi-ID order,
+// so a shift run is as deterministic as a plain one at any parallelism.
+type ShiftChangeConfig struct {
+	// AtSeconds is the simulated time the off-going cohort stops taking
+	// new work; 0 disables the changeover entirely.
+	AtSeconds float64
+	// Fraction of the fleet (at AtSeconds) that goes off shift, in (0,1].
+	Fraction float64
+	// LagSeconds after AtSeconds before the replacement cohort comes on
+	// shift — the supply dip the dispatcher must ride out.
+	LagSeconds float64
+	// Seed picks the off-going cohort and the replacements' start
+	// vertices.
+	Seed int64
+}
+
+// Enabled reports whether the changeover fires.
+func (c ShiftChangeConfig) Enabled() bool { return c.AtSeconds > 0 }
+
+// Validate reports whether the configuration is usable.
+func (c ShiftChangeConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch {
+	case c.Fraction <= 0 || c.Fraction > 1:
+		return fmt.Errorf("sim: ShiftChange.Fraction must be in (0,1], got %v", c.Fraction)
+	case c.LagSeconds < 0:
+		return fmt.Errorf("sim: ShiftChange.LagSeconds negative")
+	}
+	return nil
 }
 
 // DefaultParams returns the evaluation defaults.
@@ -144,6 +187,9 @@ func (p Params) Validate() error {
 	case p.Durability.Enabled() && p.Durability.SnapshotEveryTicks != 0:
 		return fmt.Errorf("sim: Durability.SnapshotEveryTicks is not supported (event durability only)")
 	}
+	if err := p.ShiftChange.Validate(); err != nil {
+		return err
+	}
 	return p.Sharding.Validate()
 }
 
@@ -162,6 +208,8 @@ type RequestRecord struct {
 	ServedOffline bool
 	Delivered     bool
 	Expired       bool
+	// TaxiID is the serving taxi (0 while unassigned).
+	TaxiID int64
 	// Queued marks a request that parked in the pending queue after its
 	// initial dispatch failed; QueueRetries counts its batch re-dispatch
 	// rounds and QueueWaitSeconds the queued-to-matched delay (0 until
@@ -245,6 +293,15 @@ type Engine struct {
 	ExecutionSecs   float64
 	FinalSimSeconds float64
 
+	// Shift-changeover state (zero when Params.ShiftChange is disabled):
+	// the off-going cohort in taxi-ID order, their original capacities
+	// (the replacements mirror them), and the two phase latches.
+	shiftCohort   []*fleet.Taxi
+	shiftCaps     []int
+	shiftPicked   bool
+	shiftReplaced bool
+	shiftIns      *shiftInstruments
+
 	reg *obs.Registry
 	ins simInstruments
 
@@ -270,6 +327,24 @@ type simInstruments struct {
 	queueRetries  *obs.Counter
 	queueServed   *obs.Counter
 	queueExpired  *obs.Counter
+}
+
+// shiftInstruments are registered only when the changeover is enabled:
+// the counters live under the deterministic mtshare_sim_ prefix, and an
+// unconditional registration would grow zero-valued entries in every
+// sealed golden log.
+type shiftInstruments struct {
+	offShift     *obs.Counter
+	retired      *obs.Counter
+	replacements *obs.Counter
+}
+
+func newShiftInstruments(reg *obs.Registry) *shiftInstruments {
+	return &shiftInstruments{
+		offShift:     reg.Counter("mtshare_sim_shift_offshift_total"),
+		retired:      reg.Counter("mtshare_sim_shift_retired_total"),
+		replacements: reg.Counter("mtshare_sim_shift_replacements_total"),
+	}
 }
 
 func newSimInstruments(reg *obs.Registry) simInstruments {
@@ -309,6 +384,9 @@ func NewEngine(g *roadnet.Graph, scheme dispatch.Scheme, params Params) (*Engine
 		records:  make(map[fleet.RequestID]*RequestRecord),
 		reg:      reg,
 		ins:      newSimInstruments(reg),
+	}
+	if params.ShiftChange.Enabled() {
+		e.shiftIns = newShiftInstruments(reg)
 	}
 	if params.QueueDepth > 0 {
 		if sp, ok := scheme.(shardedPooler); ok && sp.ShardCount() > 1 {
@@ -437,7 +515,10 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 	dt := e.params.TickSeconds
 	for {
 		tickStart := time.Now()
-		// 0. Pending-queue maintenance: evict requests whose pickup
+		// 0a. Shift changeover: retire emptied off-shift taxis, bring the
+		// replacement cohort on before this tick's dispatches see them.
+		e.serviceShift(now)
+		// 0b. Pending-queue maintenance: evict requests whose pickup
 		// deadline passed, then — when the retry interval is due —
 		// re-dispatch the parked batch before this tick's releases.
 		qMatched, qExpired := e.serviceQueue(now)
@@ -481,6 +562,65 @@ func (e *Engine) Run(requests []*fleet.Request, startSeconds float64) *Metrics {
 		e.wal.Close() // final flush+fsync; errors stay sticky for RecordErr
 	}
 	return e.collectMetrics()
+}
+
+// serviceShift runs the driver-shift changeover state machine at a tick
+// boundary. Phase 1 (now >= AtSeconds): a seeded Fraction of the fleet
+// is picked as the off-going cohort, in taxi-ID order; each cohort taxi
+// finishes its committed schedule and is retired — capacity zeroed — the
+// first tick it stands empty, making every later insertion infeasible
+// while keeping the taxi's movement deterministic. Phase 2 (now >=
+// AtSeconds + LagSeconds): one fresh replacement per cohort member, with
+// the retiree's original capacity, comes on shift at a seeded vertex
+// through the ordinary AddTaxi path. Everything is driven by simulated
+// time and one seeded rng, so runs are bit-identical at any parallelism.
+func (e *Engine) serviceShift(now float64) {
+	sc := e.params.ShiftChange
+	if !sc.Enabled() {
+		return
+	}
+	if !e.shiftPicked && now >= sc.AtSeconds {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		k := int(math.Round(sc.Fraction * float64(len(e.taxis))))
+		if k < 1 {
+			k = 1
+		}
+		picked := rng.Perm(len(e.taxis))[:k]
+		sort.Ints(picked)
+		for _, i := range picked {
+			e.shiftCohort = append(e.shiftCohort, e.taxis[i])
+			e.shiftCaps = append(e.shiftCaps, e.taxis[i].Capacity)
+		}
+		e.shiftPicked = true
+		e.shiftIns.offShift.Add(int64(k))
+	}
+	if e.shiftPicked {
+		for _, t := range e.shiftCohort {
+			if t.Capacity > 0 && t.Empty() {
+				t.Capacity = 0
+				e.shiftIns.retired.Inc()
+			}
+		}
+	}
+	if e.shiftPicked && !e.shiftReplaced && now >= sc.AtSeconds+sc.LagSeconds {
+		rng := rand.New(rand.NewSource(sc.Seed + 1))
+		var nextID int64
+		for _, t := range e.taxis {
+			if t.ID > nextID {
+				nextID = t.ID
+			}
+		}
+		for _, capacity := range e.shiftCaps {
+			nextID++
+			at := roadnet.VertexID(rng.Intn(e.g.NumVertices()))
+			t := fleet.NewTaxi(e.g, nextID, capacity, at)
+			e.taxis = append(e.taxis, t)
+			e.scheme.AddTaxi(t, now)
+			e.taxiGrid.Update(t.ID, t.Point())
+			e.shiftIns.replacements.Inc()
+		}
+		e.shiftReplaced = true
+	}
 }
 
 // queueLen returns the pending queue's depth (0 when disabled).
@@ -549,6 +689,7 @@ func (e *Engine) serviceQueue(now float64) (matched []replay.QueueMatch, expired
 		if rec := e.records[r.Req.ID]; rec != nil {
 			rec.Served = true
 			rec.ServedFromQueue = true
+			rec.TaxiID = r.Out.TaxiID
 			rec.AssignSeconds = now
 			rec.QueueRetries = it.Retries
 			rec.QueueWaitSeconds = wait
@@ -641,6 +782,7 @@ func (e *Engine) dispatchOnline(r *fleet.Request, now float64, offline bool) boo
 	e.ins.requestsServed.Inc()
 	rec.Served = true
 	rec.ServedOffline = offline
+	rec.TaxiID = out.TaxiID
 	rec.AssignSeconds = now
 	return true
 }
@@ -810,6 +952,7 @@ func (e *Engine) handleEncounters(now float64) {
 				rec.ResponseNanos = time.Since(t0).Nanoseconds()
 				rec.Served = true
 				rec.ServedOffline = true
+				rec.TaxiID = t.ID
 				rec.AssignSeconds = now
 				served = true
 				e.ins.encounters.Inc()

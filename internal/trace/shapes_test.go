@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func shapeBaseParams() GenParams {
+	return GenParams{
+		Center:           geo.Point{Lat: 30.6, Lng: 104.0},
+		ExtentMeters:     5000,
+		TripsPerHourPeak: 200,
+		UniformFrac:      0.15,
+		MinTripMeters:    250,
+		Seed:             11,
+	}
+}
+
+// The surge's defining invariant: the window's trip rate is at least
+// Multiplier times the base day's rate there, and the day outside the
+// window is byte-identical to the un-surged base.
+func TestGenerateSurgeInvariants(t *testing.T) {
+	base := shapeBaseParams()
+	sp := SurgeParams{
+		Venue:       base.Center,
+		SigmaMeters: 250,
+		Start:       8*time.Hour + 15*time.Minute,
+		End:         8*time.Hour + 45*time.Minute,
+		Multiplier:  3,
+		Seed:        42,
+	}
+	plain, err := Generate(Workday, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surged, err := GenerateSurge(Workday, base, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWin := len(plain.Between(sp.Start, sp.End))
+	surgeWin := len(surged.Between(sp.Start, sp.End))
+	if float64(surgeWin) < sp.Multiplier*float64(baseWin) {
+		t.Fatalf("surge window has %d trips, want >= %v x base %d", surgeWin, sp.Multiplier, baseWin)
+	}
+	if got, want := len(surged.Trips)-len(plain.Trips), surgeWin-baseWin; got != want {
+		t.Fatalf("surge injected %d trips overall but %d in the window — it leaked outside [Start, End)", got, want)
+	}
+	// Every injected trip's origin should hug the venue: with sigma 250 m
+	// a 4-sigma box holds essentially all of them.
+	near := 0
+	for _, tr := range surged.Between(sp.Start, sp.End) {
+		if geo.Equirect(tr.Origin, sp.Venue) <= 4*sp.SigmaMeters {
+			near++
+		}
+	}
+	if injected := surgeWin - baseWin; near < injected {
+		t.Fatalf("only %d surge-window origins within 4 sigma of the venue, want >= %d injected", near, injected)
+	}
+}
+
+// The hotspot's defining invariant: at least round(Frac x N) origins lie
+// inside the disc, destinations untouched.
+func TestGenerateHotspotInvariants(t *testing.T) {
+	base := shapeBaseParams()
+	hp := HotspotShapeParams{Center: base.Center, RadiusMeters: 400, Frac: 0.6, Seed: 43}
+	plain, err := Generate(Workday, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := GenerateHotspot(Workday, base, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.Trips) != len(plain.Trips) {
+		t.Fatalf("hotspot changed the trip count: %d vs %d", len(hot.Trips), len(plain.Trips))
+	}
+	in := 0
+	for i, tr := range hot.Trips {
+		if geo.Equirect(tr.Origin, hp.Center) <= hp.RadiusMeters {
+			in++
+		}
+		if tr.Dest != plain.Trips[i].Dest || tr.ReleaseAt != plain.Trips[i].ReleaseAt {
+			t.Fatalf("trip %d: hotspot overlay touched dest or release time", i)
+		}
+	}
+	want := int(hp.Frac * float64(len(hot.Trips)))
+	if in < want {
+		t.Fatalf("%d origins inside the disc, want >= %d (Frac=%v of %d)", in, want, hp.Frac, len(hot.Trips))
+	}
+}
+
+// Same seed, same bytes: both shape generators must be deterministic
+// functions of their parameters.
+func TestShapesDeterministic(t *testing.T) {
+	base := shapeBaseParams()
+	sp := SurgeParams{Venue: base.Center, Start: 8 * time.Hour, End: 9 * time.Hour, Multiplier: 2, Seed: 5}
+	hp := HotspotShapeParams{Center: base.Center, RadiusMeters: 500, Frac: 0.4, Seed: 6}
+	s1, err := GenerateSurge(Workday, base, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := GenerateSurge(Workday, base, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("GenerateSurge is not deterministic for a fixed seed")
+	}
+	h1, err := GenerateHotspot(Workday, base, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := GenerateHotspot(Workday, base, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatal("GenerateHotspot is not deterministic for a fixed seed")
+	}
+}
+
+func TestShapeParamValidation(t *testing.T) {
+	base := shapeBaseParams()
+	if _, err := GenerateSurge(Workday, base, SurgeParams{Start: time.Hour, End: time.Hour, Multiplier: 2}); err == nil {
+		t.Fatal("empty surge window accepted")
+	}
+	if _, err := GenerateSurge(Workday, base, SurgeParams{Start: 0, End: time.Hour, Multiplier: 1}); err == nil {
+		t.Fatal("multiplier 1 accepted")
+	}
+	if _, err := GenerateHotspot(Workday, base, HotspotShapeParams{RadiusMeters: 0, Frac: 0.5}); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := GenerateHotspot(Workday, base, HotspotShapeParams{RadiusMeters: 100, Frac: 1.5}); err == nil {
+		t.Fatal("frac > 1 accepted")
+	}
+}
